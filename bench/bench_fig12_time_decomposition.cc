@@ -1,0 +1,46 @@
+// Paper Figure 12: decomposition of the aggregate end-to-end time into
+// query execution / plan search / initial inference / re-optimization, per
+// estimator, for Join-six and Join-eight.
+//
+// Expected shape: data-driven stand-ins spend a visibly larger share on
+// inference (especially on Join-eight, which needs more estimates per
+// query); LPCE-R adds a small re-optimization slice while shrinking the
+// execution slice.
+#include <cstdio>
+
+#include "bench_world.h"
+
+namespace lpce::bench {
+namespace {
+
+void RunSet(const World& world, int joins) {
+  const auto& queries = world.test_by_joins.at(joins);
+  auto lineup = MakeEstimatorLineup(world);
+  std::printf("\n--- Join-%s (aggregate seconds over %zu queries) ---\n",
+              joins == 6 ? "six" : "eight", queries.size());
+  std::printf("%-12s %12s %12s %12s %12s %12s\n", "Name", "exec", "plan search",
+              "inference", "reopt", "total");
+  for (const auto& entry : lineup) {
+    const auto stats = RunWorkload(world, entry, queries);
+    double exec = 0, plan = 0, infer = 0, reopt = 0;
+    for (const auto& s : stats) {
+      exec += s.exec_seconds;
+      plan += s.plan_seconds;
+      infer += s.inference_seconds;
+      reopt += s.reopt_seconds;
+    }
+    std::printf("%-12s %12.3f %12.3f %12.3f %12.3f %12.3f\n", entry.name.c_str(),
+                exec, plan, infer, reopt, exec + plan + infer + reopt);
+  }
+}
+
+}  // namespace
+}  // namespace lpce::bench
+
+int main() {
+  const auto& world = lpce::bench::GetWorld();
+  std::printf("\n=== Figure 12: end-to-end time decomposition ===\n");
+  lpce::bench::RunSet(world, 6);
+  lpce::bench::RunSet(world, 8);
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Paper Figure 13: per-query scatter of each estimator's end-to-end time
+// against PostgreSQL's, for Join-eight queries. Emitted as CSV rows
+// (estimator, query index, postgres_ms, estimator_ms, inference_ms) plus a
+// summary of how many points fall below the diagonal (i.e., improved).
+#include <cstdio>
+
+#include "bench_world.h"
+
+namespace lpce::bench {
+namespace {
+
+void Run() {
+  const World& world = GetWorld();
+  const auto& queries = world.test_by_joins.at(8);
+  auto lineup = MakeEstimatorLineup(world);
+
+  std::vector<double> pg_times;
+  {
+    const auto stats = RunWorkload(world, lineup[0], queries);
+    for (const auto& s : stats) pg_times.push_back(s.TotalSeconds() * 1e3);
+  }
+
+  std::printf("\n=== Figure 13: per-query end-to-end scatter (Join-eight) ===\n");
+  std::printf("estimator,query,postgres_ms,estimator_ms,inference_ms\n");
+  std::printf("%s\n", std::string(60, '-').c_str());
+  for (size_t i = 1; i < lineup.size(); ++i) {
+    const auto stats = RunWorkload(world, lineup[i], queries);
+    int improved = 0;
+    for (size_t q = 0; q < stats.size(); ++q) {
+      const double total = stats[q].TotalSeconds() * 1e3;
+      const double infer =
+          (stats[q].inference_seconds + stats[q].reopt_seconds) * 1e3;
+      std::printf("%s,%zu,%.3f,%.3f,%.3f\n", lineup[i].name.c_str(), q,
+                  pg_times[q], total, infer);
+      if (total < pg_times[q]) ++improved;
+    }
+    std::printf("# %s: %d/%zu queries below the diagonal (improved)\n\n",
+                lineup[i].name.c_str(), improved, stats.size());
+  }
+  std::printf("(paper: most points below the diagonal; points left of the\n"
+              " model-inference line cannot be improved by that estimator)\n");
+}
+
+}  // namespace
+}  // namespace lpce::bench
+
+int main() {
+  lpce::bench::Run();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Paper Figure 14: for the queries that trigger re-optimization, compare the
+// end-to-end time decomposition of LPCE-I (no re-optimization) vs LPCE-R.
+//
+// Expected shape: LPCE-R cuts the execution slice by a multiple (paper:
+// 3.19x/3.32x overall) at the cost of a small re-optimization slice.
+#include <cstdio>
+
+#include "bench_world.h"
+
+namespace lpce::bench {
+namespace {
+
+void RunSet(const World& world, int joins) {
+  const auto& queries = world.test_by_joins.at(joins);
+  auto lineup = MakeEstimatorLineup(world);
+  const EstimatorEntry* lpce_i = nullptr;
+  const EstimatorEntry* lpce_r = nullptr;
+  for (const auto& entry : lineup) {
+    if (entry.name == "LPCE-I") lpce_i = &entry;
+    if (entry.name == "LPCE-R") lpce_r = &entry;
+  }
+
+  const auto stats_r = RunWorkload(world, *lpce_r, queries);
+  const auto stats_i = RunWorkload(world, *lpce_i, queries);
+
+  // Restrict to queries that actually re-optimized under LPCE-R.
+  double i_exec = 0, i_plan = 0, i_infer = 0;
+  double r_exec = 0, r_plan = 0, r_infer = 0, r_reopt = 0;
+  int reoptimized = 0;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    if (stats_r[q].num_reopts == 0) continue;
+    ++reoptimized;
+    i_exec += stats_i[q].exec_seconds;
+    i_plan += stats_i[q].plan_seconds;
+    i_infer += stats_i[q].inference_seconds;
+    r_exec += stats_r[q].exec_seconds;
+    r_plan += stats_r[q].plan_seconds;
+    r_infer += stats_r[q].inference_seconds;
+    r_reopt += stats_r[q].reopt_seconds;
+  }
+  const double i_total = i_exec + i_plan + i_infer;
+  const double r_total = r_exec + r_plan + r_infer + r_reopt;
+  std::printf("\n--- Join-%s: %d of %zu queries triggered re-optimization ---\n",
+              joins == 6 ? "six" : "eight", reoptimized, queries.size());
+  std::printf("%-8s %10s %12s %12s %10s %10s\n", "model", "exec(s)", "search(s)",
+              "infer(s)", "reopt(s)", "total(s)");
+  std::printf("%-8s %10.3f %12.3f %12.3f %10.3f %10.3f\n", "LPCE-I", i_exec,
+              i_plan, i_infer, 0.0, i_total);
+  std::printf("%-8s %10.3f %12.3f %12.3f %10.3f %10.3f\n", "LPCE-R", r_exec,
+              r_plan, r_infer, r_reopt, r_total);
+  if (r_total > 0.0) {
+    std::printf("speedup of LPCE-R over LPCE-I on these queries: %.2fx\n",
+                i_total / r_total);
+  }
+}
+
+}  // namespace
+}  // namespace lpce::bench
+
+int main() {
+  const auto& world = lpce::bench::GetWorld();
+  std::printf("\n=== Figure 14: time decomposition of re-optimized queries ===\n");
+  lpce::bench::RunSet(world, 6);
+  lpce::bench::RunSet(world, 8);
+  std::printf("\n(paper: 3.19x / 3.32x end-to-end reduction on re-optimized"
+              " queries for Join-six / Join-eight)\n");
+  return 0;
+}

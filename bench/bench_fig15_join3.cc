@@ -1,0 +1,42 @@
+// Paper Figure 15: end-to-end time on 3-join queries — the regime where the
+// accurate-but-slow data-driven estimators win, because a 3-join query needs
+// few cardinality estimates (paper: "up to 2^n - 1"), shrinking their
+// inference-cost disadvantage.
+#include <cstdio>
+
+#include "bench_world.h"
+
+namespace lpce::bench {
+namespace {
+
+void Run() {
+  const World& world = GetWorld();
+  const auto& queries = world.test_by_joins.at(3);
+  auto lineup = MakeEstimatorLineup(world);
+  std::printf("\n=== Figure 15: Join-three end-to-end time (aggregate) ===\n");
+  std::printf("%-12s %10s %12s %12s %10s %10s\n", "Name", "exec(s)", "search(s)",
+              "infer(s)", "reopt(s)", "total(s)");
+  for (const auto& entry : lineup) {
+    const auto stats = RunWorkload(world, entry, queries);
+    double exec = 0, plan = 0, infer = 0, reopt = 0;
+    for (const auto& s : stats) {
+      exec += s.exec_seconds;
+      plan += s.plan_seconds;
+      infer += s.inference_seconds;
+      reopt += s.reopt_seconds;
+    }
+    std::printf("%-12s %10.3f %12.3f %12.3f %10.3f %10.3f\n", entry.name.c_str(),
+                exec, plan, infer, reopt, exec + plan + infer + reopt);
+  }
+  std::printf("\n(paper: FLAT and NeuroCard outperform LPCE-R on 3-join"
+              " queries — high accuracy matters more when few estimates are"
+              " needed)\n");
+}
+
+}  // namespace
+}  // namespace lpce::bench
+
+int main() {
+  lpce::bench::Run();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Paper Figure 17: a case study of one query whose plan is repaired by
+// re-optimization. Prints the initial plan (chosen with LPCE-I estimates),
+// the re-optimized plan, and the end-to-end times with and without
+// re-optimization.
+#include <cstdio>
+
+#include "bench_world.h"
+
+namespace lpce::bench {
+namespace {
+
+void Run() {
+  const World& world = GetWorld();
+  auto lineup = MakeEstimatorLineup(world);
+  const EstimatorEntry* lpce_i = nullptr;
+  const EstimatorEntry* lpce_r = nullptr;
+  for (const auto& entry : lineup) {
+    if (entry.name == "LPCE-I") lpce_i = &entry;
+    if (entry.name == "LPCE-R") lpce_r = &entry;
+  }
+
+  eng::Engine engine(world.database.get(), opt::CostModel{});
+  eng::RunConfig reopt_config = lpce_r->run_config;
+
+  std::printf("\n=== Figure 17: re-optimization case study ===\n");
+  // Find the query where re-optimization helps the most.
+  const wk::LabeledQuery* best_query = nullptr;
+  eng::RunStats best_r, best_i;
+  double best_gain = 1.0;
+  for (int joins : {8, 6}) {
+    for (const auto& labeled : world.test_by_joins.at(joins)) {
+      eng::RunStats r = engine.RunQuery(labeled.query, lpce_r->estimator.get(),
+                                        lpce_r->refiner.get(), reopt_config);
+      if (r.num_reopts == 0) continue;
+      eng::RunStats i =
+          engine.RunQuery(labeled.query, lpce_i->estimator.get(), nullptr, {});
+      const double gain = i.TotalSeconds() / std::max(r.TotalSeconds(), 1e-9);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_query = &labeled;
+        best_r = r;
+        best_i = i;
+      }
+    }
+    if (best_query != nullptr) break;
+  }
+  if (best_query == nullptr) {
+    std::printf("no query triggered re-optimization at this scale\n");
+    return;
+  }
+
+  std::printf("\nQuery:\n  %s\n",
+              best_query->query.ToString(world.database->catalog()).c_str());
+  std::printf("\nInitial plan (LPCE-I estimates):\n%s",
+              best_r.initial_plan.c_str());
+  std::printf("\nFinal plan after %d re-optimization(s):\n%s",
+              best_r.num_reopts, best_r.final_plan.c_str());
+  std::printf("\nLPCE-I (no re-optimization): %8.2f ms end-to-end\n",
+              best_i.TotalSeconds() * 1e3);
+  std::printf("LPCE-R (re-optimized):       %8.2f ms end-to-end (%.2fx faster)\n",
+              best_r.TotalSeconds() * 1e3, best_gain);
+  std::printf("\n(paper example: 8145 ms -> 3906 ms, >2x, with the plan"
+              " switching from a left-deep nested-loop mistake to a bushy"
+              " hash-join tree)\n");
+}
+
+}  // namespace
+}  // namespace lpce::bench
+
+int main() {
+  lpce::bench::Run();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Paper Figure 18: how sample-collection time, model-training time, and the
+// resulting end-to-end query time change with the number of training
+// queries. Trains a fresh LPCE-I (teacher + distillation) per sweep point.
+//
+// Expected shape: collection + training time grow linearly; end-to-end time
+// decreases with diminishing returns.
+#include <cstdio>
+
+#include "bench_world.h"
+#include "common/timer.h"
+
+namespace lpce::bench {
+namespace {
+
+void Run() {
+  const World& world = GetWorld();
+  const int full = static_cast<int>(world.train.size());
+  const std::vector<int> sweep = {full / 8, full / 4, full / 2, full};
+
+  // A small end-to-end evaluation set (Join-six and Join-eight heads).
+  std::vector<wk::LabeledQuery> eval;
+  for (int joins : {6, 8}) {
+    const auto& set = world.test_by_joins.at(joins);
+    for (size_t i = 0; i < std::min<size_t>(set.size(), 10); ++i) {
+      eval.push_back(set[i]);
+    }
+  }
+
+  std::printf("\n=== Figure 18: training dynamics vs number of samples ===\n");
+  std::printf("%8s %14s %12s %14s\n", "samples", "collect(s)", "train(s)",
+              "e2e eval(s)");
+  for (int n : sweep) {
+    if (n < 8) continue;
+    // Sample collection: re-label the n training queries from scratch
+    // (execution of the canonical plans; paper Sec. 7.3 observes this
+    // dominates training cost).
+    WallTimer collect_timer;
+    std::vector<wk::LabeledQuery> subset(world.train.begin(),
+                                         world.train.begin() + n);
+    for (auto& labeled : subset) {
+      labeled.true_cards.clear();
+      wk::LabelQuery(*world.database, &labeled);
+    }
+    const double collect_seconds = collect_timer.ElapsedSeconds();
+
+    WallTimer train_timer;
+    model::TreeModel teacher(world.encoder.get(), world.TeacherConfig());
+    model::TrainOptions topt;
+    topt.epochs = 12;
+    model::TrainTreeModel(&teacher, *world.database, subset, topt);
+    model::TreeModel student(world.encoder.get(), world.StudentConfig());
+    model::DistillOptions distill;
+    distill.hint_epochs = 8;
+    distill.predict_epochs = 24;
+    model::DistillTreeModel(&student, teacher, *world.database, subset, distill);
+    const double train_seconds = train_timer.ElapsedSeconds();
+
+    EstimatorEntry entry;
+    entry.name = "LPCE-I@" + std::to_string(n);
+    entry.estimator = std::make_unique<model::TreeModelEstimator>(
+        entry.name, &student, world.database.get());
+    const auto stats = RunWorkload(world, entry, eval);
+    double e2e = 0.0;
+    for (const auto& s : stats) e2e += s.TotalSeconds();
+
+    std::printf("%8d %14.2f %12.2f %14.3f\n", n, collect_seconds, train_seconds,
+                e2e);
+  }
+  std::printf("\n(paper: collection dominates and grows linearly; execution"
+              " time falls with diminishing returns)\n");
+}
+
+}  // namespace
+}  // namespace lpce::bench
+
+int main() {
+  lpce::bench::Run();
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Paper Figure 19: average model inference time for one cardinality
+// estimation — LPCE-T (LSTM large), LPCE-S (SRU large), LPCE-C (SRU small,
+// direct), LPCE-I (SRU small, distilled). Uses google-benchmark.
+//
+// Expected shape: SRU ~1.7x faster than LSTM at equal size; the compressed
+// models another ~1.8x faster (paper Sec. 7.3).
+#include <benchmark/benchmark.h>
+
+#include "bench_world.h"
+
+namespace lpce::bench {
+namespace {
+
+void EstimateOnce(benchmark::State& state, const model::TreeModel& tree_model) {
+  const World& world = GetWorld();
+  const auto& queries = world.test_by_joins.at(8);
+  model::TreeModelEstimator estimator("bench", &tree_model, world.database.get());
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& labeled = queries[i % queries.size()];
+    benchmark::DoNotOptimize(
+        estimator.EstimateSubset(labeled.query, labeled.query.AllRels()));
+    ++i;
+  }
+}
+
+void BM_LpceT(benchmark::State& state) { EstimateOnce(state, *GetWorld().lpce_t); }
+void BM_LpceS(benchmark::State& state) { EstimateOnce(state, *GetWorld().lpce_s); }
+void BM_LpceC(benchmark::State& state) { EstimateOnce(state, *GetWorld().lpce_c); }
+void BM_LpceI(benchmark::State& state) { EstimateOnce(state, *GetWorld().lpce_i); }
+
+BENCHMARK(BM_LpceT)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_LpceS)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_LpceC)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_LpceI)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace lpce::bench
+
+BENCHMARK_MAIN();

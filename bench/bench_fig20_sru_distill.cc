@@ -1,0 +1,57 @@
+// Paper Figure 20: effect of the SRU cell and knowledge distillation on
+// accuracy. LPCE-T (LSTM large) vs LPCE-S (SRU large): near-equal accuracy.
+// LPCE-C (small, direct) vs LPCE-I (small, distilled): distillation recovers
+// the accuracy the small model loses.
+#include <cstdio>
+
+#include "bench_world.h"
+#include "exec/executor.h"
+
+namespace lpce::bench {
+namespace {
+
+void RunSet(const World& world, int joins) {
+  struct Variant {
+    const char* name;
+    const model::TreeModel* tree_model;
+  };
+  const Variant variants[] = {
+      {"LPCE-T", world.lpce_t.get()},
+      {"LPCE-S", world.lpce_s.get()},
+      {"LPCE-C", world.lpce_c.get()},
+      {"LPCE-I", world.lpce_i.get()},
+  };
+  std::printf("\n--- Join-%s ---\n", joins == 6 ? "six" : "eight");
+  std::printf("%-8s %10s %10s %10s %10s %12s\n", "model", "p25", "median",
+              "p75", "p95", "mean");
+  for (const auto& variant : variants) {
+    model::TreeModelEstimator estimator(variant.name, variant.tree_model,
+                                        world.database.get());
+    std::vector<double> qerrors;
+    for (const auto& labeled : world.test_by_joins.at(joins)) {
+      const double est =
+          estimator.EstimateSubset(labeled.query, labeled.query.AllRels());
+      qerrors.push_back(
+          exec::QError(est, static_cast<double>(labeled.FinalCard())));
+    }
+    double mean = 0.0;
+    for (double q : qerrors) mean += q;
+    mean /= static_cast<double>(qerrors.size());
+    std::printf("%-8s %10.2f %10.2f %10.2f %10.2f %12.2f\n", variant.name,
+                Percentile(qerrors, 25), Percentile(qerrors, 50),
+                Percentile(qerrors, 75), Percentile(qerrors, 95), mean);
+  }
+}
+
+}  // namespace
+}  // namespace lpce::bench
+
+int main() {
+  const auto& world = lpce::bench::GetWorld();
+  std::printf("\n=== Figure 20: SRU + distillation accuracy ablation ===\n");
+  lpce::bench::RunSet(world, 6);
+  lpce::bench::RunSet(world, 8);
+  std::printf("\n(paper: LPCE-T ~= LPCE-S; LPCE-C clearly worse; LPCE-I"
+              " recovers LPCE-S accuracy at the small size)\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Microbenchmarks for the nn substrate: the matrix product, the two
+// recurrent cells (graph vs. inference fast path), and a full training step.
+// These quantify the two claims the library's design leans on: SRU needs
+// fewer matrix products than LSTM (paper Sec. 4.2), and the inference fast
+// path avoids the autograd graph entirely.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "nn/adam.h"
+#include "nn/cells.h"
+
+namespace lpce::nn {
+namespace {
+
+Matrix RandomMatrix(Rng* rng, size_t rows, size_t cols) {
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng->UniformDouble(-1.0, 1.0));
+  }
+  return m;
+}
+
+void BM_MatMul(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  Matrix a = RandomMatrix(&rng, dim, dim);
+  Matrix b = RandomMatrix(&rng, dim, dim);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.MatMul(b));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * dim * dim *
+                          dim);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(96)->Arg(256);
+
+void BM_SruStepFast(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  ParamStore store;
+  TreeSruCell cell(&store, "sru", dim, &rng);
+  Matrix x = RandomMatrix(&rng, 1, dim);
+  Matrix cl = RandomMatrix(&rng, 1, dim);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cell.Apply(x, &cl, nullptr));
+  }
+}
+BENCHMARK(BM_SruStepFast)->Arg(32)->Arg(96);
+
+void BM_LstmStepFast(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  Rng rng(3);
+  ParamStore store;
+  TreeLstmCell cell(&store, "lstm", dim, &rng);
+  Matrix x = RandomMatrix(&rng, 1, dim);
+  Matrix cl = RandomMatrix(&rng, 1, dim);
+  Matrix hl = RandomMatrix(&rng, 1, dim);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cell.Apply(x, &cl, &hl, nullptr, nullptr));
+  }
+}
+BENCHMARK(BM_LstmStepFast)->Arg(32)->Arg(96);
+
+void BM_SruStepGraph(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  Rng rng(4);
+  ParamStore store;
+  TreeSruCell cell(&store, "sru", dim, &rng);
+  Tensor x = MakeTensor(RandomMatrix(&rng, 1, dim));
+  Tensor cl = MakeTensor(RandomMatrix(&rng, 1, dim));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cell.Step(x, cl, nullptr));
+  }
+}
+BENCHMARK(BM_SruStepGraph)->Arg(32)->Arg(96);
+
+void BM_TrainStepChain(benchmark::State& state) {
+  // One forward+backward+Adam step through an 8-deep SRU chain — the inner
+  // loop of LPCE-I training.
+  const size_t dim = static_cast<size_t>(state.range(0));
+  Rng rng(5);
+  ParamStore store;
+  TreeSruCell cell(&store, "sru", dim, &rng);
+  Adam adam(&store, {.lr = 1e-3f});
+  std::vector<Tensor> inputs;
+  for (int i = 0; i < 8; ++i) {
+    inputs.push_back(MakeTensor(RandomMatrix(&rng, 1, dim)));
+  }
+  for (auto _ : state) {
+    Tensor c, h;
+    for (const Tensor& x : inputs) {
+      CellOutput out = cell.Step(x, c, nullptr);
+      c = out.c;
+      h = out.h;
+    }
+    Tensor loss = Sum(h);
+    Backward(loss);
+    adam.Step();
+  }
+}
+BENCHMARK(BM_TrainStepChain)->Arg(32)->Arg(96)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace lpce::nn
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Paper Sec. 6.2 overhead measurement: supporting re-optimization requires
+// materializing the outer side of nested-loop joins (a tuplestore in
+// PostgreSQL). The paper reports +1.2% execution time and +5.8% peak memory
+// over 500 IMDB queries. Our operator-at-a-time engine materializes
+// everything, so we measure the analogous quantity directly: the time to
+// copy each nested-loop outer input into a separate buffer and its size
+// relative to the peak intermediate, across the Join-six/eight workloads.
+#include <cstdio>
+
+#include "bench_world.h"
+#include "common/timer.h"
+
+namespace lpce::bench {
+namespace {
+
+void Run() {
+  const World& world = GetWorld();
+  auto lineup = MakeEstimatorLineup(world);
+  // Use the PostgreSQL baseline plans (most NL joins appear there).
+  eng::Engine engine(world.database.get(), opt::CostModel{});
+  opt::Planner planner(world.database.get(), opt::CostModel{});
+
+  double exec_seconds = 0.0;
+  double copy_seconds = 0.0;
+  size_t peak_bytes = 0;
+  size_t nl_bytes = 0;
+  int queries = 0;
+  int nl_joins = 0;
+  for (int joins : {6, 8}) {
+    for (const auto& labeled : world.test_by_joins.at(joins)) {
+      opt::PlanResult planned =
+          planner.Plan(labeled.query, lineup[0].estimator.get());
+      exec::Executor executor(world.database.get(), &labeled.query);
+      WallTimer exec_timer;
+      exec::Executor::RunResult run = executor.Run(planned.plan.get(), {});
+      exec_seconds += exec_timer.ElapsedSeconds();
+      peak_bytes = std::max(peak_bytes, executor.peak_intermediate_bytes());
+      ++queries;
+      // Simulate the forced tuplestore: copy each NL outer input.
+      std::vector<exec::PlanNode*> nodes;
+      exec::PostOrderPlan(planned.plan.get(), &nodes);
+      for (exec::PlanNode* node : nodes) {
+        if (node->op != exec::PhysOp::kNestLoopJoin) continue;
+        ++nl_joins;
+        auto it = run.finished.find(node->outer.get());
+        if (it == run.finished.end()) continue;
+        WallTimer copy_timer;
+        exec::RowSet copy = *it->second;  // deep copy = the tuplestore write
+        copy_seconds += copy_timer.ElapsedSeconds();
+        nl_bytes = std::max(nl_bytes, copy.ByteSize());
+      }
+    }
+  }
+
+  std::printf("\n=== Sec. 6.2: nested-loop materialization overhead ===\n");
+  std::printf("queries executed:                 %d\n", queries);
+  std::printf("nested-loop joins encountered:    %d\n", nl_joins);
+  std::printf("total execution time:             %.3f s\n", exec_seconds);
+  std::printf("added tuplestore copy time:       %.3f s (%.2f%%)\n", copy_seconds,
+              exec_seconds > 0 ? copy_seconds / exec_seconds * 100.0 : 0.0);
+  std::printf("peak intermediate size:           %.2f MB\n",
+              static_cast<double>(peak_bytes) / 1048576.0);
+  std::printf("largest NL outer tuplestore:      %.2f MB (%.2f%% of peak)\n",
+              static_cast<double>(nl_bytes) / 1048576.0,
+              peak_bytes > 0
+                  ? static_cast<double>(nl_bytes) / peak_bytes * 100.0
+                  : 0.0);
+  std::printf("\n(paper: +1.2%% execution time, +5.8%% peak memory — small,"
+              " because nested loop is only picked for tiny outer inputs)\n");
+}
+
+}  // namespace
+}  // namespace lpce::bench
+
+int main() {
+  lpce::bench::Run();
+  return 0;
+}

@@ -1,0 +1,210 @@
+// Interactive shell over the LPCE engine: type SQL COUNT(*) queries against
+// the synthetic IMDB-style database, switch estimators, EXPLAIN plans, and
+// watch re-optimization repair them.
+//
+//   ./build/examples/lpce_shell [scale]
+//
+// Commands:
+//   \help                      this text
+//   \tables                    list tables and row counts
+//   \estimator NAME            postgres | lpce | sample  (default: lpce)
+//   \reopt on|off              toggle mid-query re-optimization
+//   \explain SQL               plan + estimates without executing
+//   SQL                        execute and print count + time decomposition
+//   \quit
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "card/histogram_estimator.h"
+#include "card/sampling.h"
+#include "engine/engine.h"
+#include "lpce/estimators.h"
+#include "query/parser.h"
+#include "workload/workload.h"
+
+using namespace lpce;
+
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  \\help                 this text\n"
+      "  \\tables               list tables and row counts\n"
+      "  \\estimator NAME       postgres | lpce | sample\n"
+      "  \\reopt on|off         toggle mid-query re-optimization\n"
+      "  \\explain SQL          show the chosen plan without executing\n"
+      "  \\analyze SQL          execute and show per-operator actuals/times\n"
+      "  SQL                    SELECT COUNT(*) FROM ... WHERE ...\n"
+      "  \\quit                 exit\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.25;
+  std::printf("building synthetic IMDB-style database (scale %.2f)...\n", scale);
+  db::SynthImdbOptions db_opts;
+  db_opts.scale = scale;
+  auto database = db::BuildSynthImdb(db_opts);
+  stats::DatabaseStats stats(*database);
+  model::FeatureEncoder encoder(&database->catalog(), &stats);
+
+  std::printf("training LPCE-I + LPCE-R on 150 sample queries...\n");
+  wk::GeneratorOptions gen_opts;
+  gen_opts.seed = 7;
+  gen_opts.require_nonempty = true;
+  wk::QueryGenerator generator(database.get(), gen_opts);
+  auto train = generator.GenerateLabeled(150, 4, 7);
+  model::TreeModelConfig config;
+  config.feature_dim = encoder.dim();
+  config.dim = 32;
+  config.embed_hidden = 32;
+  config.out_hidden = 64;
+  config.log_max_card =
+      std::log1p(static_cast<double>(wk::MaxCardinality(train)));
+  model::TreeModel lpce_i(&encoder, config);
+  model::TrainOptions train_opts;
+  train_opts.epochs = 20;
+  model::TrainTreeModel(&lpce_i, *database, train, train_opts);
+  model::LpceR lpce_r(&encoder, config);
+  model::LpceRTrainOptions ropt;
+  ropt.pretrain.epochs = 10;
+  ropt.refine_epochs = 4;
+  ropt.pretrained_content = &lpce_i;
+  model::TrainLpceR(&lpce_r, *database, train, ropt);
+
+  card::HistogramEstimator postgres(&stats);
+  card::JoinSampleEstimator sample("sample", database.get(), 2000, 99);
+  model::TreeModelEstimator lpce("LPCE-I", &lpce_i, database.get());
+  model::LpceREstimator refiner(&lpce_r, database.get());
+
+  card::CardinalityEstimator* active = &lpce;
+  eng::Engine engine(database.get(), opt::CostModel{});
+  eng::RunConfig run_config;
+  run_config.enable_reopt = true;
+
+  PrintHelp();
+  std::string line;
+  std::printf("\nlpce> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    // Trim.
+    while (!line.empty() && std::isspace((unsigned char)line.back())) line.pop_back();
+    size_t start = 0;
+    while (start < line.size() && std::isspace((unsigned char)line[start])) ++start;
+    line = line.substr(start);
+    if (line.empty()) {
+      std::printf("lpce> ");
+      std::fflush(stdout);
+      continue;
+    }
+
+    if (line[0] == '\\') {
+      std::istringstream iss(line.substr(1));
+      std::string cmd;
+      iss >> cmd;
+      if (cmd == "quit" || cmd == "q") break;
+      if (cmd == "help") {
+        PrintHelp();
+      } else if (cmd == "tables") {
+        const db::Catalog& cat = database->catalog();
+        for (int32_t t = 0; t < cat.num_tables(); ++t) {
+          std::printf("  %-18s %8zu rows  (", cat.table(t).name.c_str(),
+                      database->table(t).num_rows());
+          for (size_t c = 0; c < cat.table(t).columns.size(); ++c) {
+            std::printf("%s%s", c > 0 ? ", " : "",
+                        cat.table(t).columns[c].name.c_str());
+          }
+          std::printf(")\n");
+        }
+      } else if (cmd == "estimator") {
+        std::string name;
+        iss >> name;
+        if (name == "postgres") {
+          active = &postgres;
+        } else if (name == "lpce") {
+          active = &lpce;
+        } else if (name == "sample") {
+          active = &sample;
+        } else {
+          std::printf("unknown estimator '%s' (postgres|lpce|sample)\n",
+                      name.c_str());
+        }
+        std::printf("active estimator: %s\n", active->name().c_str());
+      } else if (cmd == "reopt") {
+        std::string flag;
+        iss >> flag;
+        run_config.enable_reopt = (flag != "off");
+        std::printf("re-optimization %s\n",
+                    run_config.enable_reopt ? "on" : "off");
+      } else if (cmd == "analyze") {
+        std::string sql;
+        std::getline(iss, sql);
+        qry::Query query;
+        Status status = qry::ParseQuery(database->catalog(), sql, &query);
+        if (!status.ok()) {
+          std::printf("parse error: %s\n", status.ToString().c_str());
+        } else {
+          opt::Planner planner(database.get(), opt::CostModel{});
+          active->ResetObservations();
+          active->PrepareQuery(query);
+          opt::PlanResult planned = planner.Plan(query, active);
+          exec::Executor executor(database.get(), &query);
+          exec::RowSetPtr result = executor.Execute(planned.plan.get());
+          std::printf("%s", planned.plan
+                                ->ToString(database->catalog(), query)
+                                .c_str());
+          std::printf("COUNT(*) = %llu\n",
+                      static_cast<unsigned long long>(result->num_rows()));
+        }
+      } else if (cmd == "explain") {
+        std::string sql;
+        std::getline(iss, sql);
+        qry::Query query;
+        Status status = qry::ParseQuery(database->catalog(), sql, &query);
+        if (!status.ok()) {
+          std::printf("parse error: %s\n", status.ToString().c_str());
+        } else {
+          opt::Planner planner(database.get(), opt::CostModel{});
+          active->ResetObservations();
+          active->PrepareQuery(query);
+          opt::PlanResult planned = planner.Plan(query, active);
+          std::printf("%s", planned.plan
+                                ->ToString(database->catalog(), query)
+                                .c_str());
+          std::printf("(%zu cardinality estimates, %.2f ms inference, "
+                      "%.2f ms search)\n",
+                      planned.num_estimates, planned.inference_seconds * 1e3,
+                      planned.search_seconds * 1e3);
+        }
+      } else {
+        std::printf("unknown command \\%s\n", cmd.c_str());
+      }
+    } else {
+      qry::Query query;
+      Status status = qry::ParseQuery(database->catalog(), line, &query);
+      if (!status.ok()) {
+        std::printf("parse error: %s\n", status.ToString().c_str());
+      } else {
+        card::CardinalityEstimator* ref =
+            (active == &lpce && run_config.enable_reopt) ? &refiner : nullptr;
+        eng::RunStats run = engine.RunQuery(query, active, ref, run_config);
+        std::printf("COUNT(*) = %llu\n",
+                    static_cast<unsigned long long>(run.result_count));
+        std::printf("%.2f ms total  (plan %.2f, inference %.2f, reopt %.2f, "
+                    "execution %.2f); %d re-optimization(s)\n",
+                    run.TotalSeconds() * 1e3, run.plan_seconds * 1e3,
+                    run.inference_seconds * 1e3, run.reopt_seconds * 1e3,
+                    run.exec_seconds * 1e3, run.num_reopts);
+      }
+    }
+    std::printf("lpce> ");
+    std::fflush(stdout);
+  }
+  std::printf("\nbye\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Model lifecycle: train LPCE-I and LPCE-R, save them to disk, reload into
+// fresh models, and verify predictions survive the round trip. This is the
+// deployment story: train offline, ship the parameter files, load in the
+// serving database process.
+//
+//   ./build/examples/train_and_save [output_dir]
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "lpce/estimators.h"
+#include "lpce/lpce_r.h"
+#include "workload/workload.h"
+
+using namespace lpce;
+
+int main(int argc, char** argv) {
+  const std::string out_dir = argc > 1 ? argv[1] : "/tmp/lpce_models";
+  std::filesystem::create_directories(out_dir);
+
+  db::SynthImdbOptions db_opts;
+  db_opts.scale = 0.15;
+  auto database = db::BuildSynthImdb(db_opts);
+  stats::DatabaseStats stats(*database);
+  model::FeatureEncoder encoder(&database->catalog(), &stats);
+
+  wk::GeneratorOptions gen_opts;
+  wk::QueryGenerator generator(database.get(), gen_opts);
+  auto train = generator.GenerateLabeled(100, 3, 6);
+  const double log_max =
+      std::log1p(static_cast<double>(wk::MaxCardinality(train)));
+
+  model::TreeModelConfig config;
+  config.feature_dim = encoder.dim();
+  config.dim = 24;
+  config.embed_hidden = 24;
+  config.out_hidden = 48;
+  config.log_max_card = log_max;
+
+  // Train.
+  model::TreeModel lpce_i(&encoder, config);
+  model::TrainOptions topt;
+  topt.epochs = 8;
+  model::TrainTreeModel(&lpce_i, *database, train, topt);
+  model::LpceR lpce_r(&encoder, config);
+  model::LpceRTrainOptions ropt;
+  ropt.pretrain.epochs = 6;
+  ropt.refine_epochs = 3;
+  ropt.pretrained_content = &lpce_i;
+  model::TrainLpceR(&lpce_r, *database, train, ropt);
+
+  // Save.
+  LPCE_CHECK(lpce_i.params().SaveToFile(out_dir + "/lpce_i.bin").ok());
+  LPCE_CHECK(lpce_r.Save(out_dir + "/lpce_r").ok());
+  std::printf("saved models under %s\n", out_dir.c_str());
+
+  // Reload into freshly-initialized models and compare predictions.
+  model::TreeModelConfig fresh = config;
+  fresh.seed = 777;
+  model::TreeModel loaded_i(&encoder, fresh);
+  LPCE_CHECK(loaded_i.params().LoadFromFile(out_dir + "/lpce_i.bin").ok());
+  model::LpceR loaded_r(&encoder, fresh);
+  LPCE_CHECK(loaded_r.Load(out_dir + "/lpce_r").ok());
+
+  int checked = 0;
+  double max_diff = 0.0;
+  for (const auto& labeled : train) {
+    if (++checked > 10) break;
+    auto logical =
+        qry::BuildCanonicalTree(labeled.query, labeled.query.AllRels());
+    auto tree =
+        model::MakeEstTree(labeled.query, logical.get(), *database, nullptr);
+    const double a = lpce_i.PredictCardFast(labeled.query, tree.get());
+    const double b = loaded_i.PredictCardFast(labeled.query, tree.get());
+    max_diff = std::max(max_diff, std::fabs(a - b) / std::max(1.0, a));
+  }
+  std::printf("round-trip check over %d queries: max relative difference"
+              " %.2e %s\n",
+              checked - 1, max_diff, max_diff < 1e-4 ? "(OK)" : "(MISMATCH!)");
+  return max_diff < 1e-4 ? 0 : 1;
+}

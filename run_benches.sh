@@ -1,0 +1,10 @@
+#!/bin/sh
+# Runs every bench binary in sequence (the cached world must exist or the
+# first binary will build it). Usage: ./run_benches.sh [output-file]
+out="${1:-bench_output.txt}"
+: > "$out"
+for b in build/bench/bench_*; do
+  [ -x "$b" ] || continue
+  echo "==== $b ====" | tee -a "$out"
+  "$b" 2>/dev/null | tee -a "$out"
+done

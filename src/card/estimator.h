@@ -1,0 +1,104 @@
+// The cardinality-estimator interface consumed by the optimizer, plus the
+// observation hooks that progressive refinement (LPCE-R) implements.
+#ifndef LPCE_CARD_ESTIMATOR_H_
+#define LPCE_CARD_ESTIMATOR_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "query/query.h"
+
+namespace lpce::card {
+
+/// Estimates the COUNT(*) cardinality of connected table subsets of a query.
+///
+/// The planner calls PrepareQuery once per query, then EstimateSubset for
+/// each connected subset it enumerates (memoized by the planner's estimation
+/// pool, paper Sec. 6.1). During execution the re-optimization controller
+/// feeds actual cardinalities of finished sub-plans through ObserveActual;
+/// refinable estimators (LPCE-R) use them to improve later estimates.
+class CardinalityEstimator {
+ public:
+  virtual ~CardinalityEstimator() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Called once before planning each query; may batch-precompute.
+  virtual void PrepareQuery(const qry::Query& query) { (void)query; }
+
+  /// Cardinality estimate (>= 0) for the connected subset `rels`.
+  virtual double EstimateSubset(const qry::Query& query, qry::RelSet rels) = 0;
+
+  /// Reports that the sub-plan covering `rels` finished with `actual` rows.
+  virtual void ObserveActual(const qry::Query& query, qry::RelSet rels,
+                             double actual) {
+    (void)query;
+    (void)rels;
+    (void)actual;
+  }
+
+  /// Clears per-query observation state.
+  virtual void ResetObservations() {}
+
+  /// True when ObserveActual actually refines subsequent estimates.
+  virtual bool SupportsRefinement() const { return false; }
+};
+
+/// Decorator that pins observed subsets to their exact cardinalities and
+/// delegates everything else. Used by the re-optimization controller so that
+/// *every* estimator benefits from the known cardinalities of materialized
+/// intermediates (the refinement models additionally adjust the unseen
+/// supersets).
+class ObservedOverlay : public CardinalityEstimator {
+ public:
+  explicit ObservedOverlay(CardinalityEstimator* base) : base_(base) {}
+
+  std::string name() const override { return base_->name(); }
+  void PrepareQuery(const qry::Query& query) override { base_->PrepareQuery(query); }
+
+  double EstimateSubset(const qry::Query& query, qry::RelSet rels) override {
+    auto it = observed_.find(rels);
+    if (it != observed_.end()) return it->second;
+    return base_->EstimateSubset(query, rels);
+  }
+
+  void ObserveActual(const qry::Query& query, qry::RelSet rels,
+                     double actual) override {
+    observed_[rels] = actual;
+    base_->ObserveActual(query, rels, actual);
+  }
+
+  void ResetObservations() override {
+    observed_.clear();
+    base_->ResetObservations();
+  }
+
+  bool SupportsRefinement() const override { return base_->SupportsRefinement(); }
+
+ private:
+  CardinalityEstimator* base_;
+  std::unordered_map<qry::RelSet, double> observed_;
+};
+
+/// Oracle that returns true cardinalities from a precomputed map (testing
+/// and upper-bound experiments). Missing subsets fall back to 1.
+class OracleEstimator : public CardinalityEstimator {
+ public:
+  explicit OracleEstimator(std::unordered_map<qry::RelSet, double> truth)
+      : truth_(std::move(truth)) {}
+
+  std::string name() const override { return "Oracle"; }
+
+  double EstimateSubset(const qry::Query& query, qry::RelSet rels) override {
+    (void)query;
+    auto it = truth_.find(rels);
+    return it == truth_.end() ? 1.0 : it->second;
+  }
+
+ private:
+  std::unordered_map<qry::RelSet, double> truth_;
+};
+
+}  // namespace lpce::card
+
+#endif  // LPCE_CARD_ESTIMATOR_H_

@@ -1,0 +1,33 @@
+#include "card/histogram_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lpce::card {
+
+double HistogramEstimator::EstimateScan(const qry::Query& query,
+                                        int table_pos) const {
+  const int32_t table_id = query.tables[table_pos];
+  double card = static_cast<double>(stats_->table_rows(table_id));
+  for (const auto& pred : query.PredicatesOf(table_pos)) {
+    card *= stats_->column(pred.col).Selectivity(pred.op, pred.value);
+  }
+  return std::max(card, 0.0);
+}
+
+double HistogramEstimator::EstimateSubset(const qry::Query& query,
+                                          qry::RelSet rels) {
+  double card = 1.0;
+  for (int pos = 0; pos < query.num_tables(); ++pos) {
+    if (qry::Contains(rels, pos)) card *= std::max(EstimateScan(query, pos), 1e-6);
+  }
+  for (int join_idx : query.JoinsWithin(rels)) {
+    const qry::Join& join = query.joins[join_idx];
+    const double nd_left = stats_->column(join.left).n_distinct;
+    const double nd_right = stats_->column(join.right).n_distinct;
+    card /= std::max(1.0, std::max(nd_left, nd_right));
+  }
+  return std::max(card, 0.0);
+}
+
+}  // namespace lpce::card

@@ -1,0 +1,36 @@
+// The PostgreSQL-style baseline estimator: per-column histograms + MCVs with
+// attribute-independence and join-uniformity assumptions. This plays the
+// role of vanilla PostgreSQL in every end-to-end comparison (paper Eq. 9's
+// T_postgres side).
+#ifndef LPCE_CARD_HISTOGRAM_ESTIMATOR_H_
+#define LPCE_CARD_HISTOGRAM_ESTIMATOR_H_
+
+#include <string>
+
+#include "card/estimator.h"
+#include "stats/column_stats.h"
+
+namespace lpce::card {
+
+class HistogramEstimator : public CardinalityEstimator {
+ public:
+  explicit HistogramEstimator(const stats::DatabaseStats* stats) : stats_(stats) {}
+
+  std::string name() const override { return "PostgreSQL"; }
+
+  /// Selection: |T| * prod(pred selectivities).  Join: the textbook
+  /// |A><B| = |A|*|B| / max(nd(a), nd(b)) applied per join edge inside the
+  /// subset — exactly the independence/uniformity assumptions whose failure
+  /// on correlated data motivates learned estimators.
+  double EstimateSubset(const qry::Query& query, qry::RelSet rels) override;
+
+  /// Estimated output rows of a filtered base-table scan.
+  double EstimateScan(const qry::Query& query, int table_pos) const;
+
+ private:
+  const stats::DatabaseStats* stats_;
+};
+
+}  // namespace lpce::card
+
+#endif  // LPCE_CARD_HISTOGRAM_ESTIMATOR_H_

@@ -1,0 +1,211 @@
+#include "card/mscn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace lpce::card {
+
+MscnModel::MscnModel(const db::Catalog* catalog,
+                     const model::FeatureEncoder* encoder, MscnConfig config)
+    : catalog_(catalog), encoder_(encoder), config_(config) {
+  Rng rng(config_.seed);
+  const size_t h = static_cast<size_t>(config_.hidden);
+  const size_t n_cols = static_cast<size_t>(catalog_->TotalColumns());
+  const size_t n_tables = static_cast<size_t>(catalog_->num_tables());
+  const size_t pred_dim = n_cols + qry::kNumCmpOps + 1;
+  table_mlp_ = nn::Mlp2(&params_, "tables", n_tables, h, h, &rng);
+  join_mlp_ = nn::Mlp2(&params_, "joins", n_cols, h, h, &rng);
+  pred_mlp_ = nn::Mlp2(&params_, "preds", pred_dim, h, h, &rng);
+  out_mlp_ = nn::Mlp2(&params_, "out",
+                      3 * h + static_cast<size_t>(config_.extra_inputs), h, 1, &rng);
+}
+
+double MscnModel::CardToY(double card) const {
+  return std::clamp(std::log1p(std::max(0.0, card)) / config_.log_max_card, 0.0,
+                    1.0);
+}
+
+double MscnModel::YToCard(double y) const {
+  return std::expm1(std::clamp(y, 0.0, 1.0) * config_.log_max_card);
+}
+
+namespace {
+
+/// Mean-pools a set of element tensors (all 1 x h); `fallback_dim` gives the
+/// width when the set is empty.
+nn::Tensor MeanPool(const std::vector<nn::Tensor>& elements, size_t fallback_dim) {
+  if (elements.empty()) return nn::MakeTensor(nn::Matrix(1, fallback_dim, 0.0f));
+  nn::Tensor acc = elements[0];
+  for (size_t i = 1; i < elements.size(); ++i) acc = nn::Add(acc, elements[i]);
+  return nn::Scale(acc, 1.0f / static_cast<float>(elements.size()));
+}
+
+}  // namespace
+
+nn::Tensor MscnModel::Forward(const qry::Query& query, qry::RelSet rels,
+                              const std::vector<float>& extra) const {
+  LPCE_CHECK(static_cast<int>(extra.size()) == config_.extra_inputs);
+  const size_t h = static_cast<size_t>(config_.hidden);
+  const size_t n_cols = static_cast<size_t>(catalog_->TotalColumns());
+  const size_t n_tables = static_cast<size_t>(catalog_->num_tables());
+
+  std::vector<nn::Tensor> table_embs, join_embs, pred_embs;
+  for (int pos = 0; pos < query.num_tables(); ++pos) {
+    if (!qry::Contains(rels, pos)) continue;
+    nn::Matrix one_hot(1, n_tables, 0.0f);
+    one_hot.at(0, static_cast<size_t>(query.tables[pos])) = 1.0f;
+    table_embs.push_back(table_mlp_.Forward(nn::MakeTensor(std::move(one_hot)),
+                                            nn::Mlp2::Activation::kRelu,
+                                            nn::Mlp2::Activation::kRelu));
+    for (const auto& pred : query.PredicatesOf(pos)) {
+      nn::Matrix feat(1, n_cols + qry::kNumCmpOps + 1, 0.0f);
+      feat.at(0, static_cast<size_t>(catalog_->GlobalColumnId(pred.col))) = 1.0f;
+      feat.at(0, n_cols + static_cast<size_t>(pred.op)) = 1.0f;
+      feat.at(0, n_cols + qry::kNumCmpOps) =
+          encoder_->NormalizeOperand(pred.col, pred.value);
+      pred_embs.push_back(pred_mlp_.Forward(nn::MakeTensor(std::move(feat)),
+                                            nn::Mlp2::Activation::kRelu,
+                                            nn::Mlp2::Activation::kRelu));
+    }
+  }
+  for (int join_idx : query.JoinsWithin(rels)) {
+    const qry::Join& join = query.joins[join_idx];
+    nn::Matrix two_hot(1, n_cols, 0.0f);
+    two_hot.at(0, static_cast<size_t>(catalog_->GlobalColumnId(join.left))) = 1.0f;
+    two_hot.at(0, static_cast<size_t>(catalog_->GlobalColumnId(join.right))) = 1.0f;
+    join_embs.push_back(join_mlp_.Forward(nn::MakeTensor(std::move(two_hot)),
+                                          nn::Mlp2::Activation::kRelu,
+                                          nn::Mlp2::Activation::kRelu));
+  }
+
+  nn::Tensor pooled = nn::ConcatCols(
+      nn::ConcatCols(MeanPool(table_embs, h), MeanPool(join_embs, h)),
+      MeanPool(pred_embs, h));
+  if (config_.extra_inputs > 0) {
+    nn::Matrix extra_mat(1, extra.size());
+    for (size_t i = 0; i < extra.size(); ++i) extra_mat.at(0, i) = extra[i];
+    pooled = nn::ConcatCols(pooled, nn::MakeTensor(std::move(extra_mat)));
+  }
+  return nn::Sigmoid(out_mlp_.ForwardLogit(pooled));
+}
+
+double MscnModel::PredictCard(const qry::Query& query, qry::RelSet rels,
+                              const std::vector<float>& extra) const {
+  LPCE_CHECK(static_cast<int>(extra.size()) == config_.extra_inputs);
+  const size_t h = static_cast<size_t>(config_.hidden);
+  const size_t n_cols = static_cast<size_t>(catalog_->TotalColumns());
+  const size_t n_tables = static_cast<size_t>(catalog_->num_tables());
+
+  nn::Matrix table_pool(1, h, 0.0f), join_pool(1, h, 0.0f), pred_pool(1, h, 0.0f);
+  size_t n_table = 0, n_join = 0, n_pred = 0;
+  for (int pos = 0; pos < query.num_tables(); ++pos) {
+    if (!qry::Contains(rels, pos)) continue;
+    nn::Matrix one_hot(1, n_tables, 0.0f);
+    one_hot.at(0, static_cast<size_t>(query.tables[pos])) = 1.0f;
+    table_pool.AddInPlace(table_mlp_.Apply(one_hot, nn::Mlp2::Activation::kRelu,
+                                           nn::Mlp2::Activation::kRelu));
+    ++n_table;
+    for (const auto& pred : query.PredicatesOf(pos)) {
+      nn::Matrix feat(1, n_cols + qry::kNumCmpOps + 1, 0.0f);
+      feat.at(0, static_cast<size_t>(catalog_->GlobalColumnId(pred.col))) = 1.0f;
+      feat.at(0, n_cols + static_cast<size_t>(pred.op)) = 1.0f;
+      feat.at(0, n_cols + qry::kNumCmpOps) =
+          encoder_->NormalizeOperand(pred.col, pred.value);
+      pred_pool.AddInPlace(pred_mlp_.Apply(feat, nn::Mlp2::Activation::kRelu,
+                                           nn::Mlp2::Activation::kRelu));
+      ++n_pred;
+    }
+  }
+  for (int join_idx : query.JoinsWithin(rels)) {
+    const qry::Join& join = query.joins[join_idx];
+    nn::Matrix two_hot(1, n_cols, 0.0f);
+    two_hot.at(0, static_cast<size_t>(catalog_->GlobalColumnId(join.left))) = 1.0f;
+    two_hot.at(0, static_cast<size_t>(catalog_->GlobalColumnId(join.right))) = 1.0f;
+    join_pool.AddInPlace(join_mlp_.Apply(two_hot, nn::Mlp2::Activation::kRelu,
+                                         nn::Mlp2::Activation::kRelu));
+    ++n_join;
+  }
+
+  nn::Matrix pooled(1, 3 * h + static_cast<size_t>(config_.extra_inputs), 0.0f);
+  for (size_t j = 0; j < h; ++j) {
+    if (n_table > 0) pooled.at(0, j) = table_pool.at(0, j) / n_table;
+    if (n_join > 0) pooled.at(0, h + j) = join_pool.at(0, j) / n_join;
+    if (n_pred > 0) pooled.at(0, 2 * h + j) = pred_pool.at(0, j) / n_pred;
+  }
+  for (size_t i = 0; i < extra.size(); ++i) pooled.at(0, 3 * h + i) = extra[i];
+  nn::Matrix y = out_mlp_.Apply(pooled, nn::Mlp2::Activation::kRelu,
+                                nn::Mlp2::Activation::kSigmoid);
+  return YToCard(static_cast<double>(y.at(0, 0)));
+}
+
+double TrainMscn(MscnModel* model, const std::vector<wk::LabeledQuery>& train,
+                 const MscnTrainOptions& options) {
+  struct Sample {
+    const qry::Query* query;
+    qry::RelSet rels;
+    double card;
+    std::vector<float> extra;
+  };
+  std::vector<Sample> samples;
+  for (const auto& labeled : train) {
+    for (const auto& [rels, card] : labeled.true_cards) {
+      Sample s;
+      s.query = &labeled.query;
+      s.rels = rels;
+      s.card = static_cast<double>(card);
+      if (options.extra_fn) s.extra = options.extra_fn(labeled.query, rels);
+      samples.push_back(std::move(s));
+    }
+  }
+
+  // Flow-Loss weighting: normalize weights to mean 1 so the lr transfers.
+  std::vector<float> weights(samples.size(), 1.0f);
+  if (options.cost_weighted) {
+    double total = 0.0;
+    for (size_t i = 0; i < samples.size(); ++i) {
+      weights[i] = static_cast<float>(1.0 + std::log1p(samples[i].card));
+      total += weights[i];
+    }
+    const float norm = static_cast<float>(samples.size() / std::max(total, 1e-9));
+    for (auto& w : weights) w *= norm;
+  }
+
+  nn::Adam adam(&model->params(), {.lr = options.lr});
+  Rng rng(options.seed);
+  std::vector<size_t> order(samples.size());
+  std::iota(order.begin(), order.end(), 0);
+  double last_loss = 0.0;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double epoch_loss = 0.0;
+    int batch_count = 0;
+    for (size_t idx : order) {
+      const Sample& s = samples[idx];
+      nn::Tensor y = model->Forward(*s.query, s.rels, s.extra);
+      nn::Matrix target(1, 1);
+      target.at(0, 0) = static_cast<float>(model->CardToY(s.card));
+      nn::Tensor loss =
+          nn::Scale(nn::Abs(nn::Sub(y, nn::MakeTensor(target))), weights[idx]);
+      nn::Backward(loss);
+      epoch_loss += loss->value().at(0, 0);
+      if (++batch_count >= options.batch_size) {
+        model->params().ScaleGrads(1.0f / static_cast<float>(batch_count));
+        model->params().ClipGradNorm(options.grad_clip);
+        adam.Step();
+        batch_count = 0;
+      }
+    }
+    if (batch_count > 0) {
+      model->params().ScaleGrads(1.0f / static_cast<float>(batch_count));
+      adam.Step();
+    }
+    last_loss = samples.empty() ? 0.0 : epoch_loss / samples.size();
+    LPCE_LOG(Debug) << "mscn epoch " << epoch << " loss " << last_loss;
+  }
+  return last_loss;
+}
+
+}  // namespace lpce::card

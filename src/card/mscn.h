@@ -1,0 +1,109 @@
+// MSCN baseline (Kipf et al., CIDR'19): a multi-set convolutional network.
+//
+// A (sub-)query is three sets — tables, joins, predicates. Each element is
+// embedded by a per-set MLP, sets are mean-pooled, the pooled vectors are
+// concatenated and mapped to a normalized log-cardinality. No tree
+// structure is used, which is MSCN's accuracy weakness on deep plans
+// (paper Sec. 4.1).
+//
+// The same class implements the Flow-Loss baseline (Marcus et al., VLDB'21)
+// via a cost-weighted training loss: estimation errors on sub-plans with
+// larger (true) intermediate results — the ones that dominate plan cost —
+// are weighted more heavily. See DESIGN.md, substitution 6.
+//
+// The optional `extra_input` channel feeds side information into the final
+// MLP; the UAE-style hybrid estimator passes a sampling-based estimate
+// through it (DESIGN.md, substitution 5).
+#ifndef LPCE_CARD_MSCN_H_
+#define LPCE_CARD_MSCN_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "card/estimator.h"
+#include "lpce/feature.h"
+#include "nn/adam.h"
+#include "nn/cells.h"
+#include "workload/workload.h"
+
+namespace lpce::card {
+
+struct MscnConfig {
+  int hidden = 64;
+  double log_max_card = 20.0;
+  uint64_t seed = 9;
+  int extra_inputs = 0;  // appended to the pooled representation
+};
+
+class MscnModel {
+ public:
+  MscnModel(const db::Catalog* catalog, const model::FeatureEncoder* encoder,
+            MscnConfig config);
+
+  MscnModel(const MscnModel&) = delete;
+  MscnModel& operator=(const MscnModel&) = delete;
+
+  /// Forward pass for the sub-query over `rels`; `extra` (may be empty)
+  /// must have config.extra_inputs entries.
+  nn::Tensor Forward(const qry::Query& query, qry::RelSet rels,
+                     const std::vector<float>& extra = {}) const;
+
+  /// Inference fast path (no autograd graph).
+  double PredictCard(const qry::Query& query, qry::RelSet rels,
+                     const std::vector<float>& extra = {}) const;
+
+  double CardToY(double card) const;
+  double YToCard(double y) const;
+
+  nn::ParamStore& params() { return params_; }
+  const MscnConfig& config() const { return config_; }
+
+ private:
+  const db::Catalog* catalog_;
+  const model::FeatureEncoder* encoder_;
+  MscnConfig config_;
+  nn::ParamStore params_;
+  nn::Mlp2 table_mlp_;
+  nn::Mlp2 join_mlp_;
+  nn::Mlp2 pred_mlp_;
+  nn::Mlp2 out_mlp_;
+};
+
+struct MscnTrainOptions {
+  int epochs = 10;
+  float lr = 1e-3f;
+  int batch_size = 64;
+  float grad_clip = 5.0f;
+  uint64_t seed = 99;
+  /// Flow-Loss style weighting: per-sample weight grows with the sub-plan's
+  /// true cardinality (its impact on plan cost).
+  bool cost_weighted = false;
+  /// Supplies the extra input for each (query, rels) training sample when
+  /// the model has extra_inputs > 0 (the hybrid estimator's sampler).
+  std::function<std::vector<float>(const qry::Query&, qry::RelSet)> extra_fn;
+};
+
+/// Trains on every labeled subset of every training query.
+double TrainMscn(MscnModel* model, const std::vector<wk::LabeledQuery>& train,
+                 const MscnTrainOptions& options);
+
+class MscnEstimator : public CardinalityEstimator {
+ public:
+  MscnEstimator(std::string name, const MscnModel* model)
+      : name_(std::move(name)), model_(model) {}
+
+  std::string name() const override { return name_; }
+  double EstimateSubset(const qry::Query& query, qry::RelSet rels) override {
+    return model_->PredictCard(query, rels);
+  }
+
+ private:
+  std::string name_;
+  const MscnModel* model_;
+};
+
+}  // namespace lpce::card
+
+#endif  // LPCE_CARD_MSCN_H_

@@ -1,0 +1,119 @@
+#include "card/sampling.h"
+
+#include <algorithm>
+
+namespace lpce::card {
+
+namespace {
+
+/// Per-hop wiring of a walk: attach `table_pos` by matching `new_side` (a
+/// column of table_pos) against `old_side` (a column of an earlier table).
+struct Hop {
+  int table_pos;
+  db::ColRef new_side;
+  db::ColRef old_side;
+};
+
+/// Greedy connected ordering of the subset (mirrors BuildCanonicalTree).
+std::vector<Hop> BuildHops(const qry::Query& query, qry::RelSet rels,
+                           int* first_pos) {
+  *first_pos = __builtin_ctz(rels);
+  qry::RelSet covered = qry::Bit(*first_pos);
+  std::vector<Hop> hops;
+  while (covered != rels) {
+    bool attached = false;
+    for (int pos = 0; pos < query.num_tables(); ++pos) {
+      if (!qry::Contains(rels, pos) || qry::Contains(covered, pos)) continue;
+      const auto joins = query.JoinsBetween(covered, qry::Bit(pos));
+      if (joins.empty()) continue;
+      const qry::Join& join = query.joins[joins[0]];
+      Hop hop;
+      hop.table_pos = pos;
+      if (join.left.table == query.tables[pos]) {
+        hop.new_side = join.left;
+        hop.old_side = join.right;
+      } else {
+        hop.new_side = join.right;
+        hop.old_side = join.left;
+      }
+      hops.push_back(hop);
+      covered |= qry::Bit(pos);
+      attached = true;
+      break;
+    }
+    LPCE_CHECK_MSG(attached, "walk subset must be connected");
+  }
+  return hops;
+}
+
+bool PassesPredicates(const db::Table& table,
+                      const std::vector<qry::Predicate>& preds, uint32_t row) {
+  for (const auto& pred : preds) {
+    if (!qry::EvalCmp(table.at(row, pred.col.column), pred.op, pred.value)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+double JoinSampleEstimator::EstimateSubset(const qry::Query& query,
+                                           qry::RelSet rels) {
+  int first_pos = 0;
+  const std::vector<Hop> hops = BuildHops(query, rels, &first_pos);
+
+  // Cache per-table predicate lists for the walk loop.
+  std::vector<std::vector<qry::Predicate>> preds(query.num_tables());
+  for (int pos = 0; pos < query.num_tables(); ++pos) {
+    if (qry::Contains(rels, pos)) preds[pos] = query.PredicatesOf(pos);
+  }
+
+  const db::Table& first_table = db_->table(query.tables[first_pos]);
+  if (first_table.num_rows() == 0) return 0.0;
+
+  std::vector<uint32_t> assignment(query.num_tables(), 0);
+  double total = 0.0;
+  for (int w = 0; w < walks_; ++w) {
+    const uint32_t row0 =
+        static_cast<uint32_t>(rng_.Uniform(first_table.num_rows()));
+    if (!PassesPredicates(first_table, preds[first_pos], row0)) continue;
+    double weight = static_cast<double>(first_table.num_rows());
+    assignment[first_pos] = row0;
+    bool dead = false;
+    for (const Hop& hop : hops) {
+      const db::Table& old_table = db_->table(hop.old_side.table);
+      const int old_pos = query.PositionOf(hop.old_side.table);
+      const int64_t value = old_table.at(assignment[old_pos],
+                                         hop.old_side.column);
+      const auto& matches = db_->hash_index(hop.new_side).Lookup(value);
+      const db::Table& new_table = db_->table(query.tables[hop.table_pos]);
+      // Reservoir-pick a uniform passing match while counting them.
+      size_t passing = 0;
+      uint32_t chosen = 0;
+      for (uint32_t row : matches) {
+        if (!PassesPredicates(new_table, preds[hop.table_pos], row)) continue;
+        ++passing;
+        if (rng_.Uniform(passing) == 0) chosen = row;
+      }
+      if (passing == 0) {
+        dead = true;
+        break;
+      }
+      weight *= static_cast<double>(passing);
+      assignment[hop.table_pos] = chosen;
+    }
+    if (!dead) total += weight;
+  }
+  return total / static_cast<double>(walks_);
+}
+
+double HybridSampleEstimator::EstimateSubset(const qry::Query& query,
+                                             qry::RelSet rels) {
+  const double sample_est = sampler_->EstimateSubset(query, rels);
+  const std::vector<float> extra = {
+      static_cast<float>(correction_->CardToY(sample_est))};
+  return correction_->PredictCard(query, rels, extra);
+}
+
+}  // namespace lpce::card

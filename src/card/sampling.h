@@ -1,0 +1,64 @@
+// Sampling-based data-driven estimators.
+//
+// JoinSampleEstimator performs Wander-Join-style random walks over the
+// database's hash indexes: unbiased, near-exact with enough walks, but each
+// estimate costs milliseconds of data access — the accuracy/latency profile
+// of the paper's data-driven baselines (DeepDB, NeuroCard, FLAT). The walk
+// budget is the accuracy/latency knob; the benches register one instance per
+// baseline (see DESIGN.md, substitution 4).
+//
+// HybridSampleEstimator (the UAE stand-in, substitution 5) combines a small
+// walk budget with a learned MSCN-style correction network that takes the
+// sample estimate as an extra input — learning from both data and queries.
+#ifndef LPCE_CARD_SAMPLING_H_
+#define LPCE_CARD_SAMPLING_H_
+
+#include <memory>
+#include <string>
+
+#include "card/estimator.h"
+#include "card/mscn.h"
+#include "common/rng.h"
+#include "storage/database.h"
+
+namespace lpce::card {
+
+class JoinSampleEstimator : public CardinalityEstimator {
+ public:
+  JoinSampleEstimator(std::string name, const db::Database* database, int walks,
+                      uint64_t seed)
+      : name_(std::move(name)), db_(database), walks_(walks), rng_(seed) {}
+
+  std::string name() const override { return name_; }
+  double EstimateSubset(const qry::Query& query, qry::RelSet rels) override;
+
+  int walks() const { return walks_; }
+
+ private:
+  std::string name_;
+  const db::Database* db_;
+  int walks_;
+  Rng rng_;
+};
+
+class HybridSampleEstimator : public CardinalityEstimator {
+ public:
+  /// `sampler` supplies the data signal (small walk budget); `correction`
+  /// must have extra_inputs == 1 and be trained with the sampler's estimate
+  /// as the extra feature.
+  HybridSampleEstimator(std::string name, JoinSampleEstimator* sampler,
+                        const MscnModel* correction)
+      : name_(std::move(name)), sampler_(sampler), correction_(correction) {}
+
+  std::string name() const override { return name_; }
+  double EstimateSubset(const qry::Query& query, qry::RelSet rels) override;
+
+ private:
+  std::string name_;
+  JoinSampleEstimator* sampler_;
+  const MscnModel* correction_;
+};
+
+}  // namespace lpce::card
+
+#endif  // LPCE_CARD_SAMPLING_H_

@@ -1,0 +1,45 @@
+// Checked assertion macros used across the library.
+//
+// LPCE_CHECK is always on (including release builds) and is used to guard
+// programmer-error invariants; violating one aborts with a diagnostic.
+// LPCE_DCHECK compiles away in release builds (-DNDEBUG).
+#ifndef LPCE_COMMON_CHECK_H_
+#define LPCE_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lpce::internal {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "LPCE_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] != '\0' ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace lpce::internal
+
+#define LPCE_CHECK(cond)                                              \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::lpce::internal::CheckFailed(#cond, __FILE__, __LINE__, "");   \
+    }                                                                 \
+  } while (0)
+
+#define LPCE_CHECK_MSG(cond, msg)                                     \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::lpce::internal::CheckFailed(#cond, __FILE__, __LINE__, msg);  \
+    }                                                                 \
+  } while (0)
+
+#ifdef NDEBUG
+#define LPCE_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define LPCE_DCHECK(cond) LPCE_CHECK(cond)
+#endif
+
+#endif  // LPCE_COMMON_CHECK_H_

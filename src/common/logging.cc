@@ -1,0 +1,10 @@
+#include "common/logging.h"
+
+namespace lpce {
+
+LogLevel& GlobalLogLevel() {
+  static LogLevel level = LogLevel::kInfo;
+  return level;
+}
+
+}  // namespace lpce

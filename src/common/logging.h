@@ -1,0 +1,70 @@
+// Minimal leveled logging to stderr.
+//
+// Usage: LPCE_LOG(INFO) << "trained " << n << " epochs";
+// The global level can be raised to silence benches/tests.
+#ifndef LPCE_COMMON_LOGGING_H_
+#define LPCE_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace lpce {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Returns the mutable global minimum level; messages below it are dropped.
+LogLevel& GlobalLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+    stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line << "] ";
+  }
+
+  ~LogMessage() {
+    if (level_ >= GlobalLogLevel()) {
+      stream_ << "\n";
+      std::cerr << stream_.str();
+    }
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  static const char* LevelName(LogLevel level) {
+    switch (level) {
+      case LogLevel::kDebug:
+        return "D";
+      case LogLevel::kInfo:
+        return "I";
+      case LogLevel::kWarn:
+        return "W";
+      case LogLevel::kError:
+        return "E";
+      default:
+        return "?";
+    }
+  }
+  static const char* Basename(const char* path) {
+    const char* base = path;
+    for (const char* p = path; *p != '\0'; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    return base;
+  }
+
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace lpce
+
+#define LPCE_LOG(severity)                                                    \
+  ::lpce::internal::LogMessage(::lpce::LogLevel::k##severity, __FILE__, __LINE__) \
+      .stream()
+
+#endif  // LPCE_COMMON_LOGGING_H_

@@ -1,0 +1,27 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lpce {
+
+ZipfSampler::ZipfSampler(size_t n, double s, Rng* rng) : rng_(rng) {
+  LPCE_CHECK(n > 0);
+  LPCE_CHECK(rng != nullptr);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = acc;
+  }
+  for (auto& c : cdf_) c /= acc;
+}
+
+size_t ZipfSampler::Sample() {
+  double u = rng_->UniformDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace lpce

@@ -1,0 +1,119 @@
+// Lightweight error-propagation types (no exceptions in library code).
+//
+// Status carries ok/error + message; Result<T> is Status plus a value.
+// Recoverable failures (bad query, I/O) return Status; programmer errors
+// use LPCE_CHECK.
+#ifndef LPCE_COMMON_STATUS_H_
+#define LPCE_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace lpce {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kInternal,
+  kIoError,
+};
+
+/// Error-or-ok result of an operation that can fail at runtime.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName(code_)) + ": " + message_;
+  }
+
+ private:
+  static const char* CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk:
+        return "OK";
+      case StatusCode::kInvalidArgument:
+        return "InvalidArgument";
+      case StatusCode::kNotFound:
+        return "NotFound";
+      case StatusCode::kFailedPrecondition:
+        return "FailedPrecondition";
+      case StatusCode::kInternal:
+        return "Internal";
+      case StatusCode::kIoError:
+        return "IoError";
+    }
+    return "Unknown";
+  }
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A Status plus a value of type T when the status is ok.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {      // NOLINT(runtime/explicit)
+    LPCE_CHECK_MSG(!status_.ok(), "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    LPCE_CHECK_MSG(ok(), "Result::value() on error");
+    return value_;
+  }
+  T& value() & {
+    LPCE_CHECK_MSG(ok(), "Result::value() on error");
+    return value_;
+  }
+  T&& value() && {
+    LPCE_CHECK_MSG(ok(), "Result::value() on error");
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace lpce
+
+#define LPCE_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::lpce::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+#endif  // LPCE_COMMON_STATUS_H_

@@ -1,0 +1,127 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace lpce::eng {
+
+namespace {
+
+/// Finds the maximal executed subtrees of a (partially executed) plan.
+void CollectMaximalExecuted(exec::PlanNode* node,
+                            std::vector<exec::PlanNode*>* out) {
+  if (node == nullptr) return;
+  if (node->executed) {
+    out->push_back(node);
+    return;
+  }
+  CollectMaximalExecuted(node->outer.get(), out);
+  CollectMaximalExecuted(node->inner.get(), out);
+}
+
+}  // namespace
+
+RunStats Engine::RunQuery(const qry::Query& query,
+                          card::CardinalityEstimator* initial,
+                          card::CardinalityEstimator* refiner,
+                          const RunConfig& config) {
+  RunStats stats;
+  initial->ResetObservations();
+  if (refiner != nullptr) refiner->ResetObservations();
+
+  {
+    WallTimer timer;
+    initial->PrepareQuery(query);
+    if (refiner != nullptr) refiner->PrepareQuery(query);
+    stats.inference_seconds += timer.ElapsedSeconds();
+  }
+
+  opt::PlanResult planned = planner_.Plan(query, initial);
+  stats.plan_seconds += planned.search_seconds;
+  stats.inference_seconds += planned.inference_seconds;
+  stats.num_estimates += planned.num_estimates;
+  std::unique_ptr<exec::PlanNode> plan = std::move(planned.plan);
+  stats.initial_plan = plan->ToString(db_->catalog(), query);
+
+  // The overlay pins executed subsets to their exact cardinalities; the
+  // refinement model (when present) additionally adjusts the supersets.
+  card::ObservedOverlay overlay(refiner != nullptr ? refiner : initial);
+
+  exec::Executor executor(db_, &query);
+  exec::Executor::Options exec_opts;
+  exec_opts.enable_checkpoints = config.enable_reopt;
+  exec_opts.qerror_threshold = config.qerror_threshold;
+  exec_opts.min_trip_rows = config.min_trip_rows;
+  exec_opts.underestimates_only = config.underestimates_only;
+
+  while (true) {
+    LPCE_DCHECK(exec::ValidatePlan(*plan, query).ok());
+    WallTimer exec_timer;
+    exec::Executor::RunResult run = executor.Run(plan.get(), exec_opts);
+    stats.exec_seconds += exec_timer.ElapsedSeconds();
+    if (run.tripped == nullptr) {
+      LPCE_CHECK(run.result != nullptr);
+      stats.result_count = run.result->num_rows();
+      break;
+    }
+
+    // ---- Re-optimization (paper Sec. 6.2). ------------------------------
+    WallTimer reopt_timer;
+    ++stats.num_reopts;
+
+    // Report every finished operator bottom-up (pseudo scans were already
+    // observed in the round that materialized them).
+    std::vector<exec::PlanNode*> nodes;
+    exec::PostOrderPlan(plan.get(), &nodes);
+    for (exec::PlanNode* node : nodes) {
+      if (!node->executed || node->op == exec::PhysOp::kPseudoScan) continue;
+      overlay.ObserveActual(query, node->rels,
+                            static_cast<double>(node->actual_card));
+    }
+
+    // Plan units: maximal executed subtrees become pseudo relations.
+    std::vector<exec::PlanNode*> executed_roots;
+    CollectMaximalExecuted(plan.get(), &executed_roots);
+    std::vector<opt::PlanUnit> units;
+    qry::RelSet covered = 0;
+    for (exec::PlanNode* node : executed_roots) {
+      opt::PlanUnit unit;
+      unit.rels = node->rels;
+      unit.materialized = run.finished.at(node);
+      unit.known_card = static_cast<double>(node->actual_card);
+      covered |= node->rels;
+      units.push_back(std::move(unit));
+    }
+    for (int pos = 0; pos < query.num_tables(); ++pos) {
+      if (qry::Contains(covered, pos)) continue;
+      opt::PlanUnit unit;
+      unit.rels = qry::Bit(pos);
+      unit.table_pos = pos;
+      units.push_back(std::move(unit));
+    }
+
+    // Continue from the materialized progress...
+    opt::PlanResult cont = planner_.PlanUnits(query, &overlay, units);
+    stats.num_estimates += cont.num_estimates;
+    plan = std::move(cont.plan);
+    // ...or restart from scratch if that now looks cheaper (Sec. 6.2).
+    if (config.consider_restart) {
+      opt::PlanResult restart = planner_.Plan(query, &overlay);
+      stats.num_estimates += restart.num_estimates;
+      if (restart.plan->est_cost < plan->est_cost) plan = std::move(restart.plan);
+    }
+    stats.reopt_seconds += reopt_timer.ElapsedSeconds();
+
+    // Re-optimization budget exhausted: run the rest without checkpoints.
+    if (stats.num_reopts >= config.max_reopts) {
+      exec_opts.enable_checkpoints = false;
+    }
+  }
+
+  stats.final_plan = plan->ToString(db_->catalog(), query);
+  return stats;
+}
+
+}  // namespace lpce::eng

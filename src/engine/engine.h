@@ -1,0 +1,67 @@
+// End-to-end query execution with LPCE (paper Fig. 3):
+//   (i) initial estimation -> (ii) DP planning -> (iii) execution with
+//   checkpoints -> (iv) refinement on large q-error -> (v) re-planning of
+//   the remaining operators. Time is decomposed as T_end = T_P + T_I + T_R
+//   + T_E (Eq. 7/8).
+#ifndef LPCE_ENGINE_ENGINE_H_
+#define LPCE_ENGINE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "card/estimator.h"
+#include "exec/executor.h"
+#include "optimizer/planner.h"
+
+namespace lpce::eng {
+
+struct RunConfig {
+  bool enable_reopt = false;
+  double qerror_threshold = 50.0;  // paper Sec. 6.2: empirically 50
+  int max_reopts = 3;              // paper Sec. 6.2: at most 3 re-optimizations
+  /// When true, re-planning also considers restarting from scratch and takes
+  /// the cheaper of continue/restart (Sec. 6.2).
+  bool consider_restart = true;
+  /// Trigger-policy refinements (Sec. 6.2 future work; see Executor::Options
+  /// and the bench_ablation_trigger study).
+  size_t min_trip_rows = 0;
+  bool underestimates_only = false;
+};
+
+struct RunStats {
+  uint64_t result_count = 0;
+  double plan_seconds = 0.0;       // T_P: DP search (initial plan)
+  double inference_seconds = 0.0;  // T_I: initial model inference
+  double reopt_seconds = 0.0;      // T_R: refinement inference + re-planning
+  double exec_seconds = 0.0;       // T_E: executor time
+  int num_reopts = 0;
+  size_t num_estimates = 0;
+  std::string initial_plan;  // pretty-printed (case studies, Fig. 17)
+  std::string final_plan;
+
+  double TotalSeconds() const {
+    return plan_seconds + inference_seconds + reopt_seconds + exec_seconds;
+  }
+};
+
+class Engine {
+ public:
+  Engine(const db::Database* database, opt::CostModel cost_model)
+      : db_(database), planner_(database, cost_model) {}
+
+  /// Runs one query end to end. `initial` provides the before-execution
+  /// estimates; `refiner` (nullable) provides the refined estimates during
+  /// re-optimization — when null, re-planning re-uses `initial` plus the
+  /// exact cardinalities of the executed sub-plans.
+  RunStats RunQuery(const qry::Query& query, card::CardinalityEstimator* initial,
+                    card::CardinalityEstimator* refiner, const RunConfig& config);
+
+ private:
+  const db::Database* db_;
+  opt::Planner planner_;
+};
+
+}  // namespace lpce::eng
+
+#endif  // LPCE_ENGINE_ENGINE_H_

@@ -1,0 +1,344 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+#include <functional>
+#include <limits>
+#include <unordered_map>
+
+namespace lpce::exec {
+
+double QError(double estimated, double actual) {
+  const double est = std::max(estimated, 1.0);
+  const double act = std::max(actual, 1.0);
+  return est > act ? est / act : act / est;
+}
+
+namespace {
+
+void AppendUnique(std::vector<db::ColRef>* cols, db::ColRef ref) {
+  for (const auto& c : *cols) {
+    if (c == ref) return;
+  }
+  cols->push_back(ref);
+}
+
+}  // namespace
+
+std::vector<db::ColRef> Executor::SideRequired(
+    const std::vector<db::ColRef>& required, qry::RelSet rels) const {
+  std::vector<db::ColRef> out;
+  for (const auto& c : required) {
+    const int pos = query_->PositionOf(c.table);
+    if (pos >= 0 && qry::Contains(rels, pos)) out.push_back(c);
+  }
+  return out;
+}
+
+RowSetPtr Executor::Execute(PlanNode* root) {
+  Options options;
+  options.enable_checkpoints = false;
+  RunResult result = Run(root, options);
+  return result.result;
+}
+
+Executor::RunResult Executor::Run(PlanNode* root, const Options& options) {
+  peak_bytes_ = 0;
+  RunResult result;
+  RowSetPtr out = ExecuteNode(root, {}, options, &result);
+  if (result.tripped == nullptr) result.result = out;
+  return result;
+}
+
+RowSetPtr Executor::ExecuteNode(PlanNode* node,
+                                const std::vector<db::ColRef>& required,
+                                const Options& options, RunResult* result) {
+  WallTimer node_timer;
+  double children_seconds = 0.0;
+  RowSetPtr out;
+  if (node->is_join()) {
+    std::vector<db::ColRef> outer_req = SideRequired(required, node->outer->rels);
+    std::vector<db::ColRef> inner_req = SideRequired(required, node->inner->rels);
+    AppendUnique(&outer_req, node->outer_key);
+    AppendUnique(&inner_req, node->inner_key);
+    WallTimer children_timer;
+    RowSetPtr outer = ExecuteNode(node->outer.get(), outer_req, options, result);
+    if (result->tripped != nullptr || result->aborted) return nullptr;
+    RowSetPtr inner = ExecuteNode(node->inner.get(), inner_req, options, result);
+    if (result->tripped != nullptr || result->aborted) return nullptr;
+    children_seconds = children_timer.ElapsedSeconds();
+    bool overflow = false;
+    out = ExecuteJoin(*node, *outer, *inner, required, options.max_node_rows,
+                      &overflow);
+    if (overflow) {
+      result->aborted = true;
+      return nullptr;
+    }
+  } else if (node->op == PhysOp::kPseudoScan) {
+    out = ExecutePseudo(*node, required);
+  } else {
+    out = ExecuteScan(*node, required);
+  }
+  node->actual_card = out->num_rows();
+  node->executed = true;
+  node->exec_seconds = node_timer.ElapsedSeconds() - children_seconds;
+  peak_bytes_ = std::max(peak_bytes_, out->ByteSize());
+  result->finished[node] = out;
+  // Checkpoint: a pseudo scan's cardinality is exact by construction, and a
+  // tripped root has nothing left to re-plan.
+  if (options.enable_checkpoints && node->op != PhysOp::kPseudoScan &&
+      !required.empty()) {
+    const double actual = static_cast<double>(node->actual_card);
+    const bool is_underestimate = actual > std::max(node->est_card, 1.0);
+    const bool policy_allows =
+        node->actual_card >= options.min_trip_rows &&
+        (!options.underestimates_only || is_underestimate);
+    if (policy_allows &&
+        QError(node->est_card, actual) >= options.qerror_threshold) {
+      result->tripped = node;
+      return nullptr;
+    }
+  }
+  return out;
+}
+
+RowSetPtr Executor::ExecuteScan(const PlanNode& node,
+                                const std::vector<db::ColRef>& required) {
+  const int32_t table_id = query_->tables[node.table_pos];
+  const db::Table& table = db_->table(table_id);
+  auto out = std::make_shared<RowSet>();
+  out->schema = required;
+  out->cols.resize(required.size());
+
+  std::vector<uint32_t> rows;
+  std::vector<qry::Predicate> residual;
+  if (node.op == PhysOp::kIndexScan) {
+    // Drive the scan from the sorted index on index_col; the remaining
+    // predicates (if any) are applied as residual filters.
+    const db::SortedIndex& index = db_->sorted_index(node.index_col);
+    int64_t lo = std::numeric_limits<int64_t>::min();
+    int64_t hi = std::numeric_limits<int64_t>::max();
+    bool driven = false;
+    for (const auto& f : node.filters) {
+      if (!(f.col == node.index_col) || driven || f.op == qry::CmpOp::kNe) {
+        residual.push_back(f);
+        continue;
+      }
+      driven = true;
+      switch (f.op) {
+        case qry::CmpOp::kLt:
+          hi = f.value - 1;
+          break;
+        case qry::CmpOp::kLe:
+          hi = f.value;
+          break;
+        case qry::CmpOp::kEq:
+          lo = hi = f.value;
+          break;
+        case qry::CmpOp::kGe:
+          lo = f.value;
+          break;
+        case qry::CmpOp::kGt:
+          lo = f.value + 1;
+          break;
+        case qry::CmpOp::kNe:
+          break;
+      }
+    }
+    rows = index.RangeLookup(lo, hi);
+  } else {
+    residual = node.filters;
+    rows.resize(table.num_rows());
+    for (size_t i = 0; i < rows.size(); ++i) rows[i] = static_cast<uint32_t>(i);
+  }
+
+  // Apply residual filters.
+  if (!residual.empty()) {
+    std::vector<uint32_t> kept;
+    kept.reserve(rows.size());
+    for (uint32_t row : rows) {
+      bool pass = true;
+      for (const auto& f : residual) {
+        if (!qry::EvalCmp(table.at(row, f.col.column), f.op, f.value)) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) kept.push_back(row);
+    }
+    rows.swap(kept);
+  }
+
+  out->row_count = rows.size();
+  for (size_t c = 0; c < required.size(); ++c) {
+    LPCE_CHECK(required[c].table == table_id);
+    const auto& src = table.column(required[c].column);
+    auto& dst = out->cols[c];
+    dst.reserve(rows.size());
+    for (uint32_t row : rows) dst.push_back(src[row]);
+  }
+  return out;
+}
+
+RowSetPtr Executor::ExecutePseudo(const PlanNode& node,
+                                  const std::vector<db::ColRef>& required) {
+  LPCE_CHECK(node.pseudo != nullptr);
+  const RowSet& src = *node.pseudo;
+  auto out = std::make_shared<RowSet>();
+  out->row_count = src.row_count;
+  out->schema = required;
+  out->cols.resize(required.size());
+  for (size_t c = 0; c < required.size(); ++c) {
+    const int idx = src.ColumnIndex(required[c]);
+    LPCE_CHECK_MSG(idx >= 0, "pseudo relation missing a required column");
+    out->cols[c] = src.cols[idx];
+  }
+  return out;
+}
+
+RowSetPtr Executor::ExecuteJoin(const PlanNode& node, const RowSet& outer,
+                                const RowSet& inner,
+                                const std::vector<db::ColRef>& required,
+                                size_t max_rows, bool* overflow) {
+  const int outer_key = outer.ColumnIndex(node.outer_key);
+  const int inner_key = inner.ColumnIndex(node.inner_key);
+  LPCE_CHECK(outer_key >= 0 && inner_key >= 0);
+  const auto& okeys = outer.cols[outer_key];
+  const auto& ikeys = inner.cols[inner_key];
+
+  // Source (side, column index) for every output column.
+  struct Source {
+    bool from_outer;
+    int col;
+  };
+  std::vector<Source> sources;
+  sources.reserve(required.size());
+  for (const auto& ref : required) {
+    int idx = outer.ColumnIndex(ref);
+    if (idx >= 0) {
+      sources.push_back({true, idx});
+    } else {
+      idx = inner.ColumnIndex(ref);
+      LPCE_CHECK_MSG(idx >= 0, "join output column not found in either side");
+      sources.push_back({false, idx});
+    }
+  }
+
+  auto out = std::make_shared<RowSet>();
+  out->schema = required;
+  out->cols.resize(required.size());
+
+  auto emit = [&](size_t outer_row, size_t inner_row) {
+    for (size_t c = 0; c < sources.size(); ++c) {
+      const Source& s = sources[c];
+      out->cols[c].push_back(s.from_outer ? outer.cols[s.col][outer_row]
+                                          : inner.cols[s.col][inner_row]);
+    }
+    ++out->row_count;
+  };
+  auto over_limit = [&]() {
+    if (max_rows > 0 && out->row_count > max_rows) {
+      *overflow = true;
+      return true;
+    }
+    return false;
+  };
+
+  switch (node.op) {
+    case PhysOp::kHashJoin: {
+      std::unordered_map<int64_t, std::vector<uint32_t>> build;
+      build.reserve(ikeys.size());
+      for (size_t r = 0; r < ikeys.size(); ++r) {
+        build[ikeys[r]].push_back(static_cast<uint32_t>(r));
+      }
+      for (size_t r = 0; r < okeys.size(); ++r) {
+        auto it = build.find(okeys[r]);
+        if (it == build.end()) continue;
+        for (uint32_t ir : it->second) emit(r, ir);
+        if (over_limit()) return out;
+      }
+      break;
+    }
+    case PhysOp::kMergeJoin: {
+      std::vector<uint32_t> operm(okeys.size()), iperm(ikeys.size());
+      for (size_t i = 0; i < operm.size(); ++i) operm[i] = static_cast<uint32_t>(i);
+      for (size_t i = 0; i < iperm.size(); ++i) iperm[i] = static_cast<uint32_t>(i);
+      std::sort(operm.begin(), operm.end(),
+                [&](uint32_t a, uint32_t b) { return okeys[a] < okeys[b]; });
+      std::sort(iperm.begin(), iperm.end(),
+                [&](uint32_t a, uint32_t b) { return ikeys[a] < ikeys[b]; });
+      size_t oi = 0, ii = 0;
+      while (oi < operm.size() && ii < iperm.size()) {
+        const int64_t ov = okeys[operm[oi]];
+        const int64_t iv = ikeys[iperm[ii]];
+        if (ov < iv) {
+          ++oi;
+        } else if (ov > iv) {
+          ++ii;
+        } else {
+          size_t oe = oi;
+          while (oe < operm.size() && okeys[operm[oe]] == ov) ++oe;
+          size_t ie = ii;
+          while (ie < iperm.size() && ikeys[iperm[ie]] == iv) ++ie;
+          for (size_t a = oi; a < oe; ++a) {
+            for (size_t b = ii; b < ie; ++b) emit(operm[a], iperm[b]);
+            if (over_limit()) return out;
+          }
+          oi = oe;
+          ii = ie;
+        }
+      }
+      break;
+    }
+    case PhysOp::kNestLoopJoin: {
+      // Deliberately quadratic — the whole point of the paper's running
+      // example is that a mistaken nested loop on a large outer is slow.
+      for (size_t r = 0; r < okeys.size(); ++r) {
+        const int64_t key = okeys[r];
+        for (size_t ir = 0; ir < ikeys.size(); ++ir) {
+          if (ikeys[ir] == key) emit(r, ir);
+        }
+        if (over_limit()) return out;
+      }
+      break;
+    }
+    default:
+      LPCE_CHECK_MSG(false, "not a join operator");
+  }
+  return out;
+}
+
+std::unique_ptr<PlanNode> BuildCanonicalHashPlan(const qry::Query& query) {
+  std::unique_ptr<qry::LogicalNode> logical =
+      qry::BuildCanonicalTree(query, query.AllRels());
+  // Convert the logical tree into a physical plan with hash joins and
+  // sequential scans.
+  std::function<std::unique_ptr<PlanNode>(const qry::LogicalNode*)> convert =
+      [&](const qry::LogicalNode* node) -> std::unique_ptr<PlanNode> {
+    auto plan = std::make_unique<PlanNode>();
+    plan->rels = node->rels;
+    if (node->is_leaf()) {
+      plan->op = PhysOp::kSeqScan;
+      plan->table_pos = node->table_pos;
+      plan->filters = query.PredicatesOf(node->table_pos);
+      return plan;
+    }
+    plan->op = PhysOp::kHashJoin;
+    plan->outer = convert(node->left.get());
+    plan->inner = convert(node->right.get());
+    const qry::Join& join = query.joins[node->join_idx];
+    const int left_pos = query.PositionOf(join.left.table);
+    if (qry::Contains(plan->outer->rels, left_pos)) {
+      plan->outer_key = join.left;
+      plan->inner_key = join.right;
+    } else {
+      plan->outer_key = join.right;
+      plan->inner_key = join.left;
+    }
+    return plan;
+  };
+  return convert(logical.get());
+}
+
+}  // namespace lpce::exec

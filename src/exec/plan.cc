@@ -1,0 +1,150 @@
+#include "exec/plan.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace lpce::exec {
+
+const char* PhysOpName(PhysOp op) {
+  switch (op) {
+    case PhysOp::kSeqScan:
+      return "SeqScan";
+    case PhysOp::kIndexScan:
+      return "IndexScan";
+    case PhysOp::kHashJoin:
+      return "HashJoin";
+    case PhysOp::kMergeJoin:
+      return "MergeJoin";
+    case PhysOp::kNestLoopJoin:
+      return "NestLoopJoin";
+    case PhysOp::kPseudoScan:
+      return "PseudoScan";
+  }
+  return "?";
+}
+
+std::unique_ptr<PlanNode> PlanNode::Clone() const {
+  auto copy = std::make_unique<PlanNode>();
+  copy->op = op;
+  copy->rels = rels;
+  copy->table_pos = table_pos;
+  copy->filters = filters;
+  copy->index_col = index_col;
+  copy->pseudo = pseudo;
+  copy->outer_key = outer_key;
+  copy->inner_key = inner_key;
+  copy->est_card = est_card;
+  copy->est_cost = est_cost;
+  if (outer != nullptr) copy->outer = outer->Clone();
+  if (inner != nullptr) copy->inner = inner->Clone();
+  return copy;
+}
+
+std::string PlanNode::ToString(const db::Catalog& catalog, const qry::Query& query,
+                               int indent) const {
+  std::ostringstream os;
+  const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  os << pad << PhysOpName(op);
+  if (op == PhysOp::kSeqScan || op == PhysOp::kIndexScan) {
+    os << " " << catalog.table(query.tables[table_pos]).name;
+    for (const auto& f : filters) {
+      os << " [" << catalog.ColumnName(f.col) << " " << qry::CmpOpName(f.op) << " "
+         << f.value << "]";
+    }
+  } else if (op == PhysOp::kPseudoScan) {
+    os << " (materialized intermediate)";
+  } else {
+    os << " (" << catalog.ColumnName(outer_key) << " = "
+       << catalog.ColumnName(inner_key) << ")";
+  }
+  os << "  est=" << static_cast<int64_t>(est_card);
+  if (executed) {
+    os << " actual=" << actual_card;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " time=%.2fms", exec_seconds * 1e3);
+    os << buf;
+  }
+  os << "\n";
+  if (outer != nullptr) os << outer->ToString(catalog, query, indent + 1);
+  if (inner != nullptr) os << inner->ToString(catalog, query, indent + 1);
+  return os.str();
+}
+
+Status ValidatePlan(const PlanNode& root, const qry::Query& query) {
+  // Root must cover exactly the query's tables.
+  if (root.rels != query.AllRels()) {
+    return Status::Internal("plan root does not cover the query's tables");
+  }
+  std::vector<const PlanNode*> nodes;
+  PostOrderPlan(&root, &nodes);
+  for (const PlanNode* node : nodes) {
+    if (node->is_join()) {
+      if (node->outer == nullptr || node->inner == nullptr) {
+        return Status::Internal("join node missing a child");
+      }
+      if ((node->outer->rels & node->inner->rels) != 0 ||
+          (node->outer->rels | node->inner->rels) != node->rels) {
+        return Status::Internal("join children do not partition the node set");
+      }
+      const auto joins = query.JoinsBetween(node->outer->rels, node->inner->rels);
+      if (joins.size() != 1) {
+        return Status::Internal("join cut must cross exactly one query edge");
+      }
+      const qry::Join& join = query.joins[joins[0]];
+      const bool straight = join.left == node->outer_key &&
+                            join.right == node->inner_key;
+      const bool flipped = join.right == node->outer_key &&
+                           join.left == node->inner_key;
+      if (!straight && !flipped) {
+        return Status::Internal("join keys do not match the cut edge");
+      }
+      const int outer_pos = query.PositionOf(node->outer_key.table);
+      if (outer_pos < 0 || !qry::Contains(node->outer->rels, outer_pos)) {
+        return Status::Internal("outer key column not provided by outer side");
+      }
+      const int inner_pos = query.PositionOf(node->inner_key.table);
+      if (inner_pos < 0 || !qry::Contains(node->inner->rels, inner_pos)) {
+        return Status::Internal("inner key column not provided by inner side");
+      }
+    } else if (node->op == PhysOp::kPseudoScan) {
+      if (node->pseudo == nullptr) {
+        return Status::Internal("pseudo scan without a materialized result");
+      }
+      if (node->outer != nullptr || node->inner != nullptr) {
+        return Status::Internal("pseudo scan must be a leaf");
+      }
+    } else {
+      if (node->table_pos < 0 || node->table_pos >= query.num_tables()) {
+        return Status::Internal("scan references a table outside the query");
+      }
+      if (node->rels != qry::Bit(node->table_pos)) {
+        return Status::Internal("scan relation set must be its own table");
+      }
+      if (node->op == PhysOp::kIndexScan && node->index_col.table < 0) {
+        return Status::Internal("index scan without a driving column");
+      }
+      for (const auto& filter : node->filters) {
+        if (filter.col.table != query.tables[node->table_pos]) {
+          return Status::Internal("scan filter on a different table");
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+void PostOrderPlan(PlanNode* root, std::vector<PlanNode*>* out) {
+  if (root == nullptr) return;
+  PostOrderPlan(root->outer.get(), out);
+  PostOrderPlan(root->inner.get(), out);
+  out->push_back(root);
+}
+
+void PostOrderPlan(const PlanNode* root, std::vector<const PlanNode*>* out) {
+  if (root == nullptr) return;
+  PostOrderPlan(root->outer.get(), out);
+  PostOrderPlan(root->inner.get(), out);
+  out->push_back(root);
+}
+
+}  // namespace lpce::exec

@@ -1,0 +1,44 @@
+// Materialized intermediate results exchanged between physical operators.
+#ifndef LPCE_EXEC_ROWSET_H_
+#define LPCE_EXEC_ROWSET_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "storage/schema.h"
+
+namespace lpce::exec {
+
+/// A columnar result: `schema[i]` names the source column of `cols[i]`.
+/// `row_count` is tracked explicitly so zero-column results (everything
+/// projected away under a COUNT(*)) still carry their cardinality.
+struct RowSet {
+  std::vector<db::ColRef> schema;
+  std::vector<std::vector<int64_t>> cols;
+  size_t row_count = 0;
+
+  size_t num_rows() const { return row_count; }
+  size_t num_cols() const { return schema.size(); }
+
+  /// Index of `ref` in the schema, or -1.
+  int ColumnIndex(db::ColRef ref) const {
+    for (size_t i = 0; i < schema.size(); ++i) {
+      if (schema[i] == ref) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  /// Estimated resident bytes (for the Sec. 6.2 overhead measurements).
+  size_t ByteSize() const {
+    size_t bytes = 0;
+    for (const auto& c : cols) bytes += c.size() * sizeof(int64_t);
+    return bytes;
+  }
+};
+
+using RowSetPtr = std::shared_ptr<const RowSet>;
+
+}  // namespace lpce::exec
+
+#endif  // LPCE_EXEC_ROWSET_H_

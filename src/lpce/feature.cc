@@ -1,0 +1,40 @@
+#include "lpce/feature.h"
+
+#include <algorithm>
+
+namespace lpce::model {
+
+float FeatureEncoder::NormalizeOperand(db::ColRef col, int64_t value) const {
+  const stats::ColumnStats& cs = stats_->column(col);
+  const double span = static_cast<double>(cs.max_value - cs.min_value);
+  if (span <= 0.0) return 0.5f;
+  const double norm = (static_cast<double>(value - cs.min_value)) / span;
+  return static_cast<float>(std::clamp(norm, 0.0, 1.0));
+}
+
+nn::Matrix FeatureEncoder::EncodeScan(const qry::Query& query, int table_pos) const {
+  nn::Matrix out(1, static_cast<size_t>(dim()), 0.0f);
+  const int cols = catalog_->TotalColumns();
+  out.at(0, 0) = 1.0f;  // function = scan
+  const auto preds = query.PredicatesOf(table_pos);
+  if (!preds.empty()) {
+    const qry::Predicate& pred = preds.front();
+    const int col_id = catalog_->GlobalColumnId(pred.col);
+    out.at(0, static_cast<size_t>(2 + cols + col_id)) = 1.0f;
+    out.at(0, static_cast<size_t>(2 + 2 * cols + static_cast<int>(pred.op))) = 1.0f;
+    out.at(0, static_cast<size_t>(dim() - 1)) =
+        NormalizeOperand(pred.col, pred.value);
+  }
+  return out;
+}
+
+nn::Matrix FeatureEncoder::EncodeJoin(const qry::Query& query, int join_idx) const {
+  nn::Matrix out(1, static_cast<size_t>(dim()), 0.0f);
+  out.at(0, 1) = 1.0f;  // function = join
+  const qry::Join& join = query.joins[join_idx];
+  out.at(0, static_cast<size_t>(2 + catalog_->GlobalColumnId(join.left))) = 1.0f;
+  out.at(0, static_cast<size_t>(2 + catalog_->GlobalColumnId(join.right))) = 1.0f;
+  return out;
+}
+
+}  // namespace lpce::model

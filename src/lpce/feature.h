@@ -1,0 +1,42 @@
+// Feature encoding of plan-tree nodes (paper Fig. 5).
+//
+// Each node is encoded as [function | join condition | predicate]:
+//  - function: one-hot over logical operators {scan, join} (cardinality is a
+//    logical property, so physical operators are not encoded — Sec. 4.1);
+//  - join condition: two-hot over the |C| catalog columns;
+//  - predicate: column one-hot (|C|) + operator one-hot (6) + operand as a
+//    min/max-normalized float.
+#ifndef LPCE_LPCE_FEATURE_H_
+#define LPCE_LPCE_FEATURE_H_
+
+#include "nn/matrix.h"
+#include "query/query.h"
+#include "stats/column_stats.h"
+
+namespace lpce::model {
+
+class FeatureEncoder {
+ public:
+  FeatureEncoder(const db::Catalog* catalog, const stats::DatabaseStats* stats)
+      : catalog_(catalog), stats_(stats) {}
+
+  /// Width of the encoded feature vector.
+  int dim() const { return 2 + 2 * catalog_->TotalColumns() + qry::kNumCmpOps + 1; }
+
+  /// Encodes a scan leaf: its (at most one) predicate.
+  nn::Matrix EncodeScan(const qry::Query& query, int table_pos) const;
+
+  /// Encodes a join node: the two-hot join condition of edge `join_idx`.
+  nn::Matrix EncodeJoin(const qry::Query& query, int join_idx) const;
+
+  /// Normalizes an operand into [0,1] using the column's min/max statistics.
+  float NormalizeOperand(db::ColRef col, int64_t value) const;
+
+ private:
+  const db::Catalog* catalog_;
+  const stats::DatabaseStats* stats_;
+};
+
+}  // namespace lpce::model
+
+#endif  // LPCE_LPCE_FEATURE_H_

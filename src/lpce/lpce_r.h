@@ -1,0 +1,106 @@
+// LPCE-R: the progressive cardinality-refinement model (paper Sec. 5).
+//
+// Three modules share the LPCE-I architecture: `content` embeds the executed
+// sub-plan's query content, `cardinality` embeds it together with the real
+// cardinalities of each executed operator's children, and `refine` estimates
+// the remaining operators. A learned connect layer (Eq. 6) merges the two
+// executed-sub-plan embeddings c_A / c_B into c_AB, which is injected into
+// the refine module's recurrence in place of a child encoding.
+//
+// Training (Fig. 9) is two-stage: (1) pre-train content (exactly like
+// LPCE-I) and cardinality (features ⊕ children's real cards) with the
+// node-wise loss; (2) freeze both, initialize refine from content, and
+// fine-tune refine + connect on execution prefixes of the training plans.
+#ifndef LPCE_LPCE_LPCE_R_H_
+#define LPCE_LPCE_LPCE_R_H_
+
+#include <memory>
+
+#include "lpce/tree_model.h"
+
+namespace lpce::model {
+
+/// Which modules participate — the paper's Table 3 ablation.
+enum class RefinerMode {
+  kFull = 0,  // content + cardinality + connect + refine (LPCE-R)
+  kSingle,    // one cardinality-style module for everything (LPCE-R-Single)
+  kTwo,       // cardinality + refine, no content/connect (LPCE-R-Two)
+};
+
+class LpceR {
+ public:
+  /// `base_config` describes the shared module structure (the LPCE-I student
+  /// configuration); with_child_cards is toggled internally per module.
+  LpceR(const FeatureEncoder* encoder, TreeModelConfig base_config,
+        RefinerMode mode = RefinerMode::kFull);
+
+  RefinerMode mode() const { return mode_; }
+
+  TreeModel& content() { return *content_; }
+  TreeModel& cardinality() { return *cardinality_; }
+  TreeModel& refine() { return *refine_; }
+  const TreeModel& refine() const { return *refine_; }
+  nn::ParamStore& connect_params() { return connect_params_; }
+
+  /// c_AB for an executed sub-plan tree whose child_card_* fields carry the
+  /// real cardinalities. The executed modules' outputs are detached unless
+  /// `keep_graph` (stage-2 training never backprops into frozen modules, but
+  /// the connect layer needs the graph from c_A/c_B onward).
+  nn::Tensor EncodeExecuted(const qry::Query& query, const EstNode* executed) const;
+
+  /// Estimates the cardinality of the subtree root of `tree`, which may
+  /// contain injected leaves produced by EncodeExecuted.
+  double EstimateTree(const qry::Query& query, const EstNode* tree) const;
+
+  /// Connect layer (Eq. 6).
+  nn::Tensor Connect(const nn::Tensor& c_content, const nn::Tensor& c_card) const;
+
+  /// Inference fast paths (no autograd graph).
+  nn::Matrix EncodeExecutedFast(const qry::Query& query,
+                                const EstNode* executed) const;
+  double EstimateTreeFast(const qry::Query& query, const EstNode* tree) const;
+  nn::Matrix ConnectFast(const nn::Matrix& c_content,
+                         const nn::Matrix& c_card) const;
+
+  double CardToY(double card) const { return refine_->CardToY(card); }
+  double YToCard(double y) const { return refine_->YToCard(y); }
+
+  /// Serialization of all module parameters into files under `prefix`.
+  Status Save(const std::string& prefix) const;
+  Status Load(const std::string& prefix);
+
+ private:
+  friend struct LpceRTrainer;
+
+  RefinerMode mode_;
+  const FeatureEncoder* encoder_;
+  std::unique_ptr<TreeModel> content_;
+  std::unique_ptr<TreeModel> cardinality_;
+  std::unique_ptr<TreeModel> refine_;
+  nn::ParamStore connect_params_;
+  nn::Linear wa_;
+  nn::Linear wb_;
+  nn::Linear wab_;
+};
+
+struct LpceRTrainOptions {
+  TrainOptions pretrain;           // stage 1 (both modules)
+  int refine_epochs = 6;           // stage 2
+  int prefixes_per_query = 3;      // sampled executed-subtree roots per plan
+  float lr = 1e-3f;
+  int batch_size = 32;
+  float grad_clip = 5.0f;
+  uint64_t seed = 777;
+  /// Optional: initialize the content module from an already-trained LPCE-I
+  /// (same shapes) instead of pre-training it from scratch.
+  const TreeModel* pretrained_content = nullptr;
+};
+
+/// Runs the full two-stage training procedure of Fig. 9.
+void TrainLpceR(LpceR* model, const db::Database& database,
+                const std::vector<wk::LabeledQuery>& train,
+                const LpceRTrainOptions& options);
+
+}  // namespace lpce::model
+
+#endif  // LPCE_LPCE_LPCE_R_H_

@@ -1,0 +1,534 @@
+#include "lpce/tree_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace lpce::model {
+
+nn::Tensor Detach(const nn::Tensor& t) { return nn::MakeTensor(t->value()); }
+
+std::unique_ptr<EstNode> MakeEstTree(
+    const qry::Query& query, const qry::LogicalNode* logical,
+    const db::Database& database,
+    const std::unordered_map<qry::RelSet, uint64_t>* labels) {
+  auto node = std::make_unique<EstNode>();
+  node->rels = logical->rels;
+  if (labels != nullptr) {
+    auto it = labels->find(logical->rels);
+    if (it != labels->end()) node->true_card = static_cast<double>(it->second);
+  }
+  if (logical->is_leaf()) {
+    node->table_pos = logical->table_pos;
+    node->child_card_left = static_cast<double>(
+        database.table(query.tables[logical->table_pos]).num_rows());
+    node->child_card_right = 0.0;
+    return node;
+  }
+  node->join_idx = logical->join_idx;
+  node->left = MakeEstTree(query, logical->left.get(), database, labels);
+  node->right = MakeEstTree(query, logical->right.get(), database, labels);
+  node->child_card_left = node->left->true_card;
+  node->child_card_right = node->right->true_card;
+  return node;
+}
+
+TreeModel::TreeModel(const FeatureEncoder* encoder, TreeModelConfig config)
+    : encoder_(encoder), config_(config) {
+  LPCE_CHECK(config_.feature_dim == encoder->dim());
+  Rng rng(config_.seed);
+  const size_t in = static_cast<size_t>(input_dim());
+  const size_t dim = static_cast<size_t>(config_.dim);
+  embed_ = nn::Mlp2(&params_, "embed", in, static_cast<size_t>(config_.embed_hidden),
+                    dim, &rng);
+  if (config_.use_lstm) {
+    lstm_ = nn::TreeLstmCell(&params_, "lstm", dim, &rng);
+  } else {
+    sru_ = nn::TreeSruCell(&params_, "sru", dim, &rng);
+  }
+  output_ = nn::Mlp2(&params_, "output", dim, static_cast<size_t>(config_.out_hidden),
+                     1, &rng);
+}
+
+double TreeModel::CardToY(double card) const {
+  const double y = std::log1p(std::max(0.0, card)) / config_.log_max_card;
+  return std::clamp(y, 0.0, 1.0);
+}
+
+double TreeModel::YToCard(double y) const {
+  return std::expm1(std::clamp(y, 0.0, 1.0) * config_.log_max_card);
+}
+
+void TreeModel::CopyParamsFrom(const TreeModel& other) {
+  for (const auto& name : other.params().names()) {
+    nn::Tensor src = other.params().Get(name);
+    nn::Tensor dst = params_.Get(name);
+    dst->mutable_value() = src->value();
+  }
+}
+
+namespace {
+
+struct ForwardState {
+  nn::Tensor c;
+  nn::Tensor h;
+  double est_card = -1.0;  // running estimate (dynamic-cards mode)
+};
+
+}  // namespace
+
+std::vector<TreeModel::NodeOutput> TreeModel::Forward(
+    const qry::Query& query, const EstNode* root,
+    bool dynamic_child_cards) const {
+  std::vector<NodeOutput> outputs;
+  // Recursive lambda returning the (c, h) state of each subtree.
+  std::function<ForwardState(const EstNode*)> walk =
+      [&](const EstNode* node) -> ForwardState {
+    if (node->is_injected()) {
+      // Executed sub-plan: its encoding replaces the child encoding
+      // (paper Sec. 5.1, "efficient progressive refinement").
+      return {node->injected_c, nullptr, node->true_card};
+    }
+    ForwardState left_state, right_state;
+    if (node->left != nullptr) left_state = walk(node->left.get());
+    if (node->right != nullptr) right_state = walk(node->right.get());
+
+    LPCE_DCHECK(node->is_leaf() ? node->table_pos >= 0 : node->join_idx >= 0);
+    nn::Matrix features = node->is_leaf()
+                              ? encoder_->EncodeScan(query, node->table_pos)
+                              : encoder_->EncodeJoin(query, node->join_idx);
+    if (config_.with_child_cards) {
+      double card_left = std::max(0.0, node->child_card_left);
+      double card_right = std::max(0.0, node->child_card_right);
+      if (dynamic_child_cards && !node->is_leaf()) {
+        // Executed children keep their real cardinalities (true_card >= 0);
+        // unexecuted ones fall back to the model's own running estimates.
+        if (node->left->true_card < 0.0) {
+          card_left = std::max(0.0, left_state.est_card);
+        }
+        if (node->right->true_card < 0.0) {
+          card_right = std::max(0.0, right_state.est_card);
+        }
+      }
+      nn::Matrix with_cards(1, features.cols() + 2);
+      for (size_t j = 0; j < features.cols(); ++j) {
+        with_cards.at(0, j) = features.at(0, j);
+      }
+      with_cards.at(0, features.cols()) = static_cast<float>(CardToY(card_left));
+      with_cards.at(0, features.cols() + 1) =
+          static_cast<float>(CardToY(card_right));
+      features = std::move(with_cards);
+    }
+    nn::Tensor x = embed_.Forward(nn::MakeTensor(std::move(features)),
+                                  nn::Mlp2::Activation::kRelu,
+                                  nn::Mlp2::Activation::kRelu);
+    nn::CellOutput cell;
+    if (config_.use_lstm) {
+      cell = lstm_.Step(x, left_state.c, left_state.h, right_state.c,
+                        right_state.h);
+    } else {
+      cell = sru_.Step(x, left_state.c, right_state.c);
+    }
+    NodeOutput out;
+    out.node = node;
+    out.x = x;
+    out.c = cell.c;
+    out.h = cell.h;
+    out.logit = output_.ForwardLogit(cell.h);
+    out.y = nn::Sigmoid(out.logit);
+    outputs.push_back(out);
+    return {cell.c, cell.h,
+            YToCard(static_cast<double>(out.y->value().at(0, 0)))};
+  };
+  walk(root);
+  return outputs;
+}
+
+double TreeModel::PredictCard(const qry::Query& query, const EstNode* root) const {
+  std::vector<NodeOutput> outputs = Forward(query, root);
+  LPCE_CHECK(!outputs.empty());
+  return YToCard(static_cast<double>(outputs.back().y->value().at(0, 0)));
+}
+
+namespace {
+
+struct FastState {
+  nn::Matrix c;
+  nn::Matrix h;
+  double est_card = -1.0;
+  bool injected = false;
+};
+
+}  // namespace
+
+// Shared inference walk: per-node estimates without building a graph.
+// `sink` (nullable) collects (rels, card) for every non-injected node.
+static FastState FastWalk(const TreeModel& model, const nn::Mlp2& embed,
+                          const nn::TreeSruCell& sru, const nn::TreeLstmCell& lstm,
+                          const FeatureEncoder& encoder,
+                          const TreeModelConfig& config, const qry::Query& query,
+                          const EstNode* node, bool dynamic_child_cards,
+                          std::vector<std::pair<qry::RelSet, double>>* sink) {
+  if (node->is_injected()) {
+    FastState state;
+    state.c = node->injected_c->value();
+    state.est_card = node->true_card;
+    state.injected = true;
+    return state;
+  }
+  FastState left_state, right_state;
+  if (node->left != nullptr) {
+    left_state = FastWalk(model, embed, sru, lstm, encoder, config, query,
+                          node->left.get(), dynamic_child_cards, sink);
+  }
+  if (node->right != nullptr) {
+    right_state = FastWalk(model, embed, sru, lstm, encoder, config, query,
+                           node->right.get(), dynamic_child_cards, sink);
+  }
+  LPCE_DCHECK(node->is_leaf() ? node->table_pos >= 0 : node->join_idx >= 0);
+  nn::Matrix features = node->is_leaf() ? encoder.EncodeScan(query, node->table_pos)
+                                        : encoder.EncodeJoin(query, node->join_idx);
+  if (config.with_child_cards) {
+    double card_left = std::max(0.0, node->child_card_left);
+    double card_right = std::max(0.0, node->child_card_right);
+    if (dynamic_child_cards && !node->is_leaf()) {
+      if (node->left->true_card < 0.0) card_left = std::max(0.0, left_state.est_card);
+      if (node->right->true_card < 0.0) {
+        card_right = std::max(0.0, right_state.est_card);
+      }
+    }
+    nn::Matrix with_cards(1, features.cols() + 2);
+    for (size_t j = 0; j < features.cols(); ++j) {
+      with_cards.at(0, j) = features.at(0, j);
+    }
+    with_cards.at(0, features.cols()) = static_cast<float>(model.CardToY(card_left));
+    with_cards.at(0, features.cols() + 1) =
+        static_cast<float>(model.CardToY(card_right));
+    features = std::move(with_cards);
+  }
+  nn::Matrix x = embed.Apply(features, nn::Mlp2::Activation::kRelu,
+                             nn::Mlp2::Activation::kRelu);
+  FastState out;
+  const nn::Matrix* cl = node->left != nullptr ? &left_state.c : nullptr;
+  const nn::Matrix* cr = node->right != nullptr ? &right_state.c : nullptr;
+  if (config.use_lstm) {
+    // Injected leaves carry no h; pass null (zero) in that case.
+    const nn::Matrix* hl =
+        (node->left != nullptr && !left_state.injected) ? &left_state.h : nullptr;
+    const nn::Matrix* hr =
+        (node->right != nullptr && !right_state.injected) ? &right_state.h
+                                                          : nullptr;
+    nn::CellMatrixOutput cell = lstm.Apply(x, cl, hl, cr, hr);
+    out.c = std::move(cell.c);
+    out.h = std::move(cell.h);
+  } else {
+    nn::CellMatrixOutput cell = sru.Apply(x, cl, cr);
+    out.c = std::move(cell.c);
+    out.h = std::move(cell.h);
+  }
+  nn::Matrix y = model.OutputFast(out.h);
+  out.est_card = model.YToCard(static_cast<double>(y.at(0, 0)));
+  if (sink != nullptr) sink->emplace_back(node->rels, out.est_card);
+  return out;
+}
+
+nn::Matrix TreeModel::OutputFast(const nn::Matrix& h) const {
+  return output_.Apply(h, nn::Mlp2::Activation::kRelu,
+                       nn::Mlp2::Activation::kSigmoid);
+}
+
+double TreeModel::PredictCardFast(const qry::Query& query, const EstNode* root,
+                                  bool dynamic_child_cards) const {
+  FastState state = FastWalk(*this, embed_, sru_, lstm_, *encoder_, config_, query,
+                             root, dynamic_child_cards, nullptr);
+  LPCE_CHECK_MSG(!state.injected, "cannot estimate a fully-injected tree");
+  return state.est_card;
+}
+
+void TreeModel::PredictAllFast(
+    const qry::Query& query, const EstNode* root,
+    std::vector<std::pair<qry::RelSet, double>>* out) const {
+  FastWalk(*this, embed_, sru_, lstm_, *encoder_, config_, query, root,
+           /*dynamic_child_cards=*/false, out);
+}
+
+TreeModel::FastNodeState TreeModel::LeafStateFast(const qry::Query& query,
+                                                  int table_pos) const {
+  LPCE_CHECK_MSG(!config_.with_child_cards,
+                 "batched states need a content-style model");
+  nn::Matrix features = encoder_->EncodeScan(query, table_pos);
+  nn::Matrix x = embed_.Apply(features, nn::Mlp2::Activation::kRelu,
+                              nn::Mlp2::Activation::kRelu);
+  nn::CellMatrixOutput cell = config_.use_lstm
+                                  ? lstm_.Apply(x, nullptr, nullptr, nullptr,
+                                                nullptr)
+                                  : sru_.Apply(x, nullptr, nullptr);
+  FastNodeState state;
+  state.card = YToCard(static_cast<double>(OutputFast(cell.h).at(0, 0)));
+  state.c = std::move(cell.c);
+  state.h = std::move(cell.h);
+  return state;
+}
+
+TreeModel::FastNodeState TreeModel::JoinStateFast(const qry::Query& query,
+                                                  int join_idx,
+                                                  const FastNodeState& left,
+                                                  const FastNodeState& right) const {
+  LPCE_CHECK_MSG(!config_.with_child_cards,
+                 "batched states need a content-style model");
+  nn::Matrix features = encoder_->EncodeJoin(query, join_idx);
+  nn::Matrix x = embed_.Apply(features, nn::Mlp2::Activation::kRelu,
+                              nn::Mlp2::Activation::kRelu);
+  nn::CellMatrixOutput cell =
+      config_.use_lstm
+          ? lstm_.Apply(x, &left.c, &left.h, &right.c, &right.h)
+          : sru_.Apply(x, &left.c, &right.c);
+  FastNodeState state;
+  state.card = YToCard(static_cast<double>(OutputFast(cell.h).at(0, 0)));
+  state.c = std::move(cell.c);
+  state.h = std::move(cell.h);
+  return state;
+}
+
+nn::Matrix TreeModel::EncodeRootFast(const qry::Query& query,
+                                     const EstNode* root) const {
+  FastState state = FastWalk(*this, embed_, sru_, lstm_, *encoder_, config_, query,
+                             root, /*dynamic_child_cards=*/false, nullptr);
+  return state.c;
+}
+
+namespace {
+
+/// Builds the (node- or query-wise) loss over one tree's outputs; returns
+/// nullptr when no labeled node exists.
+nn::Tensor TreeLoss(const TreeModel& model,
+                    const std::vector<TreeModel::NodeOutput>& outputs,
+                    bool node_wise) {
+  nn::Tensor loss;
+  int terms = 0;
+  for (size_t i = 0; i < outputs.size(); ++i) {
+    if (!node_wise && i + 1 != outputs.size()) continue;  // root only
+    const TreeModel::NodeOutput& out = outputs[i];
+    if (out.node->true_card < 0.0) continue;
+    nn::Matrix target(1, 1);
+    target.at(0, 0) = static_cast<float>(model.CardToY(out.node->true_card));
+    nn::Tensor term = nn::Abs(nn::Sub(out.y, nn::MakeTensor(target)));
+    loss = loss == nullptr ? term : nn::Add(loss, term);
+    ++terms;
+  }
+  if (loss != nullptr && terms > 1) {
+    loss = nn::Scale(loss, 1.0f / static_cast<float>(terms));
+  }
+  return loss;
+}
+
+}  // namespace
+
+double TrainTreeModel(TreeModel* model, const db::Database& database,
+                      const std::vector<wk::LabeledQuery>& train,
+                      const TrainOptions& options) {
+  nn::Adam adam(&model->params(), {.lr = options.lr});
+  Rng rng(options.seed);
+
+  // Pre-build estimation trees once (they are immutable during training).
+  std::vector<std::unique_ptr<EstNode>> trees;
+  trees.reserve(train.size());
+  for (const auto& labeled : train) {
+    auto logical = qry::BuildCanonicalTree(labeled.query, labeled.query.AllRels());
+    trees.push_back(MakeEstTree(labeled.query, logical.get(), database,
+                                &labeled.true_cards));
+  }
+
+  // Optional validation split: the tail of a seed-shuffled permutation.
+  std::vector<size_t> order(train.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<size_t> validation;
+  if (options.validation_fraction > 0.0 && train.size() >= 10) {
+    rng.Shuffle(&order);
+    const size_t held =
+        std::max<size_t>(1, static_cast<size_t>(static_cast<double>(train.size()) *
+                                                options.validation_fraction));
+    validation.assign(order.end() - static_cast<long>(held), order.end());
+    order.resize(order.size() - held);
+  }
+  auto validation_loss = [&]() {
+    double total = 0.0;
+    int count = 0;
+    for (size_t idx : validation) {
+      auto outputs = model->Forward(train[idx].query, trees[idx].get());
+      nn::Tensor loss = TreeLoss(*model, outputs, options.node_wise);
+      if (loss == nullptr) continue;
+      total += loss->value().at(0, 0);
+      ++count;
+    }
+    return count > 0 ? total / count : 0.0;
+  };
+
+  double best_validation = std::numeric_limits<double>::infinity();
+  int epochs_since_best = 0;
+  std::unordered_map<std::string, nn::Matrix> best_params;
+
+  double last_epoch_loss = 0.0;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double epoch_loss = 0.0;
+    int batch_count = 0;
+    int samples = 0;
+    for (size_t idx : order) {
+      const auto& labeled = train[idx];
+      auto outputs = model->Forward(labeled.query, trees[idx].get());
+      nn::Tensor loss = TreeLoss(*model, outputs, options.node_wise);
+      if (loss == nullptr) continue;
+      nn::Backward(loss);
+      epoch_loss += loss->value().at(0, 0);
+      ++samples;
+      if (++batch_count >= options.batch_size) {
+        model->params().ScaleGrads(1.0f / static_cast<float>(batch_count));
+        model->params().ClipGradNorm(options.grad_clip);
+        adam.Step();
+        batch_count = 0;
+      }
+    }
+    if (batch_count > 0) {
+      model->params().ScaleGrads(1.0f / static_cast<float>(batch_count));
+      model->params().ClipGradNorm(options.grad_clip);
+      adam.Step();
+    }
+    last_epoch_loss = samples > 0 ? epoch_loss / samples : 0.0;
+    LPCE_LOG(Debug) << "tree-model epoch " << epoch << " loss " << last_epoch_loss;
+
+    if (!validation.empty()) {
+      const double val = validation_loss();
+      LPCE_LOG(Debug) << "tree-model epoch " << epoch << " validation " << val;
+      if (val < best_validation) {
+        best_validation = val;
+        epochs_since_best = 0;
+        best_params.clear();
+        for (const auto& name : model->params().names()) {
+          best_params.emplace(name, model->params().Get(name)->value());
+        }
+      } else if (++epochs_since_best >= options.patience &&
+                 options.patience > 0) {
+        LPCE_LOG(Debug) << "early stop at epoch " << epoch;
+        break;
+      }
+    }
+  }
+  // Restore the best-validation snapshot (Sec. 7.1's held-out 10%).
+  if (!best_params.empty()) {
+    for (const auto& name : model->params().names()) {
+      auto it = best_params.find(name);
+      if (it != best_params.end()) {
+        model->params().Get(name)->mutable_value() = it->second;
+      }
+    }
+  }
+  return last_epoch_loss;
+}
+
+void DistillTreeModel(TreeModel* student, const TreeModel& teacher,
+                      const db::Database& database,
+                      const std::vector<wk::LabeledQuery>& train,
+                      const DistillOptions& options) {
+  // Projections p_e / p_s lift student embeddings/representations to the
+  // teacher's width (Eq. 4). They live in their own store: training-only.
+  Rng rng(options.seed);
+  nn::ParamStore proj_store;
+  nn::Linear pe(&proj_store, "pe", static_cast<size_t>(student->config().dim),
+                static_cast<size_t>(teacher.config().dim), &rng);
+  nn::Linear ps(&proj_store, "ps", static_cast<size_t>(student->config().dim),
+                static_cast<size_t>(teacher.config().dim), &rng);
+
+  nn::Adam student_adam(&student->params(), {.lr = options.lr});
+  nn::Adam proj_adam(&proj_store, {.lr = options.lr});
+  Rng order_rng(options.seed + 17);
+  std::vector<size_t> order(train.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  std::vector<std::unique_ptr<EstNode>> trees;
+  trees.reserve(train.size());
+  for (const auto& labeled : train) {
+    auto logical = qry::BuildCanonicalTree(labeled.query, labeled.query.AllRels());
+    trees.push_back(MakeEstTree(labeled.query, logical.get(), database,
+                                &labeled.true_cards));
+  }
+
+  const int total_epochs = options.hint_epochs + options.predict_epochs;
+  for (int epoch = 0; epoch < total_epochs; ++epoch) {
+    const bool hint_stage = epoch < options.hint_epochs;
+    order_rng.Shuffle(&order);
+    int batch_count = 0;
+    for (size_t idx : order) {
+      const auto& labeled = train[idx];
+      auto teacher_out = teacher.Forward(labeled.query, trees[idx].get());
+      auto student_out = student->Forward(labeled.query, trees[idx].get());
+      LPCE_CHECK(teacher_out.size() == student_out.size());
+      nn::Tensor loss;
+      for (size_t i = 0; i < student_out.size(); ++i) {
+        nn::Tensor term;
+        if (hint_stage) {
+          // Hint loss: match embed and representation through projections.
+          nn::Tensor ex = nn::Abs(
+              nn::Sub(Detach(teacher_out[i].x), pe.Forward(student_out[i].x)));
+          nn::Tensor eh = nn::Abs(
+              nn::Sub(Detach(teacher_out[i].h), ps.Forward(student_out[i].h)));
+          term = nn::Add(nn::Sum(ex), nn::Sum(eh));
+        } else {
+          // Prediction loss: alpha * q + (1 - alpha) * |logit_t - logit_s|.
+          const double true_card = student_out[i].node->true_card;
+          nn::Tensor logit_term = nn::Abs(
+              nn::Sub(Detach(teacher_out[i].logit), student_out[i].logit));
+          term = nn::Scale(logit_term, 1.0f - options.alpha);
+          if (true_card >= 0.0) {
+            nn::Matrix target(1, 1);
+            target.at(0, 0) = static_cast<float>(student->CardToY(true_card));
+            nn::Tensor q = nn::Abs(nn::Sub(student_out[i].y, nn::MakeTensor(target)));
+            term = nn::Add(term, nn::Scale(q, options.alpha));
+          }
+        }
+        loss = loss == nullptr ? term : nn::Add(loss, term);
+      }
+      if (loss == nullptr) continue;
+      loss = nn::Scale(loss, 1.0f / static_cast<float>(student_out.size()));
+      nn::Backward(loss);
+      if (++batch_count >= options.batch_size) {
+        const float scale = 1.0f / static_cast<float>(batch_count);
+        student->params().ScaleGrads(scale);
+        student->params().ClipGradNorm(options.grad_clip);
+        proj_store.ScaleGrads(scale);
+        proj_store.ClipGradNorm(options.grad_clip);
+        student_adam.Step();
+        proj_adam.Step();
+        batch_count = 0;
+      }
+    }
+    if (batch_count > 0) {
+      student_adam.Step();
+      proj_adam.Step();
+    }
+    LPCE_LOG(Debug) << "distill epoch " << epoch
+                    << (hint_stage ? " (hint)" : " (predict)");
+  }
+}
+
+double EvaluateRootQError(const TreeModel& model, const db::Database& database,
+                          const std::vector<wk::LabeledQuery>& test) {
+  double total = 0.0;
+  int count = 0;
+  for (const auto& labeled : test) {
+    auto logical = qry::BuildCanonicalTree(labeled.query, labeled.query.AllRels());
+    auto tree = MakeEstTree(labeled.query, logical.get(), database,
+                            &labeled.true_cards);
+    const double est = model.PredictCard(labeled.query, tree.get());
+    const double act = static_cast<double>(labeled.FinalCard());
+    const double q = std::max(std::max(est, 1.0), std::max(act, 1.0)) /
+                     std::min(std::max(est, 1.0), std::max(act, 1.0));
+    total += q;
+    ++count;
+  }
+  return count > 0 ? total / count : 0.0;
+}
+
+}  // namespace lpce::model

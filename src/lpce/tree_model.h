@@ -1,0 +1,200 @@
+// The tree-structured estimation model of LPCE-I (paper Fig. 6) and its
+// training procedures: node-wise / query-wise losses (Eq. 2-3) and knowledge
+// distillation (Eq. 4-5, Fig. 7).
+//
+// The same class also instantiates the TLSTM baseline (LSTM cell +
+// query-wise loss) and the LPCE-T/S/C/Q ablation variants, and serves as the
+// backbone of all three LPCE-R modules (Sec. 5).
+#ifndef LPCE_LPCE_TREE_MODEL_H_
+#define LPCE_LPCE_TREE_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "lpce/feature.h"
+#include "nn/adam.h"
+#include "nn/cells.h"
+#include "nn/layers.h"
+#include "workload/workload.h"
+
+namespace lpce::model {
+
+/// Generalized estimation tree. Leaves are base-table scans or — during
+/// LPCE-R refinement — "injected" nodes carrying a precomputed encoding of
+/// an executed sub-plan. Internal nodes are joins.
+struct EstNode {
+  qry::RelSet rels = 0;
+  int table_pos = -1;  // base-table leaves
+  int join_idx = -1;   // internal nodes
+  nn::Tensor injected_c;  // executed-sub-plan leaves (LPCE-R)
+
+  /// Children cardinalities (raw tuple counts) for the cardinality module;
+  /// for base leaves `left` holds the table's row count (paper Sec. 5.2).
+  double child_card_left = -1.0;
+  double child_card_right = -1.0;
+
+  /// Training label: the node's true cardinality (< 0 when unknown).
+  double true_card = -1.0;
+
+  std::unique_ptr<EstNode> left;
+  std::unique_ptr<EstNode> right;
+
+  bool is_injected() const { return injected_c != nullptr; }
+  bool is_leaf() const { return left == nullptr && right == nullptr; }
+};
+
+/// Converts a logical tree into an estimation tree, filling labels and
+/// children cardinalities from `labels` when provided.
+std::unique_ptr<EstNode> MakeEstTree(
+    const qry::Query& query, const qry::LogicalNode* logical,
+    const db::Database& database,
+    const std::unordered_map<qry::RelSet, uint64_t>* labels);
+
+struct TreeModelConfig {
+  int feature_dim = 0;
+  int dim = 64;           // embed output == recurrent hidden size
+  int embed_hidden = 64;  // inner width of the embed module
+  int out_hidden = 128;   // inner width of the output module
+  bool use_lstm = false;  // TLSTM / LPCE-T use the tree-LSTM cell
+  bool with_child_cards = false;  // LPCE-R cardinality module input
+  double log_max_card = 20.0;     // log(1 + max train cardinality)
+  uint64_t seed = 1;
+};
+
+class TreeModel {
+ public:
+  struct NodeOutput {
+    const EstNode* node = nullptr;
+    nn::Tensor x;      // embed-module output
+    nn::Tensor c;      // node encoding
+    nn::Tensor h;      // node representation
+    nn::Tensor logit;  // output module pre-sigmoid (distillation target)
+    nn::Tensor y;      // sigmoid(logit): normalized log-cardinality
+  };
+
+  TreeModel(const FeatureEncoder* encoder, TreeModelConfig config);
+
+  TreeModel(const TreeModel&) = delete;
+  TreeModel& operator=(const TreeModel&) = delete;
+
+  /// Runs the model over the tree; returns one output per non-injected node
+  /// in post-order (the root is last).
+  ///
+  /// When `dynamic_child_cards` is set (LPCE-R-Single inference, Table 3),
+  /// internal nodes whose children lack a true_card label take the model's
+  /// own running estimates as the child-cardinality inputs instead.
+  std::vector<NodeOutput> Forward(const qry::Query& query, const EstNode* root,
+                                  bool dynamic_child_cards = false) const;
+
+  /// Cardinality estimate for the root of the tree.
+  double PredictCard(const qry::Query& query, const EstNode* root) const;
+
+  /// Inference fast path (no autograd graph): root cardinality estimate.
+  /// Supports injected leaves and the dynamic-child-cards mode.
+  double PredictCardFast(const qry::Query& query, const EstNode* root,
+                         bool dynamic_child_cards = false) const;
+
+  /// Fast per-node estimates, keyed by relation set (post-order).
+  void PredictAllFast(const qry::Query& query, const EstNode* root,
+                      std::vector<std::pair<qry::RelSet, double>>* out) const;
+
+  /// Inference fast path for the root's encoding c (LPCE-R executed-sub-plan
+  /// feature extraction).
+  nn::Matrix EncodeRootFast(const qry::Query& query, const EstNode* root) const;
+
+  /// Output module on a representation h (inference fast path, internal).
+  nn::Matrix OutputFast(const nn::Matrix& h) const;
+
+  /// Incremental inference states for batched sub-plan estimation (paper
+  /// Sec. 6.1: all same-level sub-query inferences share work). A state is
+  /// the recurrent (c, h) pair plus the node's cardinality estimate; the
+  /// canonical chain of a subset extends the chain of the subset minus its
+  /// last-added table, so each connected subset costs one additional step.
+  /// Only content-style models (no child-cardinality inputs) support this.
+  struct FastNodeState {
+    nn::Matrix c;
+    nn::Matrix h;
+    double card = 0.0;
+  };
+  FastNodeState LeafStateFast(const qry::Query& query, int table_pos) const;
+  FastNodeState JoinStateFast(const qry::Query& query, int join_idx,
+                              const FastNodeState& left,
+                              const FastNodeState& right) const;
+
+  /// Normalized log-cardinality <-> raw cardinality.
+  double CardToY(double card) const;
+  double YToCard(double y) const;
+
+  nn::ParamStore& params() { return params_; }
+  const nn::ParamStore& params() const { return params_; }
+  const TreeModelConfig& config() const { return config_; }
+  const FeatureEncoder* encoder() const { return encoder_; }
+
+  /// Copies parameter values from a same-shaped model (LPCE-R initializes
+  /// the refine module from the content module, Sec. 5.2).
+  void CopyParamsFrom(const TreeModel& other);
+
+ private:
+  friend class TreeModelTrainer;
+
+  int input_dim() const {
+    return config_.feature_dim + (config_.with_child_cards ? 2 : 0);
+  }
+
+  const FeatureEncoder* encoder_;
+  TreeModelConfig config_;
+  nn::ParamStore params_;
+  nn::Mlp2 embed_;
+  nn::TreeSruCell sru_;
+  nn::TreeLstmCell lstm_;
+  nn::Mlp2 output_;
+};
+
+struct TrainOptions {
+  int epochs = 10;
+  float lr = 1e-3f;
+  int batch_size = 32;
+  float grad_clip = 5.0f;
+  bool node_wise = true;  // false: query-wise loss (Eq. 2) — MSCN/TLSTM style
+  uint64_t seed = 123;
+  /// Hold out this fraction of the training queries as a validation set
+  /// (the paper holds out 10%, Sec. 7.1). When > 0, the parameters with the
+  /// best validation loss are restored at the end of training, and training
+  /// stops early after `patience` epochs without improvement (0 = never).
+  double validation_fraction = 0.0;
+  int patience = 0;
+};
+
+/// Trains with the (node- or query-wise) q-error surrogate |y - y*| and
+/// returns the final average training loss.
+double TrainTreeModel(TreeModel* model, const db::Database& database,
+                      const std::vector<wk::LabeledQuery>& train,
+                      const TrainOptions& options);
+
+struct DistillOptions {
+  int hint_epochs = 6;        // stage 1: hint loss (Eq. 4)
+  int predict_epochs = 6;     // stage 2: prediction loss (Eq. 5)
+  float alpha = 0.5f;         // weight between q-error and logit matching
+  float lr = 1e-3f;
+  int batch_size = 32;
+  float grad_clip = 5.0f;
+  uint64_t seed = 321;
+};
+
+/// Knowledge distillation: trains `student` to match `teacher` through
+/// learned projections p_e / p_s, then calibrates with the prediction loss.
+void DistillTreeModel(TreeModel* student, const TreeModel& teacher,
+                      const db::Database& database,
+                      const std::vector<wk::LabeledQuery>& train,
+                      const DistillOptions& options);
+
+/// Mean q-error of root predictions over a workload (evaluation helper).
+double EvaluateRootQError(const TreeModel& model, const db::Database& database,
+                          const std::vector<wk::LabeledQuery>& test);
+
+/// Detaches a tensor from the autograd graph (constant copy of its value).
+nn::Tensor Detach(const nn::Tensor& t);
+
+}  // namespace lpce::model
+
+#endif  // LPCE_LPCE_TREE_MODEL_H_

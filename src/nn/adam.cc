@@ -1,0 +1,33 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+namespace lpce::nn {
+
+void Adam::Step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(options_.beta1, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(options_.beta2, static_cast<float>(t_));
+  for (const auto& name : store_->names()) {
+    Tensor param = store_->Get(name);
+    Matrix& value = param->mutable_value();
+    Matrix& grad = param->grad();
+    State& s = state_[name];
+    if (s.m.size() != value.size()) {
+      s.m = Matrix(value.rows(), value.cols(), 0.0f);
+      s.v = Matrix(value.rows(), value.cols(), 0.0f);
+    }
+    for (size_t i = 0; i < value.size(); ++i) {
+      float g = grad.data()[i];
+      if (options_.weight_decay > 0.0f) g += options_.weight_decay * value.data()[i];
+      s.m.data()[i] = options_.beta1 * s.m.data()[i] + (1.0f - options_.beta1) * g;
+      s.v.data()[i] = options_.beta2 * s.v.data()[i] + (1.0f - options_.beta2) * g * g;
+      const float m_hat = s.m.data()[i] / bc1;
+      const float v_hat = s.v.data()[i] / bc2;
+      value.data()[i] -= options_.lr * m_hat / (std::sqrt(v_hat) + options_.eps);
+    }
+  }
+  store_->ZeroGrads();
+}
+
+}  // namespace lpce::nn

@@ -1,0 +1,48 @@
+// Adam optimizer (Kingma & Ba) over a ParamStore — the paper trains all
+// models with Adam (Sec. 7.1).
+#ifndef LPCE_NN_ADAM_H_
+#define LPCE_NN_ADAM_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "nn/layers.h"
+
+namespace lpce::nn {
+
+class Adam {
+ public:
+  struct Options {
+    float lr = 1e-3f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float eps = 1e-8f;
+    float weight_decay = 0.0f;
+  };
+
+  explicit Adam(ParamStore* store) : store_(store), options_() {}
+  Adam(ParamStore* store, Options options) : store_(store), options_(options) {}
+
+  /// Applies one update using the gradients currently in the store, then
+  /// zeroes them.
+  void Step();
+
+  void set_lr(float lr) { options_.lr = lr; }
+  float lr() const { return options_.lr; }
+  int64_t steps() const { return t_; }
+
+ private:
+  struct State {
+    Matrix m;
+    Matrix v;
+  };
+
+  ParamStore* store_;
+  Options options_;
+  int64_t t_ = 0;
+  std::unordered_map<std::string, State> state_;
+};
+
+}  // namespace lpce::nn
+
+#endif  // LPCE_NN_ADAM_H_

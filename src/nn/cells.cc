@@ -1,0 +1,145 @@
+#include "nn/cells.h"
+
+#include <cmath>
+
+namespace lpce::nn {
+
+namespace {
+
+Tensor ZeroVec(size_t dim) { return MakeTensor(Matrix(1, dim, 0.0f)); }
+
+Tensor SumChildren(const Tensor& left, const Tensor& right, size_t dim) {
+  if (left != nullptr && right != nullptr) return Add(left, right);
+  if (left != nullptr) return left;
+  if (right != nullptr) return right;
+  return ZeroVec(dim);
+}
+
+/// 1 - t, element-wise.
+Tensor OneMinus(const Tensor& t) { return AddScalar(Scale(t, -1.0f), 1.0f); }
+
+}  // namespace
+
+TreeSruCell::TreeSruCell(ParamStore* store, const std::string& prefix, size_t dim,
+                         Rng* rng)
+    : wx_(store, prefix + ".wx", dim, dim, rng),
+      wf_(store, prefix + ".wf", dim, dim, rng),
+      wr_(store, prefix + ".wr", dim, dim, rng),
+      dim_(dim) {}
+
+CellOutput TreeSruCell::Step(const Tensor& x, const Tensor& c_left,
+                             const Tensor& c_right) const {
+  LPCE_CHECK(x->value().cols() == dim_);
+  Tensor x_tilde = wx_.Forward(x);
+  Tensor f = Sigmoid(wf_.Forward(x));
+  Tensor r = Sigmoid(wr_.Forward(x));
+  Tensor child_sum = SumChildren(c_left, c_right, dim_);
+  Tensor c = Add(Mul(f, child_sum), Mul(OneMinus(f), x_tilde));
+  Tensor h = Add(Mul(r, Tanh(c)), Mul(OneMinus(r), x));
+  return {c, h};
+}
+
+CellMatrixOutput TreeSruCell::Apply(const Matrix& x, const Matrix* c_left,
+                                    const Matrix* c_right) const {
+  LPCE_DCHECK(x.cols() == dim_);
+  Matrix x_tilde = wx_.Apply(x);
+  Matrix f = wf_.Apply(x);
+  SigmoidInPlace(&f);
+  Matrix r = wr_.Apply(x);
+  SigmoidInPlace(&r);
+  CellMatrixOutput out;
+  out.c = Matrix(1, dim_);
+  out.h = Matrix(1, dim_);
+  for (size_t j = 0; j < dim_; ++j) {
+    float child = 0.0f;
+    if (c_left != nullptr) child += c_left->at(0, j);
+    if (c_right != nullptr) child += c_right->at(0, j);
+    const float fj = f.at(0, j);
+    const float cj = fj * child + (1.0f - fj) * x_tilde.at(0, j);
+    out.c.at(0, j) = cj;
+    const float rj = r.at(0, j);
+    out.h.at(0, j) = rj * std::tanh(cj) + (1.0f - rj) * x.at(0, j);
+  }
+  return out;
+}
+
+TreeLstmCell::TreeLstmCell(ParamStore* store, const std::string& prefix, size_t dim,
+                           Rng* rng)
+    : wi_(store, prefix + ".wi", dim, dim, rng),
+      ui_(store, prefix + ".ui", dim, dim, rng),
+      wf_(store, prefix + ".wf", dim, dim, rng),
+      uf_(store, prefix + ".uf", dim, dim, rng),
+      wo_(store, prefix + ".wo", dim, dim, rng),
+      uo_(store, prefix + ".uo", dim, dim, rng),
+      wg_(store, prefix + ".wg", dim, dim, rng),
+      ug_(store, prefix + ".ug", dim, dim, rng),
+      dim_(dim) {}
+
+CellOutput TreeLstmCell::Step(const Tensor& x, const Tensor& c_left,
+                              const Tensor& h_left, const Tensor& c_right,
+                              const Tensor& h_right) const {
+  LPCE_CHECK(x->value().cols() == dim_);
+  Tensor h_sum = SumChildren(h_left, h_right, dim_);
+  Tensor i = Sigmoid(Add(wi_.Forward(x), ui_.Forward(h_sum)));
+  Tensor o = Sigmoid(Add(wo_.Forward(x), uo_.Forward(h_sum)));
+  Tensor g = Tanh(Add(wg_.Forward(x), ug_.Forward(h_sum)));
+  Tensor c = Mul(i, g);
+  if (c_left != nullptr) {
+    Tensor hl = h_left != nullptr ? h_left : ZeroVec(dim_);
+    Tensor fl = Sigmoid(Add(wf_.Forward(x), uf_.Forward(hl)));
+    c = Add(c, Mul(fl, c_left));
+  }
+  if (c_right != nullptr) {
+    Tensor hr = h_right != nullptr ? h_right : ZeroVec(dim_);
+    Tensor fr = Sigmoid(Add(wf_.Forward(x), uf_.Forward(hr)));
+    c = Add(c, Mul(fr, c_right));
+  }
+  Tensor h = Mul(o, Tanh(c));
+  return {c, h};
+}
+
+CellMatrixOutput TreeLstmCell::Apply(const Matrix& x, const Matrix* c_left,
+                                     const Matrix* h_left, const Matrix* c_right,
+                                     const Matrix* h_right) const {
+  LPCE_DCHECK(x.cols() == dim_);
+  Matrix h_sum(1, dim_, 0.0f);
+  if (h_left != nullptr) h_sum.AddInPlace(*h_left);
+  if (h_right != nullptr) h_sum.AddInPlace(*h_right);
+
+  Matrix i = wi_.Apply(x);
+  i.AddInPlace(ui_.Apply(h_sum));
+  SigmoidInPlace(&i);
+  Matrix o = wo_.Apply(x);
+  o.AddInPlace(uo_.Apply(h_sum));
+  SigmoidInPlace(&o);
+  Matrix g = wg_.Apply(x);
+  g.AddInPlace(ug_.Apply(h_sum));
+  TanhInPlace(&g);
+
+  CellMatrixOutput out;
+  out.c = Matrix(1, dim_);
+  for (size_t j = 0; j < dim_; ++j) out.c.at(0, j) = i.at(0, j) * g.at(0, j);
+
+  const Matrix wf_x = wf_.Apply(x);
+  auto add_child = [&](const Matrix* child_c, const Matrix* child_h) {
+    if (child_c == nullptr) return;
+    Matrix hk(1, dim_, 0.0f);
+    if (child_h != nullptr) hk = *child_h;
+    Matrix fk = wf_x;
+    fk.AddInPlace(uf_.Apply(hk));
+    SigmoidInPlace(&fk);
+    for (size_t j = 0; j < dim_; ++j) {
+      out.c.at(0, j) += fk.at(0, j) * child_c->at(0, j);
+    }
+  };
+  add_child(c_left, h_left);
+  add_child(c_right, h_right);
+
+  out.h = Matrix(1, dim_);
+  for (size_t j = 0; j < dim_; ++j) {
+    out.h.at(0, j) = o.at(0, j) * std::tanh(out.c.at(0, j));
+  }
+  return out;
+}
+
+}  // namespace lpce::nn

@@ -1,0 +1,96 @@
+// Tree-structured recurrent cells.
+//
+// TreeSruCell implements the simple recurrent unit of paper Eq. (1), extended
+// to binary trees: the children encodings are summed (c_l + c_r). It needs
+// 3 input-side matrix multiplications versus the tree-LSTM's 8, which is the
+// source of LPCE-I's inference-speed advantage over TLSTM (Sec. 4.2).
+//
+// TreeLstmCell is a child-sum binary tree LSTM (Tai et al. style) used by the
+// TLSTM baseline and the LPCE-T ablation.
+#ifndef LPCE_NN_CELLS_H_
+#define LPCE_NN_CELLS_H_
+
+#include <string>
+
+#include "nn/layers.h"
+#include "nn/tensor.h"
+
+namespace lpce::nn {
+
+/// Result of one recurrent step: the node encoding c (passed to the parent)
+/// and the node representation h (fed to the output module).
+struct CellOutput {
+  Tensor c;
+  Tensor h;
+};
+
+/// Inference fast-path equivalent of CellOutput (plain matrices).
+struct CellMatrixOutput {
+  Matrix c;
+  Matrix h;
+};
+
+/// Tree SRU (paper Eq. 1):
+///   x~ = W_x x
+///   f  = sigmoid(W_f x + b_f)
+///   r  = sigmoid(W_r x + b_r)
+///   c  = f (.) (c_l + c_r) + (1 - f) (.) x~
+///   h  = r (.) tanh(c) + (1 - r) (.) x
+/// x, c and h all have the same dimensionality `dim`.
+class TreeSruCell {
+ public:
+  TreeSruCell() = default;
+  TreeSruCell(ParamStore* store, const std::string& prefix, size_t dim, Rng* rng);
+
+  /// One step. Either child tensor may be null (leaf / unary node); missing
+  /// children contribute a zero encoding.
+  CellOutput Step(const Tensor& x, const Tensor& c_left,
+                  const Tensor& c_right) const;
+
+  /// Inference fast path; null child pointers contribute zero encodings.
+  CellMatrixOutput Apply(const Matrix& x, const Matrix* c_left,
+                         const Matrix* c_right) const;
+
+  size_t dim() const { return dim_; }
+
+ private:
+  Linear wx_;  // no bias in the paper's x~ = W_x x; we keep the bias at zero init
+  Linear wf_;
+  Linear wr_;
+  size_t dim_ = 0;
+};
+
+/// Binary child-sum tree LSTM:
+///   i = sigmoid(W_i x + U_i (h_l + h_r) + b_i)
+///   f_k = sigmoid(W_f x + U_f h_k + b_f)     for each child k
+///   o = sigmoid(W_o x + U_o (h_l + h_r) + b_o)
+///   g = tanh(W_g x + U_g (h_l + h_r) + b_g)
+///   c = i (.) g + f_l (.) c_l + f_r (.) c_r
+///   h = o (.) tanh(c)
+class TreeLstmCell {
+ public:
+  TreeLstmCell() = default;
+  TreeLstmCell(ParamStore* store, const std::string& prefix, size_t dim, Rng* rng);
+
+  /// One step; children pass both their c and h. Null children are zeros.
+  CellOutput Step(const Tensor& x, const Tensor& c_left, const Tensor& h_left,
+                  const Tensor& c_right, const Tensor& h_right) const;
+
+  /// Inference fast path; null child pointers contribute zero states.
+  CellMatrixOutput Apply(const Matrix& x, const Matrix* c_left,
+                         const Matrix* h_left, const Matrix* c_right,
+                         const Matrix* h_right) const;
+
+  size_t dim() const { return dim_; }
+
+ private:
+  Linear wi_, ui_;
+  Linear wf_, uf_;
+  Linear wo_, uo_;
+  Linear wg_, ug_;
+  size_t dim_ = 0;
+};
+
+}  // namespace lpce::nn
+
+#endif  // LPCE_NN_CELLS_H_

@@ -1,0 +1,196 @@
+#include "nn/layers.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace lpce::nn {
+
+Tensor ParamStore::GetOrCreate(const std::string& name, size_t rows, size_t cols,
+                               float limit, Rng* rng) {
+  auto it = params_.find(name);
+  if (it != params_.end()) {
+    LPCE_CHECK_MSG(it->second->value().rows() == rows &&
+                       it->second->value().cols() == cols,
+                   "parameter re-created with a different shape");
+    return it->second;
+  }
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng->UniformDouble(-limit, limit));
+  }
+  Tensor t = MakeTensor(std::move(m), /*requires_grad=*/true);
+  params_.emplace(name, t);
+  names_.push_back(name);
+  return t;
+}
+
+Tensor ParamStore::Get(const std::string& name) const {
+  auto it = params_.find(name);
+  LPCE_CHECK_MSG(it != params_.end(), "unknown parameter");
+  return it->second;
+}
+
+size_t ParamStore::NumParams() const {
+  size_t n = 0;
+  for (const auto& [name, t] : params_) n += t->value().size();
+  return n;
+}
+
+void ParamStore::ZeroGrads() {
+  for (auto& [name, t] : params_) t->ZeroGrad();
+}
+
+void ParamStore::ScaleGrads(float scale) {
+  for (auto& [name, t] : params_) {
+    Matrix& g = t->grad();
+    for (size_t i = 0; i < g.size(); ++i) g.data()[i] *= scale;
+  }
+}
+
+void ParamStore::ClipGradNorm(float max_norm) {
+  float sq = 0.0f;
+  for (auto& [name, t] : params_) sq += t->grad().SumSquares();
+  const float norm = std::sqrt(sq);
+  if (norm <= max_norm || norm == 0.0f) return;
+  ScaleGrads(max_norm / norm);
+}
+
+Status ParamStore::SaveToFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open for write: " + path);
+  const uint64_t count = names_.size();
+  std::fwrite(&count, sizeof(count), 1, f);
+  for (const auto& name : names_) {
+    const Tensor& t = params_.at(name);
+    const uint64_t len = name.size();
+    const uint64_t rows = t->value().rows();
+    const uint64_t cols = t->value().cols();
+    std::fwrite(&len, sizeof(len), 1, f);
+    std::fwrite(name.data(), 1, len, f);
+    std::fwrite(&rows, sizeof(rows), 1, f);
+    std::fwrite(&cols, sizeof(cols), 1, f);
+    std::fwrite(t->value().data(), sizeof(float), t->value().size(), f);
+  }
+  std::fclose(f);
+  return Status::Ok();
+}
+
+Status ParamStore::LoadFromFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open for read: " + path);
+  uint64_t count = 0;
+  if (std::fread(&count, sizeof(count), 1, f) != 1) {
+    std::fclose(f);
+    return Status::IoError("truncated parameter file: " + path);
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t len = 0, rows = 0, cols = 0;
+    if (std::fread(&len, sizeof(len), 1, f) != 1 || len > 4096) {
+      std::fclose(f);
+      return Status::IoError("corrupt parameter file: " + path);
+    }
+    std::string name(len, '\0');
+    if (std::fread(name.data(), 1, len, f) != len ||
+        std::fread(&rows, sizeof(rows), 1, f) != 1 ||
+        std::fread(&cols, sizeof(cols), 1, f) != 1) {
+      std::fclose(f);
+      return Status::IoError("corrupt parameter file: " + path);
+    }
+    auto it = params_.find(name);
+    if (it == params_.end()) {
+      std::fclose(f);
+      return Status::InvalidArgument("parameter not in model: " + name);
+    }
+    Matrix& m = it->second->mutable_value();
+    if (m.rows() != rows || m.cols() != cols) {
+      std::fclose(f);
+      return Status::InvalidArgument("shape mismatch for parameter: " + name);
+    }
+    if (std::fread(m.data(), sizeof(float), m.size(), f) != m.size()) {
+      std::fclose(f);
+      return Status::IoError("truncated parameter data: " + path);
+    }
+  }
+  std::fclose(f);
+  return Status::Ok();
+}
+
+Linear::Linear(ParamStore* store, const std::string& prefix, size_t in, size_t out,
+               Rng* rng)
+    : in_(in), out_(out) {
+  // Xavier/Glorot uniform initialization.
+  const float limit = std::sqrt(6.0f / static_cast<float>(in + out));
+  w_ = store->GetOrCreate(prefix + ".W", in, out, limit, rng);
+  b_ = store->GetOrCreate(prefix + ".b", 1, out, 0.0f, rng);
+}
+
+Tensor Linear::Forward(const Tensor& x) const {
+  LPCE_CHECK_MSG(w_ != nullptr, "Linear used before construction");
+  return AddRowBroadcast(MatMul(x, w_), b_);
+}
+
+Matrix Linear::Apply(const Matrix& x) const {
+  LPCE_DCHECK(w_ != nullptr);
+  Matrix out = x.MatMul(w_->value());
+  const Matrix& bias = b_->value();
+  for (size_t i = 0; i < out.rows(); ++i) {
+    for (size_t j = 0; j < out.cols(); ++j) out.at(i, j) += bias.at(0, j);
+  }
+  return out;
+}
+
+Mlp2::Mlp2(ParamStore* store, const std::string& prefix, size_t in, size_t hidden,
+           size_t out, Rng* rng)
+    : l1_(store, prefix + ".l1", in, hidden, rng),
+      l2_(store, prefix + ".l2", hidden, out, rng) {}
+
+namespace {
+Tensor Activate(const Tensor& x, Mlp2::Activation act) {
+  switch (act) {
+    case Mlp2::Activation::kRelu:
+      return Relu(x);
+    case Mlp2::Activation::kSigmoid:
+      return Sigmoid(x);
+    case Mlp2::Activation::kNone:
+      return x;
+  }
+  return x;
+}
+}  // namespace
+
+Tensor Mlp2::Forward(const Tensor& x, Activation inner, Activation outer) const {
+  return Activate(l2_.Forward(Activate(l1_.Forward(x), inner)), outer);
+}
+
+Tensor Mlp2::ForwardLogit(const Tensor& x, Activation inner) const {
+  return l2_.Forward(Activate(l1_.Forward(x), inner));
+}
+
+namespace {
+void ActivateInPlace(Matrix* m, Mlp2::Activation act) {
+  switch (act) {
+    case Mlp2::Activation::kRelu:
+      ReluInPlace(m);
+      break;
+    case Mlp2::Activation::kSigmoid:
+      SigmoidInPlace(m);
+      break;
+    case Mlp2::Activation::kNone:
+      break;
+  }
+}
+}  // namespace
+
+Matrix Mlp2::Apply(const Matrix& x, Activation inner, Activation outer) const {
+  Matrix out = ApplyLogit(x, inner);
+  ActivateInPlace(&out, outer);
+  return out;
+}
+
+Matrix Mlp2::ApplyLogit(const Matrix& x, Activation inner) const {
+  Matrix hidden = l1_.Apply(x);
+  ActivateInPlace(&hidden, inner);
+  return l2_.Apply(hidden);
+}
+
+}  // namespace lpce::nn

@@ -1,0 +1,109 @@
+#include "nn/matrix.h"
+
+#include <cmath>
+
+namespace lpce::nn {
+
+void Matrix::AddInPlace(const Matrix& other) {
+  LPCE_CHECK(SameShape(other));
+  const float* src = other.data();
+  float* dst = data();
+  for (size_t i = 0; i < data_.size(); ++i) dst[i] += src[i];
+}
+
+void Matrix::AddScaledInPlace(const Matrix& other, float scale) {
+  LPCE_CHECK(SameShape(other));
+  const float* src = other.data();
+  float* dst = data();
+  for (size_t i = 0; i < data_.size(); ++i) dst[i] += scale * src[i];
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  LPCE_CHECK(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_, 0.0f);
+  // i-k-j loop order: streams over contiguous rows of `other` and `out`.
+  for (size_t i = 0; i < rows_; ++i) {
+    const float* a_row = data() + i * cols_;
+    float* out_row = out.data() + i * other.cols_;
+    for (size_t k = 0; k < cols_; ++k) {
+      const float a = a_row[k];
+      if (a == 0.0f) continue;
+      const float* b_row = other.data() + k * other.cols_;
+      for (size_t j = 0; j < other.cols_; ++j) out_row[j] += a * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::TransposeMatMul(const Matrix& other) const {
+  // Computes this^T (cols_ x rows_) * other (rows_ x other.cols_).
+  LPCE_CHECK(rows_ == other.rows_);
+  Matrix out(cols_, other.cols_, 0.0f);
+  for (size_t k = 0; k < rows_; ++k) {
+    const float* a_row = data() + k * cols_;
+    const float* b_row = other.data() + k * other.cols_;
+    for (size_t i = 0; i < cols_; ++i) {
+      const float a = a_row[i];
+      if (a == 0.0f) continue;
+      float* out_row = out.data() + i * other.cols_;
+      for (size_t j = 0; j < other.cols_; ++j) out_row[j] += a * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::MatMulTranspose(const Matrix& other) const {
+  // Computes this (rows_ x cols_) * other^T (cols_ x other.rows_).
+  LPCE_CHECK(cols_ == other.cols_);
+  Matrix out(rows_, other.rows_, 0.0f);
+  for (size_t i = 0; i < rows_; ++i) {
+    const float* a_row = data() + i * cols_;
+    float* out_row = out.data() + i * other.rows_;
+    for (size_t j = 0; j < other.rows_; ++j) {
+      const float* b_row = other.data() + j * cols_;
+      float acc = 0.0f;
+      for (size_t k = 0; k < cols_; ++k) acc += a_row[k] * b_row[k];
+      out_row[j] = acc;
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix out(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = 0; j < cols_; ++j) out.at(j, i) = at(i, j);
+  }
+  return out;
+}
+
+float Matrix::SumAbs() const {
+  float acc = 0.0f;
+  for (float v : data_) acc += std::fabs(v);
+  return acc;
+}
+
+float Matrix::SumSquares() const {
+  float acc = 0.0f;
+  for (float v : data_) acc += v * v;
+  return acc;
+}
+
+void SigmoidInPlace(Matrix* m) {
+  float* d = m->data();
+  for (size_t i = 0; i < m->size(); ++i) d[i] = 1.0f / (1.0f + std::exp(-d[i]));
+}
+
+void TanhInPlace(Matrix* m) {
+  float* d = m->data();
+  for (size_t i = 0; i < m->size(); ++i) d[i] = std::tanh(d[i]);
+}
+
+void ReluInPlace(Matrix* m) {
+  float* d = m->data();
+  for (size_t i = 0; i < m->size(); ++i) {
+    if (d[i] < 0.0f) d[i] = 0.0f;
+  }
+}
+
+}  // namespace lpce::nn

@@ -1,0 +1,286 @@
+#include "nn/tensor.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace lpce::nn {
+
+namespace {
+
+bool AnyRequiresGrad(const std::vector<Tensor>& inputs) {
+  for (const auto& t : inputs) {
+    if (t->requires_grad()) return true;
+  }
+  return false;
+}
+
+Tensor MakeOp(Matrix value, std::vector<Tensor> inputs,
+              std::function<void(TensorNode*)> backward) {
+  bool req = AnyRequiresGrad(inputs);
+  auto node = std::make_shared<TensorNode>(std::move(value), req);
+  if (req) {
+    node->inputs() = std::move(inputs);
+    node->set_backward(std::move(backward));
+  }
+  return node;
+}
+
+}  // namespace
+
+Tensor MakeTensor(Matrix value, bool requires_grad) {
+  return std::make_shared<TensorNode>(std::move(value), requires_grad);
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  Matrix out = a->value().MatMul(b->value());
+  return MakeOp(std::move(out), {a, b}, [](TensorNode* self) {
+    const Matrix& g = self->grad();
+    Tensor a_in = self->inputs()[0];
+    Tensor b_in = self->inputs()[1];
+    if (a_in->requires_grad()) {
+      // dL/dA = G * B^T
+      a_in->grad().AddInPlace(g.MatMulTranspose(b_in->value()));
+    }
+    if (b_in->requires_grad()) {
+      // dL/dB = A^T * G
+      b_in->grad().AddInPlace(a_in->value().TransposeMatMul(g));
+    }
+  });
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  LPCE_CHECK(a->value().SameShape(b->value()));
+  Matrix out = a->value();
+  out.AddInPlace(b->value());
+  return MakeOp(std::move(out), {a, b}, [](TensorNode* self) {
+    const Matrix& g = self->grad();
+    for (auto& in : self->inputs()) {
+      if (in->requires_grad()) in->grad().AddInPlace(g);
+    }
+  });
+}
+
+Tensor AddRowBroadcast(const Tensor& a, const Tensor& bias) {
+  const Matrix& av = a->value();
+  const Matrix& bv = bias->value();
+  LPCE_CHECK(bv.rows() == 1 && bv.cols() == av.cols());
+  Matrix out = av;
+  for (size_t i = 0; i < out.rows(); ++i) {
+    for (size_t j = 0; j < out.cols(); ++j) out.at(i, j) += bv.at(0, j);
+  }
+  return MakeOp(std::move(out), {a, bias}, [](TensorNode* self) {
+    const Matrix& g = self->grad();
+    Tensor a_in = self->inputs()[0];
+    Tensor b_in = self->inputs()[1];
+    if (a_in->requires_grad()) a_in->grad().AddInPlace(g);
+    if (b_in->requires_grad()) {
+      Matrix& bg = b_in->grad();
+      for (size_t i = 0; i < g.rows(); ++i) {
+        for (size_t j = 0; j < g.cols(); ++j) bg.at(0, j) += g.at(i, j);
+      }
+    }
+  });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  LPCE_CHECK(a->value().SameShape(b->value()));
+  Matrix out = a->value();
+  out.AddScaledInPlace(b->value(), -1.0f);
+  return MakeOp(std::move(out), {a, b}, [](TensorNode* self) {
+    const Matrix& g = self->grad();
+    Tensor a_in = self->inputs()[0];
+    Tensor b_in = self->inputs()[1];
+    if (a_in->requires_grad()) a_in->grad().AddInPlace(g);
+    if (b_in->requires_grad()) b_in->grad().AddScaledInPlace(g, -1.0f);
+  });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  LPCE_CHECK(a->value().SameShape(b->value()));
+  Matrix out = a->value();
+  for (size_t i = 0; i < out.size(); ++i) out.data()[i] *= b->value().data()[i];
+  return MakeOp(std::move(out), {a, b}, [](TensorNode* self) {
+    const Matrix& g = self->grad();
+    Tensor a_in = self->inputs()[0];
+    Tensor b_in = self->inputs()[1];
+    if (a_in->requires_grad()) {
+      Matrix& ag = a_in->grad();
+      for (size_t i = 0; i < g.size(); ++i) {
+        ag.data()[i] += g.data()[i] * b_in->value().data()[i];
+      }
+    }
+    if (b_in->requires_grad()) {
+      Matrix& bg = b_in->grad();
+      for (size_t i = 0; i < g.size(); ++i) {
+        bg.data()[i] += g.data()[i] * a_in->value().data()[i];
+      }
+    }
+  });
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  Matrix out = a->value();
+  for (size_t i = 0; i < out.size(); ++i) out.data()[i] *= s;
+  return MakeOp(std::move(out), {a}, [s](TensorNode* self) {
+    Tensor a_in = self->inputs()[0];
+    if (a_in->requires_grad()) a_in->grad().AddScaledInPlace(self->grad(), s);
+  });
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  Matrix out = a->value();
+  for (size_t i = 0; i < out.size(); ++i) out.data()[i] += s;
+  return MakeOp(std::move(out), {a}, [](TensorNode* self) {
+    Tensor a_in = self->inputs()[0];
+    if (a_in->requires_grad()) a_in->grad().AddInPlace(self->grad());
+  });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  Matrix out = a->value();
+  for (size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = 1.0f / (1.0f + std::exp(-out.data()[i]));
+  }
+  return MakeOp(std::move(out), {a}, [](TensorNode* self) {
+    Tensor a_in = self->inputs()[0];
+    if (!a_in->requires_grad()) return;
+    const Matrix& g = self->grad();
+    const Matrix& y = self->value();
+    Matrix& ag = a_in->grad();
+    for (size_t i = 0; i < g.size(); ++i) {
+      const float yi = y.data()[i];
+      ag.data()[i] += g.data()[i] * yi * (1.0f - yi);
+    }
+  });
+}
+
+Tensor Tanh(const Tensor& a) {
+  Matrix out = a->value();
+  for (size_t i = 0; i < out.size(); ++i) out.data()[i] = std::tanh(out.data()[i]);
+  return MakeOp(std::move(out), {a}, [](TensorNode* self) {
+    Tensor a_in = self->inputs()[0];
+    if (!a_in->requires_grad()) return;
+    const Matrix& g = self->grad();
+    const Matrix& y = self->value();
+    Matrix& ag = a_in->grad();
+    for (size_t i = 0; i < g.size(); ++i) {
+      const float yi = y.data()[i];
+      ag.data()[i] += g.data()[i] * (1.0f - yi * yi);
+    }
+  });
+}
+
+Tensor Relu(const Tensor& a) {
+  Matrix out = a->value();
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (out.data()[i] < 0.0f) out.data()[i] = 0.0f;
+  }
+  return MakeOp(std::move(out), {a}, [](TensorNode* self) {
+    Tensor a_in = self->inputs()[0];
+    if (!a_in->requires_grad()) return;
+    const Matrix& g = self->grad();
+    const Matrix& x = a_in->value();
+    Matrix& ag = a_in->grad();
+    for (size_t i = 0; i < g.size(); ++i) {
+      if (x.data()[i] > 0.0f) ag.data()[i] += g.data()[i];
+    }
+  });
+}
+
+Tensor Abs(const Tensor& a) {
+  Matrix out = a->value();
+  for (size_t i = 0; i < out.size(); ++i) out.data()[i] = std::fabs(out.data()[i]);
+  return MakeOp(std::move(out), {a}, [](TensorNode* self) {
+    Tensor a_in = self->inputs()[0];
+    if (!a_in->requires_grad()) return;
+    const Matrix& g = self->grad();
+    const Matrix& x = a_in->value();
+    Matrix& ag = a_in->grad();
+    for (size_t i = 0; i < g.size(); ++i) {
+      const float xi = x.data()[i];
+      if (xi > 0.0f) {
+        ag.data()[i] += g.data()[i];
+      } else if (xi < 0.0f) {
+        ag.data()[i] -= g.data()[i];
+      }
+    }
+  });
+}
+
+Tensor ConcatCols(const Tensor& a, const Tensor& b) {
+  const Matrix& av = a->value();
+  const Matrix& bv = b->value();
+  LPCE_CHECK(av.rows() == bv.rows());
+  Matrix out(av.rows(), av.cols() + bv.cols());
+  for (size_t i = 0; i < av.rows(); ++i) {
+    for (size_t j = 0; j < av.cols(); ++j) out.at(i, j) = av.at(i, j);
+    for (size_t j = 0; j < bv.cols(); ++j) out.at(i, av.cols() + j) = bv.at(i, j);
+  }
+  return MakeOp(std::move(out), {a, b}, [](TensorNode* self) {
+    const Matrix& g = self->grad();
+    Tensor a_in = self->inputs()[0];
+    Tensor b_in = self->inputs()[1];
+    const size_t a_cols = a_in->value().cols();
+    if (a_in->requires_grad()) {
+      Matrix& ag = a_in->grad();
+      for (size_t i = 0; i < ag.rows(); ++i) {
+        for (size_t j = 0; j < a_cols; ++j) ag.at(i, j) += g.at(i, j);
+      }
+    }
+    if (b_in->requires_grad()) {
+      Matrix& bg = b_in->grad();
+      for (size_t i = 0; i < bg.rows(); ++i) {
+        for (size_t j = 0; j < bg.cols(); ++j) bg.at(i, j) += g.at(i, a_cols + j);
+      }
+    }
+  });
+}
+
+Tensor Sum(const Tensor& a) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < a->value().size(); ++i) acc += a->value().data()[i];
+  Matrix out(1, 1);
+  out.at(0, 0) = acc;
+  return MakeOp(std::move(out), {a}, [](TensorNode* self) {
+    Tensor a_in = self->inputs()[0];
+    if (!a_in->requires_grad()) return;
+    const float g = self->grad().at(0, 0);
+    Matrix& ag = a_in->grad();
+    for (size_t i = 0; i < ag.size(); ++i) ag.data()[i] += g;
+  });
+}
+
+void Backward(const Tensor& root) {
+  LPCE_CHECK_MSG(root->value().rows() == 1 && root->value().cols() == 1,
+                 "Backward root must be a 1x1 scalar");
+  // Iterative post-order DFS to get a reverse-topological order.
+  std::vector<TensorNode*> order;
+  std::unordered_set<TensorNode*> visited;
+  std::vector<std::pair<TensorNode*, size_t>> stack;
+  stack.emplace_back(root.get(), 0);
+  visited.insert(root.get());
+  while (!stack.empty()) {
+    auto& [node, idx] = stack.back();
+    if (idx < node->inputs().size()) {
+      TensorNode* child = node->inputs()[idx].get();
+      ++idx;
+      if (child->requires_grad() && visited.insert(child).second) {
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  // Zero interior gradients so repeated Backward calls on fresh graphs that
+  // share parameter leaves accumulate only into the leaves.
+  for (TensorNode* node : order) {
+    if (node->has_backward()) node->ZeroGrad();
+  }
+  root->grad().at(0, 0) = 1.0f;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    (*it)->RunBackward();
+  }
+}
+
+}  // namespace lpce::nn

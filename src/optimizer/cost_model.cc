@@ -1,0 +1,45 @@
+#include "optimizer/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lpce::opt {
+
+namespace {
+double Log2Clamped(double x) { return std::log2(std::max(2.0, x)); }
+}  // namespace
+
+double CostModel::SeqScanCost(double table_rows, int num_preds) const {
+  return table_rows * (params_.seq_tuple + params_.pred * num_preds);
+}
+
+double CostModel::IndexScanCost(double matching_rows,
+                                int num_residual_preds) const {
+  return params_.index_lookup +
+         matching_rows * (params_.index_tuple + params_.pred * num_residual_preds);
+}
+
+double CostModel::PseudoScanCost(double rows) const {
+  return rows * params_.pseudo_tuple;
+}
+
+double CostModel::JoinCost(exec::PhysOp op, double outer_rows, double inner_rows,
+                           double output_rows) const {
+  const double out = std::max(0.0, output_rows) * params_.out_tuple;
+  switch (op) {
+    case exec::PhysOp::kHashJoin:
+      return inner_rows * params_.hash_build + outer_rows * params_.hash_probe + out;
+    case exec::PhysOp::kMergeJoin:
+      return params_.sort *
+                 (outer_rows * Log2Clamped(outer_rows) +
+                  inner_rows * Log2Clamped(inner_rows)) +
+             params_.merge * (outer_rows + inner_rows) + out;
+    case exec::PhysOp::kNestLoopJoin:
+      return params_.nl_pair * outer_rows * inner_rows + out;
+    default:
+      LPCE_CHECK_MSG(false, "not a join operator");
+  }
+  return 0.0;
+}
+
+}  // namespace lpce::opt

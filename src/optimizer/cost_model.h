@@ -1,0 +1,50 @@
+// PostgreSQL-flavoured cost model for the physical operators in exec/plan.h.
+//
+// Costs are abstract work units proportional to the executor's actual work:
+// hash join is linear in both inputs, merge join pays n·log n sorts, nested
+// loop is quadratic (and therefore only wins for tiny outer inputs — the
+// regime where a cardinality underestimate makes the optimizer pick it by
+// mistake, paper Fig. 17).
+#ifndef LPCE_OPTIMIZER_COST_MODEL_H_
+#define LPCE_OPTIMIZER_COST_MODEL_H_
+
+#include "exec/plan.h"
+
+namespace lpce::opt {
+
+struct CostParams {
+  double seq_tuple = 1.0;       // per tuple scanned sequentially
+  double pred = 0.3;            // per predicate evaluation
+  double index_lookup = 60.0;   // per index range descent
+  double index_tuple = 2.5;     // per tuple fetched through an index
+  double hash_build = 2.0;      // per build-side tuple
+  double hash_probe = 1.2;      // per probe-side tuple
+  double sort = 0.25;           // per tuple * log2(tuples)
+  double merge = 0.5;           // per tuple merged
+  double nl_pair = 0.08;        // per (outer, inner) pair compared
+  double out_tuple = 0.3;       // per output tuple materialized
+  double pseudo_tuple = 0.2;    // per tuple re-read from a materialized result
+};
+
+class CostModel {
+ public:
+  CostModel() = default;
+  explicit CostModel(CostParams params) : params_(params) {}
+
+  const CostParams& params() const { return params_; }
+
+  double SeqScanCost(double table_rows, int num_preds) const;
+  double IndexScanCost(double matching_rows, int num_residual_preds) const;
+  double PseudoScanCost(double rows) const;
+
+  /// Join cost given the two input cardinalities and the output cardinality.
+  double JoinCost(exec::PhysOp op, double outer_rows, double inner_rows,
+                  double output_rows) const;
+
+ private:
+  CostParams params_;
+};
+
+}  // namespace lpce::opt
+
+#endif  // LPCE_OPTIMIZER_COST_MODEL_H_

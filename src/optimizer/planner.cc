@@ -1,0 +1,195 @@
+#include "optimizer/planner.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <unordered_map>
+
+#include "common/timer.h"
+
+namespace lpce::opt {
+
+namespace {
+
+/// DP table entry for one unit mask: best cost plus the decisions needed to
+/// reconstruct the plan (kept as masks, not trees, so losing candidates cost
+/// nothing to discard).
+struct Entry {
+  double cost = std::numeric_limits<double>::infinity();
+  double card = 0.0;
+  bool feasible = false;
+  // Join decision (internal nodes).
+  exec::PhysOp op = exec::PhysOp::kHashJoin;
+  uint32_t outer_mask = 0;
+  uint32_t inner_mask = 0;
+  int join_idx = -1;
+  // Scan decision (leaves).
+  bool use_index = false;
+  db::ColRef index_col;
+};
+
+}  // namespace
+
+PlanResult Planner::Plan(const qry::Query& query,
+                         card::CardinalityEstimator* estimator) {
+  std::vector<PlanUnit> units;
+  units.reserve(query.tables.size());
+  for (int pos = 0; pos < query.num_tables(); ++pos) {
+    PlanUnit unit;
+    unit.rels = qry::Bit(pos);
+    unit.table_pos = pos;
+    units.push_back(std::move(unit));
+  }
+  return PlanUnits(query, estimator, units);
+}
+
+PlanResult Planner::PlanUnits(const qry::Query& query,
+                              card::CardinalityEstimator* estimator,
+                              const std::vector<PlanUnit>& units) {
+  WallTimer total_timer;
+  PlanResult result;
+
+  const int n = static_cast<int>(units.size());
+  LPCE_CHECK(n >= 1 && n <= 20);
+  const uint32_t full = (uint32_t{1} << n) - 1;
+
+  std::vector<qry::RelSet> covered(uint64_t{1} << n, 0);
+  for (uint32_t mask = 1; mask <= full; ++mask) {
+    const int low = __builtin_ctz(mask);
+    covered[mask] = covered[mask & (mask - 1)] | units[low].rels;
+  }
+  {
+    qry::RelSet all = covered[full];
+    LPCE_CHECK_MSG(all == query.AllRels(), "units must cover the whole query");
+  }
+
+  // Estimation pool: one inference per unique table subset (Sec. 6.1).
+  std::unordered_map<qry::RelSet, double> pool;
+  auto estimate = [&](uint32_t mask) -> double {
+    // Exactly-one-pseudo-unit masks have exactly known cardinality.
+    if ((mask & (mask - 1)) == 0) {
+      const PlanUnit& unit = units[__builtin_ctz(mask)];
+      if (unit.known_card >= 0.0) return unit.known_card;
+    }
+    const qry::RelSet rels = covered[mask];
+    auto it = pool.find(rels);
+    if (it != pool.end()) return it->second;
+    WallTimer timer;
+    const double card = std::max(0.0, estimator->EstimateSubset(query, rels));
+    result.inference_seconds += timer.ElapsedSeconds();
+    ++result.num_estimates;
+    pool.emplace(rels, card);
+    return card;
+  };
+
+  std::vector<Entry> best(uint64_t{1} << n);
+
+  // Leaves.
+  for (int i = 0; i < n; ++i) {
+    const uint32_t mask = uint32_t{1} << i;
+    Entry& entry = best[mask];
+    entry.card = estimate(mask);
+    entry.feasible = true;
+    const PlanUnit& unit = units[i];
+    if (unit.materialized != nullptr) {
+      entry.cost = cost_model_.PseudoScanCost(entry.card);
+      continue;
+    }
+    const int32_t table_id = query.tables[unit.table_pos];
+    const auto preds = query.PredicatesOf(unit.table_pos);
+    const double table_rows =
+        static_cast<double>(db_->table(table_id).num_rows());
+    entry.cost = cost_model_.SeqScanCost(table_rows, static_cast<int>(preds.size()));
+    for (const auto& pred : preds) {
+      if (pred.op == qry::CmpOp::kNe) continue;
+      const double index_cost = cost_model_.IndexScanCost(
+          entry.card, static_cast<int>(preds.size()) - 1);
+      if (index_cost < entry.cost) {
+        entry.cost = index_cost;
+        entry.use_index = true;
+        entry.index_col = pred.col;
+      }
+    }
+  }
+
+  // DPsize over connected unit subsets; iterating masks in increasing
+  // numeric order works because every strict submask is smaller.
+  for (uint32_t mask = 1; mask <= full; ++mask) {
+    if ((mask & (mask - 1)) == 0) continue;  // leaf
+    if (!query.IsConnected(covered[mask])) continue;
+    Entry& entry = best[mask];
+    double out_card = -1.0;
+    for (uint32_t sub = (mask - 1) & mask; sub != 0; sub = (sub - 1) & mask) {
+      const uint32_t other = mask ^ sub;
+      if (!best[sub].feasible || !best[other].feasible) continue;
+      const auto joins = query.JoinsBetween(covered[sub], covered[other]);
+      if (joins.empty()) continue;
+      if (out_card < 0.0) out_card = estimate(mask);
+      const double outer_rows = best[sub].card;
+      const double inner_rows = best[other].card;
+      for (exec::PhysOp op : {exec::PhysOp::kHashJoin, exec::PhysOp::kMergeJoin,
+                              exec::PhysOp::kNestLoopJoin}) {
+        const double cost =
+            best[sub].cost + best[other].cost +
+            cost_model_.JoinCost(op, outer_rows, inner_rows, out_card);
+        if (cost < entry.cost) {
+          entry.cost = cost;
+          entry.card = out_card;
+          entry.feasible = true;
+          entry.op = op;
+          entry.outer_mask = sub;
+          entry.inner_mask = other;
+          entry.join_idx = joins[0];
+        }
+      }
+    }
+  }
+
+  LPCE_CHECK_MSG(best[full].feasible, "query join graph must be connected");
+
+  // Reconstruct the winning plan.
+  std::function<std::unique_ptr<exec::PlanNode>(uint32_t)> build =
+      [&](uint32_t mask) -> std::unique_ptr<exec::PlanNode> {
+    const Entry& entry = best[mask];
+    auto node = std::make_unique<exec::PlanNode>();
+    node->rels = covered[mask];
+    node->est_card = entry.card;
+    node->est_cost = entry.cost;
+    if ((mask & (mask - 1)) == 0) {
+      const PlanUnit& unit = units[__builtin_ctz(mask)];
+      if (unit.materialized != nullptr) {
+        node->op = exec::PhysOp::kPseudoScan;
+        node->pseudo = unit.materialized;
+      } else {
+        node->table_pos = unit.table_pos;
+        node->filters = query.PredicatesOf(unit.table_pos);
+        if (entry.use_index) {
+          node->op = exec::PhysOp::kIndexScan;
+          node->index_col = entry.index_col;
+        } else {
+          node->op = exec::PhysOp::kSeqScan;
+        }
+      }
+      return node;
+    }
+    node->op = entry.op;
+    node->outer = build(entry.outer_mask);
+    node->inner = build(entry.inner_mask);
+    const qry::Join& join = query.joins[entry.join_idx];
+    const int left_pos = query.PositionOf(join.left.table);
+    if (qry::Contains(node->outer->rels, left_pos)) {
+      node->outer_key = join.left;
+      node->inner_key = join.right;
+    } else {
+      node->outer_key = join.right;
+      node->inner_key = join.left;
+    }
+    return node;
+  };
+  result.plan = build(full);
+  result.search_seconds =
+      std::max(0.0, total_timer.ElapsedSeconds() - result.inference_seconds);
+  return result;
+}
+
+}  // namespace lpce::opt

@@ -1,0 +1,291 @@
+#include "query/parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <vector>
+
+namespace lpce::qry {
+
+namespace {
+
+/// Hand-rolled tokenizer: identifiers, integers, punctuation, comparison
+/// operators. Keywords are matched case-insensitively.
+struct Token {
+  enum class Kind { kIdent, kNumber, kComma, kDot, kStar, kLParen, kRParen,
+                    kCmp, kEnd };
+  Kind kind = Kind::kEnd;
+  std::string text;     // identifiers (lower-cased) and operators
+  int64_t number = 0;   // kNumber
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : input_(input) {}
+
+  Status Next(Token* token) {
+    while (pos_ < input_.size() && std::isspace(static_cast<unsigned char>(
+                                       input_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ >= input_.size()) {
+      token->kind = Token::Kind::kEnd;
+      return Status::Ok();
+    }
+    const char c = input_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t end = pos_;
+      while (end < input_.size() &&
+             (std::isalnum(static_cast<unsigned char>(input_[end])) ||
+              input_[end] == '_')) {
+        ++end;
+      }
+      token->kind = Token::Kind::kIdent;
+      token->text = input_.substr(pos_, end - pos_);
+      std::transform(token->text.begin(), token->text.end(), token->text.begin(),
+                     [](unsigned char ch) { return std::tolower(ch); });
+      pos_ = end;
+      return Status::Ok();
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && pos_ + 1 < input_.size() &&
+         std::isdigit(static_cast<unsigned char>(input_[pos_ + 1])))) {
+      size_t end = pos_ + 1;
+      while (end < input_.size() &&
+             std::isdigit(static_cast<unsigned char>(input_[end]))) {
+        ++end;
+      }
+      token->kind = Token::Kind::kNumber;
+      token->number = std::stoll(input_.substr(pos_, end - pos_));
+      pos_ = end;
+      return Status::Ok();
+    }
+    switch (c) {
+      case ',':
+        token->kind = Token::Kind::kComma;
+        ++pos_;
+        return Status::Ok();
+      case '.':
+        token->kind = Token::Kind::kDot;
+        ++pos_;
+        return Status::Ok();
+      case '*':
+        token->kind = Token::Kind::kStar;
+        ++pos_;
+        return Status::Ok();
+      case '(':
+        token->kind = Token::Kind::kLParen;
+        ++pos_;
+        return Status::Ok();
+      case ')':
+        token->kind = Token::Kind::kRParen;
+        ++pos_;
+        return Status::Ok();
+      case '<':
+      case '>':
+      case '=': {
+        token->kind = Token::Kind::kCmp;
+        token->text = c;
+        ++pos_;
+        if (pos_ < input_.size() &&
+            (input_[pos_] == '=' || (c == '<' && input_[pos_] == '>'))) {
+          token->text += input_[pos_];
+          ++pos_;
+        }
+        return Status::Ok();
+      }
+      case ';':
+        ++pos_;
+        token->kind = Token::Kind::kEnd;
+        return Status::Ok();
+      default:
+        return Status::InvalidArgument(std::string("unexpected character '") + c +
+                                       "' at offset " + std::to_string(pos_));
+    }
+  }
+
+ private:
+  const std::string& input_;
+  size_t pos_ = 0;
+};
+
+Status ParseCmpOp(const std::string& text, CmpOp* op) {
+  if (text == "<") {
+    *op = CmpOp::kLt;
+  } else if (text == "<=") {
+    *op = CmpOp::kLe;
+  } else if (text == "=") {
+    *op = CmpOp::kEq;
+  } else if (text == ">=") {
+    *op = CmpOp::kGe;
+  } else if (text == ">") {
+    *op = CmpOp::kGt;
+  } else if (text == "<>") {
+    *op = CmpOp::kNe;
+  } else {
+    return Status::InvalidArgument("unknown comparison operator: " + text);
+  }
+  return Status::Ok();
+}
+
+CmpOp Mirror(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt:
+      return CmpOp::kGt;
+    case CmpOp::kLe:
+      return CmpOp::kGe;
+    case CmpOp::kGt:
+      return CmpOp::kLt;
+    case CmpOp::kGe:
+      return CmpOp::kLe;
+    default:
+      return op;  // = and <> are symmetric
+  }
+}
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  Parser(const db::Catalog& catalog, const std::string& sql)
+      : catalog_(catalog), lexer_(sql) {}
+
+  Status Parse(Query* query) {
+    LPCE_RETURN_IF_ERROR(Advance());
+    LPCE_RETURN_IF_ERROR(ExpectKeyword("select"));
+    LPCE_RETURN_IF_ERROR(ExpectKeyword("count"));
+    LPCE_RETURN_IF_ERROR(Expect(Token::Kind::kLParen, "'('"));
+    LPCE_RETURN_IF_ERROR(Expect(Token::Kind::kStar, "'*'"));
+    LPCE_RETURN_IF_ERROR(Expect(Token::Kind::kRParen, "')'"));
+    LPCE_RETURN_IF_ERROR(ExpectKeyword("from"));
+
+    // Table list.
+    while (true) {
+      if (current_.kind != Token::Kind::kIdent) {
+        return Status::InvalidArgument("expected table name");
+      }
+      const int32_t table_id = catalog_.FindTable(current_.text);
+      if (table_id < 0) {
+        return Status::NotFound("unknown table: " + current_.text);
+      }
+      if (query->PositionOf(table_id) >= 0) {
+        return Status::InvalidArgument("table listed twice: " + current_.text);
+      }
+      query->tables.push_back(table_id);
+      LPCE_RETURN_IF_ERROR(Advance());
+      if (current_.kind != Token::Kind::kComma) break;
+      LPCE_RETURN_IF_ERROR(Advance());
+    }
+
+    // Optional WHERE clause (required whenever there is more than one table).
+    if (current_.kind == Token::Kind::kIdent && current_.text == "where") {
+      LPCE_RETURN_IF_ERROR(Advance());
+      while (true) {
+        LPCE_RETURN_IF_ERROR(ParseCondition(query));
+        if (current_.kind == Token::Kind::kIdent && current_.text == "and") {
+          LPCE_RETURN_IF_ERROR(Advance());
+          continue;
+        }
+        break;
+      }
+    }
+    if (current_.kind != Token::Kind::kEnd) {
+      return Status::InvalidArgument("trailing input after query");
+    }
+
+    // Contract: the join conditions must form a spanning tree.
+    if (query->num_joins() != query->num_tables() - 1) {
+      return Status::InvalidArgument(
+          "query must have exactly (tables - 1) join conditions, got " +
+          std::to_string(query->num_joins()));
+    }
+    if (!query->IsConnected(query->AllRels())) {
+      return Status::InvalidArgument("join conditions do not connect all tables");
+    }
+    return Status::Ok();
+  }
+
+ private:
+  Status Advance() { return lexer_.Next(&current_); }
+
+  Status Expect(Token::Kind kind, const char* what) {
+    if (current_.kind != kind) {
+      return Status::InvalidArgument(std::string("expected ") + what);
+    }
+    return Advance();
+  }
+
+  Status ExpectKeyword(const std::string& keyword) {
+    if (current_.kind != Token::Kind::kIdent || current_.text != keyword) {
+      return Status::InvalidArgument("expected keyword '" + keyword + "'");
+    }
+    return Advance();
+  }
+
+  /// table.column — both must exist in the catalog and the table must be in
+  /// the FROM list.
+  Status ParseColumn(const Query& query, ColRef* ref) {
+    if (current_.kind != Token::Kind::kIdent) {
+      return Status::InvalidArgument("expected table.column");
+    }
+    const int32_t table_id = catalog_.FindTable(current_.text);
+    if (table_id < 0) return Status::NotFound("unknown table: " + current_.text);
+    if (query.PositionOf(table_id) < 0) {
+      return Status::InvalidArgument("table not in FROM list: " + current_.text);
+    }
+    LPCE_RETURN_IF_ERROR(Advance());
+    LPCE_RETURN_IF_ERROR(Expect(Token::Kind::kDot, "'.'"));
+    if (current_.kind != Token::Kind::kIdent) {
+      return Status::InvalidArgument("expected column name");
+    }
+    const int32_t column = catalog_.FindColumn(table_id, current_.text);
+    if (column < 0) {
+      return Status::NotFound("unknown column: " + current_.text);
+    }
+    ref->table = table_id;
+    ref->column = column;
+    return Advance();
+  }
+
+  /// One conjunct: either `col = col` (join) or `col op literal` (filter).
+  Status ParseCondition(Query* query) {
+    ColRef left;
+    LPCE_RETURN_IF_ERROR(ParseColumn(*query, &left));
+    if (current_.kind != Token::Kind::kCmp) {
+      return Status::InvalidArgument("expected comparison operator");
+    }
+    CmpOp op;
+    LPCE_RETURN_IF_ERROR(ParseCmpOp(current_.text, &op));
+    LPCE_RETURN_IF_ERROR(Advance());
+
+    if (current_.kind == Token::Kind::kNumber) {
+      query->predicates.push_back({left, op, current_.number});
+      return Advance();
+    }
+    // Column-to-column: must be an equijoin.
+    if (op != CmpOp::kEq) {
+      return Status::InvalidArgument("column-to-column conditions must use =");
+    }
+    ColRef right;
+    LPCE_RETURN_IF_ERROR(ParseColumn(*query, &right));
+    (void)Mirror(op);
+    if (left.table == right.table) {
+      return Status::InvalidArgument("self-joins are not supported");
+    }
+    query->joins.push_back({left, right});
+    return Status::Ok();
+  }
+
+  const db::Catalog& catalog_;
+  Lexer lexer_;
+  Token current_;
+};
+
+}  // namespace
+
+Status ParseQuery(const db::Catalog& catalog, const std::string& sql,
+                  Query* query) {
+  *query = Query{};
+  Parser parser(catalog, sql);
+  return parser.Parse(query);
+}
+
+}  // namespace lpce::qry

@@ -1,0 +1,26 @@
+// A small SQL parser for the query dialect the paper studies (Sec. 3):
+//
+//   SELECT COUNT(*) FROM t1, t2, ... WHERE t1.a = t2.b AND t1.c < 42 AND ...
+//
+// Conjunctions only; predicates compare a column to an integer literal with
+// one of < <= = >= > <>; join conditions equate two columns. The parser
+// validates the tables/columns against the catalog and checks the join graph
+// forms a spanning tree over the referenced tables (the planner's input
+// contract).
+#ifndef LPCE_QUERY_PARSER_H_
+#define LPCE_QUERY_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "query/query.h"
+
+namespace lpce::qry {
+
+/// Parses `sql` against `catalog`. On success fills `*query`.
+Status ParseQuery(const db::Catalog& catalog, const std::string& sql,
+                  Query* query);
+
+}  // namespace lpce::qry
+
+#endif  // LPCE_QUERY_PARSER_H_

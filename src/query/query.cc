@@ -1,0 +1,190 @@
+#include "query/query.h"
+
+#include <memory>
+#include <sstream>
+
+namespace lpce::qry {
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kGe:
+      return ">=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kNe:
+      return "<>";
+  }
+  return "?";
+}
+
+bool EvalCmp(int64_t lhs, CmpOp op, int64_t rhs) {
+  switch (op) {
+    case CmpOp::kLt:
+      return lhs < rhs;
+    case CmpOp::kLe:
+      return lhs <= rhs;
+    case CmpOp::kEq:
+      return lhs == rhs;
+    case CmpOp::kGe:
+      return lhs >= rhs;
+    case CmpOp::kGt:
+      return lhs > rhs;
+    case CmpOp::kNe:
+      return lhs != rhs;
+  }
+  return false;
+}
+
+int Query::PositionOf(int32_t table_id) const {
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (tables[i] == table_id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<Predicate> Query::PredicatesOf(int pos) const {
+  std::vector<Predicate> out;
+  for (const auto& p : predicates) {
+    if (p.col.table == tables[pos]) out.push_back(p);
+  }
+  return out;
+}
+
+bool Query::IsConnected(RelSet s) const {
+  if (s == 0) return false;
+  const int start = __builtin_ctz(s);
+  RelSet reached = Bit(start);
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (const auto& j : joins) {
+      const int lp = PositionOf(j.left.table);
+      const int rp = PositionOf(j.right.table);
+      if (!Contains(s, lp) || !Contains(s, rp)) continue;
+      const bool has_l = Contains(reached, lp);
+      const bool has_r = Contains(reached, rp);
+      if (has_l != has_r) {
+        reached |= Bit(lp) | Bit(rp);
+        grew = true;
+      }
+    }
+  }
+  return reached == s;
+}
+
+std::vector<int> Query::JoinsBetween(RelSet a, RelSet b) const {
+  std::vector<int> out;
+  for (size_t i = 0; i < joins.size(); ++i) {
+    const int lp = PositionOf(joins[i].left.table);
+    const int rp = PositionOf(joins[i].right.table);
+    if ((Contains(a, lp) && Contains(b, rp)) ||
+        (Contains(a, rp) && Contains(b, lp))) {
+      out.push_back(static_cast<int>(i));
+    }
+  }
+  return out;
+}
+
+std::vector<int> Query::JoinsWithin(RelSet s) const {
+  std::vector<int> out;
+  for (size_t i = 0; i < joins.size(); ++i) {
+    const int lp = PositionOf(joins[i].left.table);
+    const int rp = PositionOf(joins[i].right.table);
+    if (Contains(s, lp) && Contains(s, rp)) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+std::string Query::ToString(const db::Catalog& catalog) const {
+  std::ostringstream os;
+  os << "SELECT COUNT(*) FROM ";
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << catalog.table(tables[i]).name;
+  }
+  os << " WHERE ";
+  bool first = true;
+  for (const auto& j : joins) {
+    if (!first) os << " AND ";
+    first = false;
+    os << catalog.ColumnName(j.left) << " = " << catalog.ColumnName(j.right);
+  }
+  for (const auto& p : predicates) {
+    if (!first) os << " AND ";
+    first = false;
+    os << catalog.ColumnName(p.col) << " " << CmpOpName(p.op) << " " << p.value;
+  }
+  return os.str();
+}
+
+std::unique_ptr<LogicalNode> BuildLeafNode(const Query& query, int table_pos) {
+  LPCE_CHECK(table_pos >= 0 && table_pos < query.num_tables());
+  auto node = std::make_unique<LogicalNode>();
+  node->rels = Bit(table_pos);
+  node->table_pos = table_pos;
+  return node;
+}
+
+std::unique_ptr<LogicalNode> BuildJoinNode(const Query& query,
+                                           std::unique_ptr<LogicalNode> left,
+                                           std::unique_ptr<LogicalNode> right) {
+  auto joins = query.JoinsBetween(left->rels, right->rels);
+  LPCE_CHECK_MSG(joins.size() == 1, "join tree partition must cut exactly one edge");
+  auto node = std::make_unique<LogicalNode>();
+  node->rels = left->rels | right->rels;
+  node->join_idx = joins[0];
+  node->left = std::move(left);
+  node->right = std::move(right);
+  return node;
+}
+
+std::unique_ptr<LogicalNode> BuildCanonicalTree(const Query& query, RelSet s) {
+  LPCE_CHECK_MSG(query.IsConnected(s), "canonical tree needs a connected subset");
+  // Greedy left-deep: start at the lowest position, repeatedly attach the
+  // lowest-position table connected to the current prefix.
+  std::unique_ptr<LogicalNode> acc = BuildLeafNode(query, __builtin_ctz(s));
+  RelSet remaining = s & ~acc->rels;
+  while (remaining != 0) {
+    int next = -1;
+    for (int pos = 0; pos < query.num_tables(); ++pos) {
+      if (!Contains(remaining, pos)) continue;
+      if (!query.JoinsBetween(acc->rels, Bit(pos)).empty()) {
+        next = pos;
+        break;
+      }
+    }
+    LPCE_CHECK(next >= 0);
+    acc = BuildJoinNode(query, std::move(acc), BuildLeafNode(query, next));
+    remaining &= ~Bit(next);
+  }
+  return acc;
+}
+
+Query BuildSubQuery(const Query& query, RelSet rels) {
+  Query sub;
+  for (int pos = 0; pos < query.num_tables(); ++pos) {
+    if (Contains(rels, pos)) sub.tables.push_back(query.tables[pos]);
+  }
+  for (int join_idx : query.JoinsWithin(rels)) {
+    sub.joins.push_back(query.joins[join_idx]);
+  }
+  for (const auto& pred : query.predicates) {
+    if (sub.PositionOf(pred.col.table) >= 0) sub.predicates.push_back(pred);
+  }
+  return sub;
+}
+
+void PostOrder(const LogicalNode* root, std::vector<const LogicalNode*>* out) {
+  if (root == nullptr) return;
+  PostOrder(root->left.get(), out);
+  PostOrder(root->right.get(), out);
+  out->push_back(root);
+}
+
+}  // namespace lpce::qry

@@ -1,0 +1,153 @@
+#include "stats/column_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace lpce::stats {
+
+double ColumnStats::EqUnknownSelectivity() const {
+  const double remaining_distinct =
+      std::max(1.0, n_distinct - static_cast<double>(mcvs.size()));
+  return histogram_total_freq / remaining_distinct;
+}
+
+double ColumnStats::FractionBelow(int64_t x, bool inclusive) const {
+  if (row_count == 0) return 0.0;
+  double frac = 0.0;
+  for (const auto& [value, freq] : mcvs) {
+    if (value < x || (inclusive && value == x)) frac += freq;
+  }
+  if (!bounds.empty() && histogram_total_freq > 0.0) {
+    const size_t buckets = bounds.size() - 1;
+    const double per_bucket = histogram_total_freq / static_cast<double>(buckets);
+    for (size_t b = 0; b < buckets; ++b) {
+      const int64_t lo = bounds[b];
+      const int64_t hi = bounds[b + 1];
+      if (x <= lo) {
+        if (inclusive && x == lo) {
+          // Touches only the bucket's lower edge; treat as empty overlap.
+        }
+        break;
+      }
+      if (x > hi) {
+        frac += per_bucket;
+        continue;
+      }
+      // Partial bucket: linear interpolation.
+      const double width = static_cast<double>(hi - lo) + 1.0;
+      const double covered = static_cast<double>(x - lo) + (inclusive ? 1.0 : 0.0);
+      frac += per_bucket * std::clamp(covered / width, 0.0, 1.0);
+    }
+  }
+  return std::clamp(frac, 0.0, 1.0);
+}
+
+double ColumnStats::Selectivity(qry::CmpOp op, int64_t value) const {
+  if (row_count == 0) return 0.0;
+  switch (op) {
+    case qry::CmpOp::kLt:
+      return FractionBelow(value, /*inclusive=*/false);
+    case qry::CmpOp::kLe:
+      return FractionBelow(value, /*inclusive=*/true);
+    case qry::CmpOp::kGe:
+      return std::clamp(1.0 - FractionBelow(value, /*inclusive=*/false), 0.0, 1.0);
+    case qry::CmpOp::kGt:
+      return std::clamp(1.0 - FractionBelow(value, /*inclusive=*/true), 0.0, 1.0);
+    case qry::CmpOp::kEq: {
+      for (const auto& [v, freq] : mcvs) {
+        if (v == value) return freq;
+      }
+      if (value < min_value || value > max_value) return 0.0;
+      return EqUnknownSelectivity();
+    }
+    case qry::CmpOp::kNe: {
+      double eq = 0.0;
+      bool found = false;
+      for (const auto& [v, freq] : mcvs) {
+        if (v == value) {
+          eq = freq;
+          found = true;
+          break;
+        }
+      }
+      if (!found) eq = (value >= min_value && value <= max_value)
+                           ? EqUnknownSelectivity()
+                           : 0.0;
+      return std::clamp(1.0 - eq, 0.0, 1.0);
+    }
+  }
+  return 1.0;
+}
+
+ColumnStats BuildColumnStats(const db::Table& table, size_t column, int num_mcvs,
+                             int num_buckets) {
+  ColumnStats stats;
+  const auto& values = table.column(column);
+  stats.row_count = values.size();
+  if (values.empty()) return stats;
+
+  std::unordered_map<int64_t, size_t> counts;
+  for (int64_t v : values) ++counts[v];
+  stats.n_distinct = static_cast<double>(counts.size());
+  stats.min_value = *std::min_element(values.begin(), values.end());
+  stats.max_value = *std::max_element(values.begin(), values.end());
+
+  // Most common values.
+  std::vector<std::pair<int64_t, size_t>> by_count(counts.begin(), counts.end());
+  std::sort(by_count.begin(), by_count.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  const size_t take = std::min<size_t>(static_cast<size_t>(num_mcvs),
+                                       by_count.size());
+  const double n = static_cast<double>(values.size());
+  std::unordered_map<int64_t, bool> is_mcv;
+  for (size_t i = 0; i < take; ++i) {
+    const double freq = static_cast<double>(by_count[i].second) / n;
+    stats.mcvs.emplace_back(by_count[i].first, freq);
+    stats.mcv_total_freq += freq;
+    is_mcv[by_count[i].first] = true;
+  }
+  stats.histogram_total_freq = std::max(0.0, 1.0 - stats.mcv_total_freq);
+
+  // Equi-depth histogram over the non-MCV values.
+  std::vector<int64_t> rest;
+  rest.reserve(values.size());
+  for (int64_t v : values) {
+    if (is_mcv.find(v) == is_mcv.end()) rest.push_back(v);
+  }
+  if (!rest.empty()) {
+    std::sort(rest.begin(), rest.end());
+    const size_t buckets = std::min<size_t>(static_cast<size_t>(num_buckets),
+                                            rest.size());
+    stats.bounds.resize(buckets + 1);
+    for (size_t b = 0; b <= buckets; ++b) {
+      const size_t idx =
+          std::min(rest.size() - 1, b * rest.size() / std::max<size_t>(1, buckets));
+      stats.bounds[b] = rest[idx];
+    }
+    stats.bounds.back() = rest.back();
+  } else {
+    stats.histogram_total_freq = 0.0;
+  }
+  return stats;
+}
+
+void DatabaseStats::Build(const db::Database& database) {
+  columns_.clear();
+  global_ids_.clear();
+  table_rows_.clear();
+  const db::Catalog& cat = database.catalog();
+  table_rows_.resize(cat.num_tables());
+  for (int32_t t = 0; t < cat.num_tables(); ++t) {
+    const db::Table& tab = database.table(t);
+    table_rows_[t] = tab.num_rows();
+    for (int32_t c = 0; c < static_cast<int32_t>(tab.num_columns()); ++c) {
+      global_ids_[static_cast<size_t>(Key({t, c}))] = columns_.size();
+      columns_.push_back(BuildColumnStats(tab, c));
+    }
+  }
+}
+
+}  // namespace lpce::stats

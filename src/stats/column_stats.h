@@ -1,0 +1,71 @@
+// PostgreSQL-style per-column statistics: most-common values, equi-depth
+// histogram, n_distinct. These feed the Histogram baseline estimator (the
+// stand-in for PostgreSQL's native estimator, paper Sec. 7.2) and the cost
+// model's scan-selectivity decisions.
+#ifndef LPCE_STATS_COLUMN_STATS_H_
+#define LPCE_STATS_COLUMN_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/query.h"
+#include "storage/database.h"
+
+namespace lpce::stats {
+
+struct ColumnStats {
+  size_t row_count = 0;
+  int64_t min_value = 0;
+  int64_t max_value = 0;
+  double n_distinct = 1.0;
+
+  /// Most common values with their frequency as a fraction of rows.
+  std::vector<std::pair<int64_t, double>> mcvs;
+  double mcv_total_freq = 0.0;
+
+  /// Equi-depth histogram bounds over the non-MCV values
+  /// (bounds.size() == buckets + 1; each bucket holds an equal row share).
+  std::vector<int64_t> bounds;
+  double histogram_total_freq = 0.0;  // 1 - mcv_total_freq
+
+  /// Selectivity of `col op value` under this column's statistics, in [0,1].
+  double Selectivity(qry::CmpOp op, int64_t value) const;
+
+  /// Fraction of rows with value < x (or <= x), combining MCVs + histogram.
+  double FractionBelow(int64_t x, bool inclusive) const;
+
+  /// Selectivity of equality with an unknown (non-MCV) value.
+  double EqUnknownSelectivity() const;
+};
+
+/// Builds statistics for one column (full scan — our tables are small; the
+/// real PostgreSQL ANALYZE samples).
+ColumnStats BuildColumnStats(const db::Table& table, size_t column,
+                             int num_mcvs = 16, int num_buckets = 32);
+
+/// Statistics for every column of every table in a database.
+class DatabaseStats {
+ public:
+  DatabaseStats() = default;
+  explicit DatabaseStats(const db::Database& database) { Build(database); }
+
+  void Build(const db::Database& database);
+
+  const ColumnStats& column(db::ColRef ref) const {
+    return columns_[global_ids_.at(static_cast<size_t>(Key(ref)))];
+  }
+  size_t table_rows(int32_t table) const { return table_rows_[table]; }
+
+ private:
+  int64_t Key(db::ColRef ref) const {
+    return static_cast<int64_t>(ref.table) * 64 + ref.column;
+  }
+
+  std::vector<ColumnStats> columns_;
+  std::unordered_map<size_t, size_t> global_ids_;
+  std::vector<size_t> table_rows_;
+};
+
+}  // namespace lpce::stats
+
+#endif  // LPCE_STATS_COLUMN_STATS_H_

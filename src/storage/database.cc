@@ -1,0 +1,353 @@
+#include "storage/database.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace lpce::db {
+
+int32_t Database::AddTable(TableDef def) {
+  const size_t cols = def.columns.size();
+  const int32_t id = catalog_.AddTable(std::move(def));
+  tables_.emplace_back(cols);
+  return id;
+}
+
+void Database::BuildAllIndexes() {
+  hash_indexes_.clear();
+  sorted_indexes_.clear();
+  hash_indexes_.resize(catalog_.TotalColumns());
+  sorted_indexes_.resize(catalog_.TotalColumns());
+  for (int32_t t = 0; t < catalog_.num_tables(); ++t) {
+    const Table& tab = tables_[t];
+    for (int32_t c = 0; c < static_cast<int32_t>(tab.num_columns()); ++c) {
+      const int32_t gid = catalog_.GlobalColumnId({t, c});
+      hash_indexes_[gid].Build(tab, c);
+      sorted_indexes_[gid].Build(tab, c);
+    }
+  }
+}
+
+namespace {
+
+// Row counts at scale 1.0. Sized so the worst badly-planned join still
+// finishes in seconds on one core while good plans take milliseconds.
+struct TableSizes {
+  size_t title = 24000;
+  size_t movie_companies = 48000;
+  size_t movie_info = 80000;
+  size_t movie_info_idx = 40000;
+  size_t movie_keyword = 60000;
+  size_t cast_info = 100000;
+  size_t company_name = 8000;
+  size_t keyword = 6000;
+  size_t person = 20000;
+  size_t info_type = 113;
+};
+
+size_t Scaled(size_t base, double scale) {
+  return std::max<size_t>(16, static_cast<size_t>(base * scale));
+}
+
+}  // namespace
+
+std::unique_ptr<Database> BuildSynthImdb(const SynthImdbOptions& options) {
+  auto database = std::make_unique<Database>();
+  Rng rng(options.seed);
+  TableSizes sizes;
+  const double s = options.scale;
+
+  const int32_t t_id = database->AddTable(
+      {"title",
+       {{"id"}, {"kind_id"}, {"production_year"}, {"votes"}, {"phonetic_code"}}});
+  const int32_t mc_id = database->AddTable(
+      {"movie_companies", {{"id"}, {"movie_id"}, {"company_id"}, {"company_type_id"}}});
+  const int32_t mi_id = database->AddTable(
+      {"movie_info", {{"id"}, {"movie_id"}, {"info_type_id"}, {"info_val"}}});
+  const int32_t midx_id = database->AddTable(
+      {"movie_info_idx", {{"id"}, {"movie_id"}, {"info_type_id"}, {"info_val"}}});
+  const int32_t mk_id = database->AddTable(
+      {"movie_keyword", {{"id"}, {"movie_id"}, {"keyword_id"}}});
+  const int32_t ci_id = database->AddTable(
+      {"cast_info", {{"id"}, {"movie_id"}, {"person_id"}, {"role_id"}}});
+  const int32_t cn_id = database->AddTable(
+      {"company_name", {{"id"}, {"country_code_id"}, {"kind_id"}}});
+  const int32_t kw_id = database->AddTable({"keyword", {{"id"}, {"phonetic_id"}}});
+  const int32_t p_id = database->AddTable(
+      {"person", {{"id"}, {"gender_id"}, {"birth_year"}}});
+  const int32_t it_id = database->AddTable({"info_type", {{"id"}, {"class_id"}}});
+
+  Catalog& cat = database->catalog();
+  // Satellites -> hub.
+  cat.AddJoinEdge({mc_id, 1}, {t_id, 0});
+  cat.AddJoinEdge({mi_id, 1}, {t_id, 0});
+  cat.AddJoinEdge({midx_id, 1}, {t_id, 0});
+  cat.AddJoinEdge({mk_id, 1}, {t_id, 0});
+  cat.AddJoinEdge({ci_id, 1}, {t_id, 0});
+  // Satellites -> second-hop dimensions.
+  cat.AddJoinEdge({mc_id, 2}, {cn_id, 0});
+  cat.AddJoinEdge({mk_id, 2}, {kw_id, 0});
+  cat.AddJoinEdge({ci_id, 2}, {p_id, 0});
+  cat.AddJoinEdge({mi_id, 2}, {it_id, 0});
+  cat.AddJoinEdge({midx_id, 2}, {it_id, 0});
+
+  // ---- title ----------------------------------------------------------
+  const size_t n_title = Scaled(sizes.title, s);
+  {
+    Table& tab = database->table(t_id);
+    tab.Reserve(n_title);
+    ZipfSampler kind_zipf(7, options.value_skew, &rng);
+    ZipfSampler year_zipf(140, 0.6, &rng);
+    ZipfSampler votes_zipf(100000, options.value_skew, &rng);
+    ZipfSampler phon_zipf(1000, options.value_skew, &rng);
+    for (size_t i = 0; i < n_title; ++i) {
+      const int64_t kind = static_cast<int64_t>(kind_zipf.Sample()) + 1;
+      // Recent years are (much) more common; kind correlates with year band.
+      int64_t year = 2020 - static_cast<int64_t>(year_zipf.Sample());
+      if (kind >= 5) year = std::max<int64_t>(1880, year - 15);
+      tab.AppendRow({static_cast<int64_t>(i),
+                     kind,
+                     year,
+                     static_cast<int64_t>(votes_zipf.Sample()),
+                     static_cast<int64_t>(phon_zipf.Sample()) + 1});
+    }
+  }
+
+  // A shared popularity permutation: the same movies tend to be "hot" in
+  // every satellite table, which creates the cross-table fanout correlations
+  // that make independence-based estimators fail (as on real IMDB). Two
+  // controls keep multi-satellite join sizes finite on an in-memory,
+  // materializing executor: (a) per-movie fanout within each satellite is
+  // capped, and (b) half of the rows draw from a satellite-private
+  // popularity ranking, so the extreme tails do not align perfectly.
+  std::vector<uint32_t> popularity(n_title);
+  std::iota(popularity.begin(), popularity.end(), 0);
+  rng.Shuffle(&popularity);
+  ZipfSampler movie_rank_zipf(n_title, options.fanout_skew, &rng);
+  const size_t fanout_cap =
+      16;  // constant: bounds worst-case multi-satellite join products
+  std::vector<uint32_t> private_popularity = popularity;
+  std::vector<uint16_t> fanout_count;
+  auto reset_satellite = [&]() {
+    fanout_count.assign(n_title, 0);
+    rng.Shuffle(&private_popularity);
+  };
+  auto sample_movie = [&]() -> int64_t {
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      const size_t rank = movie_rank_zipf.Sample();
+      const int64_t movie = rng.Bernoulli(0.5)
+                                ? popularity[rank]
+                                : private_popularity[rank];
+      if (fanout_count[movie] >= fanout_cap) continue;
+      ++fanout_count[movie];
+      return movie;
+    }
+    // Capped everywhere we looked: fall back to a uniform movie.
+    return static_cast<int64_t>(rng.Uniform(n_title));
+  };
+  const auto& title_year = database->table(t_id).column(2);
+  const auto& title_kind = database->table(t_id).column(1);
+
+  // ---- movie_companies -------------------------------------------------
+  const size_t n_cn = Scaled(sizes.company_name, s);
+  {
+    reset_satellite();
+    Table& tab = database->table(mc_id);
+    const size_t n = Scaled(sizes.movie_companies, s);
+    tab.Reserve(n);
+    ZipfSampler company_zipf(n_cn, options.value_skew, &rng);
+    ZipfSampler ctype_zipf(4, 1.2, &rng);
+    for (size_t i = 0; i < n; ++i) {
+      const int64_t movie = sample_movie();
+      // Popular (low-rank) companies gravitate to recent movies.
+      int64_t company = static_cast<int64_t>(company_zipf.Sample());
+      if (title_year[movie] < 1990) {
+        company = (company + static_cast<int64_t>(n_cn) / 2) %
+                  static_cast<int64_t>(n_cn);
+      }
+      tab.AppendRow({static_cast<int64_t>(i), movie, company,
+                     static_cast<int64_t>(ctype_zipf.Sample()) + 1});
+    }
+  }
+
+  // ---- movie_info / movie_info_idx --------------------------------------
+  const size_t n_it = Scaled(sizes.info_type, std::min(1.0, s));
+  auto fill_movie_info = [&](int32_t table_id, size_t base_rows) {
+    reset_satellite();
+    Table& tab = database->table(table_id);
+    const size_t n = Scaled(base_rows, s);
+    tab.Reserve(n);
+    ZipfSampler itype_zipf(n_it, options.value_skew, &rng);
+    for (size_t i = 0; i < n; ++i) {
+      const int64_t movie = sample_movie();
+      const int64_t itype = static_cast<int64_t>(itype_zipf.Sample()) + 1;
+      // info_val correlates with the movie's production year plus noise.
+      const int64_t val = (title_year[movie] - 1880) * 10 +
+                          rng.UniformInt(0, 99) + itype % 7;
+      tab.AppendRow({static_cast<int64_t>(i), movie, itype, val});
+    }
+  };
+  fill_movie_info(mi_id, sizes.movie_info);
+  fill_movie_info(midx_id, sizes.movie_info_idx);
+
+  // ---- movie_keyword ----------------------------------------------------
+  const size_t n_kw = Scaled(sizes.keyword, s);
+  {
+    reset_satellite();
+    Table& tab = database->table(mk_id);
+    const size_t n = Scaled(sizes.movie_keyword, s);
+    tab.Reserve(n);
+    ZipfSampler keyword_zipf(n_kw, options.value_skew, &rng);
+    for (size_t i = 0; i < n; ++i) {
+      const int64_t movie = sample_movie();
+      tab.AppendRow({static_cast<int64_t>(i), movie,
+                     static_cast<int64_t>(keyword_zipf.Sample())});
+    }
+  }
+
+  // ---- cast_info --------------------------------------------------------
+  const size_t n_person = Scaled(sizes.person, s);
+  {
+    reset_satellite();
+    Table& tab = database->table(ci_id);
+    const size_t n = Scaled(sizes.cast_info, s);
+    tab.Reserve(n);
+    ZipfSampler person_zipf(n_person, options.fanout_skew, &rng);
+    ZipfSampler role_zipf(11, 1.0, &rng);
+    for (size_t i = 0; i < n; ++i) {
+      const int64_t movie = sample_movie();
+      // role distribution depends on the movie's kind (correlation).
+      int64_t role = static_cast<int64_t>(role_zipf.Sample()) + 1;
+      role = 1 + (role + title_kind[movie] * 2) % 11;
+      tab.AppendRow({static_cast<int64_t>(i), movie,
+                     static_cast<int64_t>(person_zipf.Sample()), role});
+    }
+  }
+
+  // ---- company_name -----------------------------------------------------
+  {
+    Table& tab = database->table(cn_id);
+    tab.Reserve(n_cn);
+    ZipfSampler country_zipf(100, 1.1, &rng);
+    ZipfSampler kind_zipf(4, 1.0, &rng);
+    for (size_t i = 0; i < n_cn; ++i) {
+      tab.AppendRow({static_cast<int64_t>(i),
+                     static_cast<int64_t>(country_zipf.Sample()) + 1,
+                     static_cast<int64_t>(kind_zipf.Sample()) + 1});
+    }
+  }
+
+  // ---- keyword ----------------------------------------------------------
+  {
+    Table& tab = database->table(kw_id);
+    tab.Reserve(n_kw);
+    ZipfSampler phon_zipf(500, 1.0, &rng);
+    for (size_t i = 0; i < n_kw; ++i) {
+      tab.AppendRow({static_cast<int64_t>(i),
+                     static_cast<int64_t>(phon_zipf.Sample()) + 1});
+    }
+  }
+
+  // ---- person -----------------------------------------------------------
+  {
+    Table& tab = database->table(p_id);
+    tab.Reserve(n_person);
+    ZipfSampler birth_zipf(100, 0.7, &rng);
+    for (size_t i = 0; i < n_person; ++i) {
+      const int64_t gender = rng.Bernoulli(0.62) ? 1 : (rng.Bernoulli(0.9) ? 2 : 3);
+      tab.AppendRow({static_cast<int64_t>(i), gender,
+                     2000 - static_cast<int64_t>(birth_zipf.Sample())});
+    }
+  }
+
+  // ---- info_type --------------------------------------------------------
+  {
+    Table& tab = database->table(it_id);
+    tab.Reserve(n_it);
+    for (size_t i = 0; i < n_it; ++i) {
+      tab.AppendRow({static_cast<int64_t>(i) + 1,
+                     static_cast<int64_t>(i % 5) + 1});
+    }
+  }
+
+  database->BuildAllIndexes();
+  return database;
+}
+
+void AppendSynthImdbDrift(Database* database, double fraction, uint64_t seed) {
+  LPCE_CHECK(fraction > 0.0);
+  Rng rng(seed);
+  const Catalog& cat = database->catalog();
+  const int32_t t_id = cat.FindTable("title");
+  const int32_t mc_id = cat.FindTable("movie_companies");
+  const int32_t mi_id = cat.FindTable("movie_info");
+  const int32_t midx_id = cat.FindTable("movie_info_idx");
+  const int32_t mk_id = cat.FindTable("movie_keyword");
+  const int32_t ci_id = cat.FindTable("cast_info");
+  LPCE_CHECK(t_id >= 0 && mc_id >= 0 && mi_id >= 0 && midx_id >= 0 &&
+             mk_id >= 0 && ci_id >= 0);
+
+  // New movies: years beyond the original range, different kind mix.
+  Table& title = database->table(t_id);
+  const size_t old_titles = title.num_rows();
+  const size_t new_titles =
+      std::max<size_t>(8, static_cast<size_t>(old_titles * fraction));
+  ZipfSampler kind_zipf(7, 0.4, &rng);  // flatter kind mix than the base data
+  ZipfSampler votes_zipf(100000, 0.8, &rng);
+  for (size_t i = 0; i < new_titles; ++i) {
+    title.AppendRow({static_cast<int64_t>(old_titles + i),
+                     7 - static_cast<int64_t>(kind_zipf.Sample()),  // inverted
+                     rng.UniformInt(2021, 2035),
+                     static_cast<int64_t>(votes_zipf.Sample()),
+                     rng.UniformInt(1, 1000)});
+  }
+
+  // New fact rows reference mostly the new movies (recency skew).
+  auto sample_movie = [&]() -> int64_t {
+    if (rng.Bernoulli(0.8)) {
+      return static_cast<int64_t>(old_titles + rng.Uniform(new_titles));
+    }
+    return static_cast<int64_t>(rng.Uniform(old_titles));
+  };
+  auto append_fact = [&](int32_t table_id, auto make_row) {
+    Table& table = database->table(table_id);
+    const size_t old_rows = table.num_rows();
+    const size_t new_rows =
+        std::max<size_t>(8, static_cast<size_t>(old_rows * fraction));
+    for (size_t i = 0; i < new_rows; ++i) {
+      make_row(&table, static_cast<int64_t>(old_rows + i));
+    }
+  };
+  const size_t n_cn = database->table(cat.FindTable("company_name")).num_rows();
+  const size_t n_kw = database->table(cat.FindTable("keyword")).num_rows();
+  const size_t n_p = database->table(cat.FindTable("person")).num_rows();
+  const size_t n_it = database->table(cat.FindTable("info_type")).num_rows();
+  append_fact(mc_id, [&](Table* t, int64_t id) {
+    t->AppendRow({id, sample_movie(), static_cast<int64_t>(rng.Uniform(n_cn)),
+                  rng.UniformInt(1, 4)});
+  });
+  auto append_info = [&](int32_t table_id) {
+    append_fact(table_id, [&](Table* t, int64_t id) {
+      const int64_t movie = sample_movie();
+      const int64_t year = title.at(static_cast<size_t>(movie), 2);
+      t->AppendRow({id, movie,
+                    static_cast<int64_t>(rng.Uniform(n_it)) + 1,
+                    (year - 1880) * 10 + rng.UniformInt(0, 99)});
+    });
+  };
+  append_info(mi_id);
+  append_info(midx_id);
+  append_fact(mk_id, [&](Table* t, int64_t id) {
+    t->AppendRow({id, sample_movie(), static_cast<int64_t>(rng.Uniform(n_kw))});
+  });
+  append_fact(ci_id, [&](Table* t, int64_t id) {
+    t->AppendRow({id, sample_movie(), static_cast<int64_t>(rng.Uniform(n_p)),
+                  rng.UniformInt(1, 11)});
+  });
+
+  database->BuildAllIndexes();
+}
+
+}  // namespace lpce::db

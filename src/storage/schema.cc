@@ -1,0 +1,52 @@
+#include "storage/schema.h"
+
+namespace lpce::db {
+
+int32_t Catalog::AddTable(TableDef def) {
+  const int32_t id = num_tables();
+  column_offsets_.push_back(total_columns_);
+  total_columns_ += static_cast<int32_t>(def.columns.size());
+  tables_.push_back(std::move(def));
+  return id;
+}
+
+void Catalog::AddJoinEdge(ColRef left, ColRef right) {
+  LPCE_CHECK(left.table >= 0 && left.table < num_tables());
+  LPCE_CHECK(right.table >= 0 && right.table < num_tables());
+  LPCE_CHECK(left.table != right.table);
+  join_edges_.push_back({left, right});
+}
+
+int32_t Catalog::FindTable(const std::string& name) const {
+  for (int32_t i = 0; i < num_tables(); ++i) {
+    if (tables_[i].name == name) return i;
+  }
+  return -1;
+}
+
+int32_t Catalog::FindColumn(int32_t table, const std::string& name) const {
+  const TableDef& def = this->table(table);
+  for (size_t i = 0; i < def.columns.size(); ++i) {
+    if (def.columns[i].name == name) return static_cast<int32_t>(i);
+  }
+  return -1;
+}
+
+std::vector<int32_t> Catalog::EdgesOfTable(int32_t table) const {
+  std::vector<int32_t> out;
+  for (size_t i = 0; i < join_edges_.size(); ++i) {
+    if (join_edges_[i].left.table == table || join_edges_[i].right.table == table) {
+      out.push_back(static_cast<int32_t>(i));
+    }
+  }
+  return out;
+}
+
+int32_t Catalog::GlobalColumnId(ColRef ref) const {
+  LPCE_DCHECK(ref.table >= 0 && ref.table < num_tables());
+  LPCE_DCHECK(ref.column >= 0 &&
+              ref.column < static_cast<int32_t>(tables_[ref.table].columns.size()));
+  return column_offsets_[ref.table] + ref.column;
+}
+
+}  // namespace lpce::db

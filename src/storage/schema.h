@@ -1,0 +1,81 @@
+// Schema and catalog: tables, columns, and the foreign-key join graph.
+//
+// All attribute values are int64 (strings are dictionary-encoded at load
+// time, matching how the paper's feature encoding treats categorical string
+// columns — Sec. 7.1 "we encode these columns into integers").
+#ifndef LPCE_STORAGE_SCHEMA_H_
+#define LPCE_STORAGE_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace lpce::db {
+
+/// Identifies a column as (table index, column index) within a Catalog.
+struct ColRef {
+  int32_t table = -1;
+  int32_t column = -1;
+
+  bool operator==(const ColRef& other) const {
+    return table == other.table && column == other.column;
+  }
+};
+
+struct ColumnDef {
+  std::string name;
+};
+
+struct TableDef {
+  std::string name;
+  std::vector<ColumnDef> columns;
+};
+
+/// One undirected equi-join edge of the schema's foreign-key graph.
+struct JoinEdgeDef {
+  ColRef left;
+  ColRef right;
+};
+
+/// Names and shapes of all tables plus the FK join graph. The catalog also
+/// assigns every column a dense global id used by the feature encoder
+/// (the "column set" one-hot length |C| of paper Fig. 5).
+class Catalog {
+ public:
+  int32_t AddTable(TableDef def);
+  void AddJoinEdge(ColRef left, ColRef right);
+
+  int32_t num_tables() const { return static_cast<int32_t>(tables_.size()); }
+  const TableDef& table(int32_t id) const {
+    LPCE_DCHECK(id >= 0 && id < num_tables());
+    return tables_[id];
+  }
+  /// Returns -1 if not found.
+  int32_t FindTable(const std::string& name) const;
+  /// Returns -1 if not found.
+  int32_t FindColumn(int32_t table, const std::string& name) const;
+
+  const std::vector<JoinEdgeDef>& join_edges() const { return join_edges_; }
+  /// Edges incident to `table`.
+  std::vector<int32_t> EdgesOfTable(int32_t table) const;
+
+  /// Dense global id of a column across all tables, in [0, TotalColumns()).
+  int32_t GlobalColumnId(ColRef ref) const;
+  int32_t TotalColumns() const { return total_columns_; }
+
+  std::string ColumnName(ColRef ref) const {
+    return table(ref.table).name + "." + table(ref.table).columns[ref.column].name;
+  }
+
+ private:
+  std::vector<TableDef> tables_;
+  std::vector<int32_t> column_offsets_;  // prefix sums of column counts
+  std::vector<JoinEdgeDef> join_edges_;
+  int32_t total_columns_ = 0;
+};
+
+}  // namespace lpce::db
+
+#endif  // LPCE_STORAGE_SCHEMA_H_

@@ -1,0 +1,89 @@
+// Workload generation and true-cardinality labeling.
+//
+// Queries are random connected subtrees of the schema's FK join graph with a
+// target number of joins, plus per-table filter predicates whose operands
+// are drawn from the live data (paper Sec. 7.1, following Kipf et al.).
+// Labels are collected by executing the canonical plan and recording the
+// actual cardinality of every plan node — the supervision the node-wise
+// loss (Eq. 3) needs.
+#ifndef LPCE_WORKLOAD_WORKLOAD_H_
+#define LPCE_WORKLOAD_WORKLOAD_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "query/query.h"
+#include "storage/database.h"
+
+namespace lpce::wk {
+
+/// A query plus the true cardinality of every canonical-tree node subset.
+struct LabeledQuery {
+  qry::Query query;
+  std::unordered_map<qry::RelSet, uint64_t> true_cards;
+
+  uint64_t FinalCard() const {
+    auto it = true_cards.find(query.AllRels());
+    return it == true_cards.end() ? 0 : it->second;
+  }
+};
+
+struct GeneratorOptions {
+  uint64_t seed = 7;
+  double predicate_prob = 0.85;  // chance each table gets one predicate
+  /// Re-draw a query whose final result is empty (used for test sets, where
+  /// empty results make end-to-end comparisons degenerate).
+  bool require_nonempty = false;
+  /// Re-draw a query if any canonical-plan node exceeds this many rows — an
+  /// in-memory materializing executor needs bounded intermediates (0 = off).
+  size_t max_node_rows = 4'000'000;
+  /// Additionally verify EVERY connected subset stays under max_node_rows,
+  /// so that any join order a (mis-)optimizer picks is executable. Used for
+  /// the end-to-end test workloads; more expensive to generate.
+  bool validate_all_subsets = false;
+  int max_attempts = 400;
+};
+
+class QueryGenerator {
+ public:
+  QueryGenerator(const db::Database* database, GeneratorOptions options)
+      : db_(database), options_(options), rng_(options.seed) {}
+
+  /// Generates one query with exactly `num_joins` joins (num_joins + 1
+  /// tables). Labels are NOT collected (see LabelQuery).
+  qry::Query Generate(int num_joins);
+
+  /// Generates and labels `count` queries with joins drawn uniformly from
+  /// [min_joins, max_joins].
+  std::vector<LabeledQuery> GenerateLabeled(int count, int min_joins, int max_joins);
+
+ private:
+  const db::Database* db_;
+  GeneratorOptions options_;
+  Rng rng_;
+};
+
+/// Executes the canonical hash plan and records every node's actual
+/// cardinality into `out->true_cards`.
+void LabelQuery(const db::Database& database, LabeledQuery* out);
+
+/// As LabelQuery, but aborts (returning false) if any plan node would
+/// materialize more than `max_node_rows` rows (0 = unlimited).
+bool TryLabelQuery(const db::Database& database, LabeledQuery* out,
+                   size_t max_node_rows);
+
+/// Largest final cardinality across a workload (the normalization constant
+/// for the models' sigmoid output, paper Sec. 4.2).
+uint64_t MaxCardinality(const std::vector<LabeledQuery>& workload);
+
+/// Binary (de)serialization of labeled workloads for the bench cache.
+Status SaveWorkload(const std::vector<LabeledQuery>& workload,
+                    const std::string& path);
+Status LoadWorkload(const std::string& path, std::vector<LabeledQuery>* workload);
+
+}  // namespace lpce::wk
+
+#endif  // LPCE_WORKLOAD_WORKLOAD_H_

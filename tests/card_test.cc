@@ -1,0 +1,106 @@
+// Tests for the estimator interface machinery: the observed-cardinality
+// overlay, the oracle, and the sampling estimators' edge cases.
+#include <gtest/gtest.h>
+
+#include "card/histogram_estimator.h"
+#include "card/sampling.h"
+#include "workload/workload.h"
+
+namespace lpce::card {
+namespace {
+
+double exec_qerror(double a, double b) {
+  a = std::max(a, 1.0);
+  b = std::max(b, 1.0);
+  return a > b ? a / b : b / a;
+}
+
+class CardTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db::SynthImdbOptions opts;
+    opts.scale = 0.04;
+    database_ = db::BuildSynthImdb(opts);
+    stats_.Build(*database_);
+    wk::GeneratorOptions gen;
+    gen.seed = 21;
+    wk::QueryGenerator generator(database_.get(), gen);
+    labeled_ = generator.GenerateLabeled(1, 4, 4).front();
+  }
+
+  std::unique_ptr<db::Database> database_;
+  stats::DatabaseStats stats_;
+  wk::LabeledQuery labeled_;
+};
+
+TEST_F(CardTest, ObservedOverlayPinsExactValues) {
+  HistogramEstimator histogram(&stats_);
+  ObservedOverlay overlay(&histogram);
+  const qry::RelSet rels = 0b11;
+  const double base = overlay.EstimateSubset(labeled_.query, rels);
+  overlay.ObserveActual(labeled_.query, rels, 7777.0);
+  EXPECT_DOUBLE_EQ(overlay.EstimateSubset(labeled_.query, rels), 7777.0);
+  // Other subsets still delegate.
+  EXPECT_DOUBLE_EQ(overlay.EstimateSubset(labeled_.query, 0b01),
+                   histogram.EstimateSubset(labeled_.query, 0b01));
+  overlay.ResetObservations();
+  EXPECT_DOUBLE_EQ(overlay.EstimateSubset(labeled_.query, rels), base);
+}
+
+TEST_F(CardTest, ObservedOverlayDelegatesName) {
+  HistogramEstimator histogram(&stats_);
+  ObservedOverlay overlay(&histogram);
+  EXPECT_EQ(overlay.name(), histogram.name());
+  EXPECT_FALSE(overlay.SupportsRefinement());
+}
+
+TEST_F(CardTest, OracleReturnsTruthAndFallsBackToOne) {
+  std::unordered_map<qry::RelSet, double> truth = {{0b11, 123.0}};
+  OracleEstimator oracle(truth);
+  EXPECT_DOUBLE_EQ(oracle.EstimateSubset(labeled_.query, 0b11), 123.0);
+  EXPECT_DOUBLE_EQ(oracle.EstimateSubset(labeled_.query, 0b101), 1.0);
+}
+
+TEST_F(CardTest, JoinSampleSingleTableMatchesScanCount) {
+  // On a single filtered table the walk estimate is a plain scaled count;
+  // with many walks it should be close to exact.
+  JoinSampleEstimator sampler("s", database_.get(), 4000, 3);
+  for (int pos = 0; pos < labeled_.query.num_tables(); ++pos) {
+    const double est =
+        sampler.EstimateSubset(labeled_.query, qry::Bit(pos));
+    const double truth =
+        static_cast<double>(labeled_.true_cards.at(qry::Bit(pos)));
+    if (truth < 5.0) continue;  // tiny counts are noisy by nature
+    EXPECT_LT(exec_qerror(est, truth), 1.6) << "pos " << pos;
+  }
+}
+
+TEST_F(CardTest, JoinSampleFullQueryTracksTruth) {
+  JoinSampleEstimator sampler("s", database_.get(), 4000, 7);
+  const double est =
+      sampler.EstimateSubset(labeled_.query, labeled_.query.AllRels());
+  const double truth = static_cast<double>(labeled_.FinalCard());
+  if (truth >= 10.0) {
+    EXPECT_LT(exec_qerror(est, truth), 4.0);
+  } else {
+    EXPECT_LT(est, truth * 10 + 50);
+  }
+}
+
+TEST_F(CardTest, JoinSampleDeterministicGivenSeedState) {
+  JoinSampleEstimator a("a", database_.get(), 500, 99);
+  JoinSampleEstimator b("b", database_.get(), 500, 99);
+  EXPECT_DOUBLE_EQ(a.EstimateSubset(labeled_.query, labeled_.query.AllRels()),
+                   b.EstimateSubset(labeled_.query, labeled_.query.AllRels()));
+}
+
+TEST_F(CardTest, HistogramJoinEstimateIsPositiveOnNonEmptyTables) {
+  HistogramEstimator histogram(&stats_);
+  for (qry::RelSet rels = 1; rels <= labeled_.query.AllRels(); ++rels) {
+    if (!labeled_.query.IsConnected(rels)) continue;
+    EXPECT_GE(histogram.EstimateSubset(labeled_.query, rels), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace lpce::card

@@ -1,0 +1,171 @@
+// Tests for the common substrate: Status/Result, Rng determinism and
+// statistics, timers, logging levels.
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/timer.h"
+
+namespace lpce {
+namespace {
+
+TEST(StatusTest, OkAndErrorStates) {
+  Status ok = Status::Ok();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ToString(), "OK");
+
+  Status err = Status::InvalidArgument("bad thing");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(err.ToString().find("bad thing"), std::string::npos);
+
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> good(42);
+  EXPECT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+
+  Result<int> bad(Status::NotFound("missing"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+}
+
+Status Inner(bool fail) {
+  if (fail) return Status::Internal("inner failed");
+  return Status::Ok();
+}
+
+Status Outer(bool fail) {
+  LPCE_RETURN_IF_ERROR(Inner(fail));
+  return Status::Ok();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Outer(false).ok());
+  EXPECT_EQ(Outer(true).code(), StatusCode::kInternal);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    if (v == -3) saw_lo = true;
+    if (v == 3) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(11);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Gaussian();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.1);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(17);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double elapsed = timer.ElapsedSeconds();
+  EXPECT_GE(elapsed, 0.015);
+  EXPECT_LT(elapsed, 2.0);
+  timer.Restart();
+  EXPECT_LT(timer.ElapsedSeconds(), 0.015);
+}
+
+TEST(TimerTest, ScopedTimerAccumulates) {
+  double sink = 0.0;
+  {
+    ScopedTimer t1(&sink);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const double first = sink;
+  EXPECT_GT(first, 0.0);
+  {
+    ScopedTimer t2(&sink);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GT(sink, first);
+}
+
+TEST(LoggingTest, LevelFiltering) {
+  // Messages below the global level must not reach stderr.
+  LogLevel saved = GlobalLogLevel();
+  GlobalLogLevel() = LogLevel::kOff;
+  testing::internal::CaptureStderr();
+  LPCE_LOG(Info) << "should be suppressed";
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+  GlobalLogLevel() = LogLevel::kDebug;
+  testing::internal::CaptureStderr();
+  LPCE_LOG(Warn) << "visible";
+  EXPECT_NE(testing::internal::GetCapturedStderr().find("visible"),
+            std::string::npos);
+  GlobalLogLevel() = saved;
+}
+
+}  // namespace
+}  // namespace lpce

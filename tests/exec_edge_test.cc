@@ -1,0 +1,165 @@
+// Executor edge cases: empty inputs, all-filtered scans, duplicate-heavy
+// merge joins, row-limit aborts, and peak-memory accounting.
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "storage/database.h"
+
+namespace lpce::exec {
+namespace {
+
+class ExecEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_ = database_.AddTable({"a", {{"k"}, {"v"}}});
+    b_ = database_.AddTable({"b", {{"k"}, {"w"}}});
+    database_.catalog().AddJoinEdge({a_, 0}, {b_, 0});
+    query_.tables = {a_, b_};
+    query_.joins = {{{a_, 0}, {b_, 0}}};
+  }
+
+  std::unique_ptr<PlanNode> Scan(int pos, std::vector<qry::Predicate> filters = {}) {
+    auto node = std::make_unique<PlanNode>();
+    node->op = PhysOp::kSeqScan;
+    node->rels = qry::Bit(pos);
+    node->table_pos = pos;
+    node->filters = std::move(filters);
+    return node;
+  }
+
+  std::unique_ptr<PlanNode> Join(PhysOp op, std::unique_ptr<PlanNode> outer,
+                                 std::unique_ptr<PlanNode> inner) {
+    auto node = std::make_unique<PlanNode>();
+    node->op = op;
+    node->rels = outer->rels | inner->rels;
+    node->outer = std::move(outer);
+    node->inner = std::move(inner);
+    node->outer_key = {a_, 0};
+    node->inner_key = {b_, 0};
+    return node;
+  }
+
+  db::Database database_;
+  qry::Query query_;
+  int32_t a_ = -1, b_ = -1;
+};
+
+TEST_F(ExecEdgeTest, EmptyTablesJoinToEmpty) {
+  database_.BuildAllIndexes();
+  for (auto op : {PhysOp::kHashJoin, PhysOp::kMergeJoin, PhysOp::kNestLoopJoin}) {
+    auto plan = Join(op, Scan(0), Scan(1));
+    Executor executor(&database_, &query_);
+    EXPECT_EQ(executor.Execute(plan.get())->num_rows(), 0u) << PhysOpName(op);
+  }
+}
+
+TEST_F(ExecEdgeTest, AllFilteredScanYieldsEmptyJoin) {
+  for (int64_t i = 0; i < 10; ++i) {
+    database_.table(a_).AppendRow({i, i});
+    database_.table(b_).AppendRow({i, i});
+  }
+  database_.BuildAllIndexes();
+  qry::Predicate impossible{{a_, 1}, qry::CmpOp::kGt, 1000};
+  auto plan = Join(PhysOp::kHashJoin, Scan(0, {impossible}), Scan(1));
+  Executor executor(&database_, &query_);
+  EXPECT_EQ(executor.Execute(plan.get())->num_rows(), 0u);
+}
+
+TEST_F(ExecEdgeTest, DuplicateKeysCrossProductInMergeJoin) {
+  // 3 copies of key 7 on each side -> 9 output rows; merge join must emit
+  // the full group cross product.
+  for (int i = 0; i < 3; ++i) {
+    database_.table(a_).AppendRow({7, i});
+    database_.table(b_).AppendRow({7, i + 10});
+  }
+  database_.table(a_).AppendRow({1, 0});
+  database_.table(b_).AppendRow({2, 0});
+  database_.BuildAllIndexes();
+  for (auto op : {PhysOp::kHashJoin, PhysOp::kMergeJoin, PhysOp::kNestLoopJoin}) {
+    auto plan = Join(op, Scan(0), Scan(1));
+    Executor executor(&database_, &query_);
+    EXPECT_EQ(executor.Execute(plan.get())->num_rows(), 9u) << PhysOpName(op);
+  }
+}
+
+TEST_F(ExecEdgeTest, RowLimitAbortsExplodingJoin) {
+  // 100x100 same-key rows -> 10000-row join; limit 1000 must abort, for
+  // every join algorithm.
+  for (int i = 0; i < 100; ++i) {
+    database_.table(a_).AppendRow({5, i});
+    database_.table(b_).AppendRow({5, i});
+  }
+  database_.BuildAllIndexes();
+  for (auto op : {PhysOp::kHashJoin, PhysOp::kMergeJoin, PhysOp::kNestLoopJoin}) {
+    auto plan = Join(op, Scan(0), Scan(1));
+    Executor executor(&database_, &query_);
+    Executor::Options options;
+    options.max_node_rows = 1000;
+    Executor::RunResult run = executor.Run(plan.get(), options);
+    EXPECT_TRUE(run.aborted) << PhysOpName(op);
+    EXPECT_EQ(run.result, nullptr) << PhysOpName(op);
+  }
+}
+
+TEST_F(ExecEdgeTest, RowLimitDoesNotTriggerBelowThreshold) {
+  for (int i = 0; i < 20; ++i) {
+    database_.table(a_).AppendRow({i, i});
+    database_.table(b_).AppendRow({i, i});
+  }
+  database_.BuildAllIndexes();
+  auto plan = Join(PhysOp::kHashJoin, Scan(0), Scan(1));
+  Executor executor(&database_, &query_);
+  Executor::Options options;
+  options.max_node_rows = 1000;
+  Executor::RunResult run = executor.Run(plan.get(), options);
+  EXPECT_FALSE(run.aborted);
+  ASSERT_NE(run.result, nullptr);
+  EXPECT_EQ(run.result->num_rows(), 20u);
+}
+
+TEST_F(ExecEdgeTest, PeakIntermediateBytesTracksLargestResult) {
+  for (int i = 0; i < 50; ++i) {
+    database_.table(a_).AppendRow({i % 5, i});
+    database_.table(b_).AppendRow({i % 5, i});
+  }
+  database_.BuildAllIndexes();
+  auto plan = Join(PhysOp::kHashJoin, Scan(0), Scan(1));
+  Executor executor(&database_, &query_);
+  executor.Execute(plan.get());
+  // Join output: 50*10 = 500 rows; the scans carry one column each (the
+  // key), so the peak must be at least the scan size.
+  EXPECT_GE(executor.peak_intermediate_bytes(), 50 * sizeof(int64_t));
+}
+
+TEST_F(ExecEdgeTest, IndexScanOnEqualityBound) {
+  for (int64_t i = 0; i < 30; ++i) database_.table(a_).AppendRow({i % 3, i});
+  for (int64_t i = 0; i < 5; ++i) database_.table(b_).AppendRow({1, i});
+  database_.BuildAllIndexes();
+  qry::Predicate eq{{a_, 0}, qry::CmpOp::kEq, 1};
+  auto scan = Scan(0, {eq});
+  scan->op = PhysOp::kIndexScan;
+  scan->index_col = {a_, 0};
+  auto plan = Join(PhysOp::kHashJoin, std::move(scan), Scan(1));
+  Executor executor(&database_, &query_);
+  // 10 a-rows with key 1, each matching 5 b-rows.
+  EXPECT_EQ(executor.Execute(plan.get())->num_rows(), 50u);
+}
+
+TEST_F(ExecEdgeTest, NeFilterIsResidualOnIndexScan) {
+  for (int64_t i = 0; i < 20; ++i) database_.table(a_).AppendRow({i, i % 4});
+  for (int64_t i = 0; i < 20; ++i) database_.table(b_).AppendRow({i, 0});
+  database_.BuildAllIndexes();
+  qry::Predicate range{{a_, 0}, qry::CmpOp::kLt, 10};
+  qry::Predicate ne{{a_, 1}, qry::CmpOp::kNe, 0};
+  auto scan = Scan(0, {range, ne});
+  scan->op = PhysOp::kIndexScan;
+  scan->index_col = {a_, 0};
+  auto plan = Join(PhysOp::kHashJoin, std::move(scan), Scan(1));
+  Executor executor(&database_, &query_);
+  // a rows with k < 10 and v != 0: k in {1,2,3,5,6,7,9} -> 7 rows, each
+  // joining exactly one b row.
+  EXPECT_EQ(executor.Execute(plan.get())->num_rows(), 7u);
+}
+
+}  // namespace
+}  // namespace lpce::exec

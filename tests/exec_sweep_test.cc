@@ -1,0 +1,84 @@
+// Parameterized executor sweep on the synthetic schema: every (join
+// algorithm x scan type x predicate operator) combination must agree with
+// the canonical hash plan on randomly generated queries.
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "workload/workload.h"
+
+namespace lpce::exec {
+namespace {
+
+struct SweepParam {
+  PhysOp join_op;
+  bool index_scans;
+  uint64_t seed;
+};
+
+class ExecSweepTest : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  static void SetUpTestSuite() {
+    db::SynthImdbOptions opts;
+    opts.scale = 0.03;
+    database_ = db::BuildSynthImdb(opts).release();
+  }
+  static void TearDownTestSuite() {
+    delete database_;
+    database_ = nullptr;
+  }
+
+  static db::Database* database_;
+};
+
+db::Database* ExecSweepTest::database_ = nullptr;
+
+TEST_P(ExecSweepTest, MatchesCanonicalCount) {
+  const SweepParam param = GetParam();
+  wk::GeneratorOptions gen;
+  gen.seed = param.seed;
+  wk::QueryGenerator generator(database_, gen);
+  for (int joins : {2, 4, 6}) {
+    wk::LabeledQuery labeled;
+    labeled.query = generator.Generate(joins);
+    wk::LabelQuery(*database_, &labeled);
+
+    auto plan = BuildCanonicalHashPlan(labeled.query);
+    std::vector<PlanNode*> nodes;
+    PostOrderPlan(plan.get(), &nodes);
+    for (PlanNode* node : nodes) {
+      if (node->is_join()) {
+        node->op = param.join_op;
+      } else if (param.index_scans && !node->filters.empty() &&
+                 node->filters.front().op != qry::CmpOp::kNe) {
+        node->op = PhysOp::kIndexScan;
+        node->index_col = node->filters.front().col;
+      }
+    }
+    Executor executor(database_, &labeled.query);
+    RowSetPtr result = executor.Execute(plan.get());
+    ASSERT_NE(result, nullptr);
+    EXPECT_EQ(result->num_rows(), labeled.FinalCard())
+        << PhysOpName(param.join_op) << " index=" << param.index_scans
+        << " joins=" << joins << " seed=" << param.seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExecSweepTest,
+    ::testing::Values(SweepParam{PhysOp::kHashJoin, false, 11},
+                      SweepParam{PhysOp::kHashJoin, true, 12},
+                      SweepParam{PhysOp::kMergeJoin, false, 13},
+                      SweepParam{PhysOp::kMergeJoin, true, 14},
+                      SweepParam{PhysOp::kNestLoopJoin, false, 15},
+                      SweepParam{PhysOp::kNestLoopJoin, true, 16},
+                      SweepParam{PhysOp::kHashJoin, true, 17},
+                      SweepParam{PhysOp::kMergeJoin, true, 18}),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      std::string name = PhysOpName(info.param.join_op);
+      name += info.param.index_scans ? "Index" : "Seq";
+      name += "S" + std::to_string(info.param.seed);
+      return name;
+    });
+
+}  // namespace
+}  // namespace lpce::exec

@@ -1,0 +1,187 @@
+// Deterministic fuzz tests: malformed inputs must produce clean errors,
+// never crashes or hangs.
+//  - SQL parser: random garbage, token soup, and mutated valid queries;
+//  - workload deserializer: truncations and bit flips of a valid file;
+//  - parameter loader: truncations of a valid parameter file.
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/layers.h"
+#include "query/parser.h"
+#include "storage/database.h"
+#include "workload/workload.h"
+
+namespace lpce {
+namespace {
+
+class FuzzTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db::SynthImdbOptions opts;
+    opts.scale = 0.02;
+    database_ = db::BuildSynthImdb(opts);
+  }
+
+  std::unique_ptr<db::Database> database_;
+};
+
+TEST_F(FuzzTest, ParserSurvivesRandomBytes) {
+  Rng rng(1);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string input;
+    const size_t len = rng.Uniform(120);
+    for (size_t i = 0; i < len; ++i) {
+      input.push_back(static_cast<char>(rng.UniformInt(1, 126)));
+    }
+    qry::Query query;
+    // Must return (almost surely an error) without crashing.
+    (void)qry::ParseQuery(database_->catalog(), input, &query);
+  }
+}
+
+TEST_F(FuzzTest, ParserSurvivesTokenSoup) {
+  Rng rng(2);
+  const std::vector<std::string> tokens = {
+      "select", "count", "(", ")", "*", "from", "where", "and", "title",
+      "movie_companies", "cast_info", ".", ",", "id", "movie_id", "kind_id",
+      "<", "<=", "=", ">=", ">", "<>", "42", "-7", "bogus"};
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string input;
+    const size_t len = rng.Uniform(30);
+    for (size_t i = 0; i < len; ++i) {
+      input += tokens[rng.Uniform(tokens.size())];
+      input += " ";
+    }
+    qry::Query query;
+    (void)qry::ParseQuery(database_->catalog(), input, &query);
+  }
+}
+
+TEST_F(FuzzTest, ParserSurvivesMutationsOfValidQuery) {
+  const std::string valid =
+      "SELECT COUNT(*) FROM title, movie_companies WHERE "
+      "movie_companies.movie_id = title.id AND title.kind_id < 4";
+  Rng rng(3);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = valid;
+    const int edits = static_cast<int>(rng.Uniform(4)) + 1;
+    for (int e = 0; e < edits; ++e) {
+      const size_t pos = rng.Uniform(mutated.size());
+      switch (rng.Uniform(3)) {
+        case 0:
+          mutated[pos] = static_cast<char>(rng.UniformInt(32, 126));
+          break;
+        case 1:
+          mutated.erase(pos, 1);
+          break;
+        default:
+          mutated.insert(pos, 1, static_cast<char>(rng.UniformInt(32, 126)));
+      }
+      if (mutated.empty()) break;
+    }
+    qry::Query query;
+    Status status = qry::ParseQuery(database_->catalog(), mutated, &query);
+    if (status.ok()) {
+      // If it still parses, the result must satisfy the planner contract.
+      EXPECT_TRUE(query.IsConnected(query.AllRels()));
+      EXPECT_EQ(query.num_joins(), query.num_tables() - 1);
+    }
+  }
+}
+
+TEST_F(FuzzTest, WorkloadLoaderSurvivesTruncation) {
+  wk::GeneratorOptions gen;
+  gen.seed = 4;
+  wk::QueryGenerator generator(database_.get(), gen);
+  auto workload = generator.GenerateLabeled(3, 2, 4);
+  const std::string path = ::testing::TempDir() + "/fuzz_workload.bin";
+  ASSERT_TRUE(wk::SaveWorkload(workload, path).ok());
+
+  // Read the full bytes.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::string bytes(static_cast<size_t>(size), '\0');
+  ASSERT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+
+  const std::string trunc_path = ::testing::TempDir() + "/fuzz_trunc.bin";
+  // Truncate at a spread of prefixes (every ~7 bytes to keep runtime sane).
+  for (size_t cut = 0; cut < bytes.size(); cut += 7) {
+    std::FILE* out = std::fopen(trunc_path.c_str(), "wb");
+    std::fwrite(bytes.data(), 1, cut, out);
+    std::fclose(out);
+    std::vector<wk::LabeledQuery> loaded;
+    EXPECT_FALSE(wk::LoadWorkload(trunc_path, &loaded).ok()) << "cut=" << cut;
+  }
+  // The untruncated file still loads.
+  std::vector<wk::LabeledQuery> loaded;
+  EXPECT_TRUE(wk::LoadWorkload(path, &loaded).ok());
+}
+
+TEST_F(FuzzTest, WorkloadLoaderSurvivesBitFlips) {
+  wk::GeneratorOptions gen;
+  gen.seed = 5;
+  wk::QueryGenerator generator(database_.get(), gen);
+  auto workload = generator.GenerateLabeled(2, 2, 3);
+  const std::string path = ::testing::TempDir() + "/fuzz_flip_base.bin";
+  ASSERT_TRUE(wk::SaveWorkload(workload, path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::string bytes(static_cast<size_t>(size), '\0');
+  ASSERT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+
+  Rng rng(6);
+  const std::string flip_path = ::testing::TempDir() + "/fuzz_flip.bin";
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string mutated = bytes;
+    mutated[rng.Uniform(mutated.size())] ^=
+        static_cast<char>(1 << rng.Uniform(8));
+    std::FILE* out = std::fopen(flip_path.c_str(), "wb");
+    std::fwrite(mutated.data(), 1, mutated.size(), out);
+    std::fclose(out);
+    std::vector<wk::LabeledQuery> loaded;
+    // Either a clean error or a (possibly corrupted) successful parse —
+    // never a crash. Loaded data is not used further.
+    (void)wk::LoadWorkload(flip_path, &loaded);
+  }
+}
+
+TEST_F(FuzzTest, ParamLoaderSurvivesTruncation) {
+  Rng rng(7);
+  nn::ParamStore store;
+  store.GetOrCreate("w1", 4, 4, 1.0f, &rng);
+  store.GetOrCreate("w2", 2, 8, 1.0f, &rng);
+  const std::string path = ::testing::TempDir() + "/fuzz_params.bin";
+  ASSERT_TRUE(store.SaveToFile(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::string bytes(static_cast<size_t>(size), '\0');
+  ASSERT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+
+  const std::string trunc_path = ::testing::TempDir() + "/fuzz_params_trunc.bin";
+  for (size_t cut = 0; cut + 1 < bytes.size(); cut += 5) {
+    std::FILE* out = std::fopen(trunc_path.c_str(), "wb");
+    std::fwrite(bytes.data(), 1, cut, out);
+    std::fclose(out);
+    nn::ParamStore fresh;
+    Rng rng2(8);
+    fresh.GetOrCreate("w1", 4, 4, 1.0f, &rng2);
+    fresh.GetOrCreate("w2", 2, 8, 1.0f, &rng2);
+    EXPECT_FALSE(fresh.LoadFromFile(trunc_path).ok()) << "cut=" << cut;
+  }
+}
+
+}  // namespace
+}  // namespace lpce

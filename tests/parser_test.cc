@@ -1,0 +1,155 @@
+// SQL parser tests: accepted dialect, catalog validation, error paths, and
+// round-tripping through Query::ToString.
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "query/parser.h"
+#include "storage/database.h"
+
+namespace lpce::qry {
+namespace {
+
+class ParserTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db::SynthImdbOptions opts;
+    opts.scale = 0.02;
+    database_ = db::BuildSynthImdb(opts);
+  }
+
+  Status Parse(const std::string& sql) {
+    return ParseQuery(database_->catalog(), sql, &query_);
+  }
+
+  std::unique_ptr<db::Database> database_;
+  Query query_;
+};
+
+TEST_F(ParserTest, SingleTableWithPredicate) {
+  ASSERT_TRUE(Parse("SELECT COUNT(*) FROM title WHERE title.production_year > 2000")
+                  .ok());
+  EXPECT_EQ(query_.num_tables(), 1);
+  EXPECT_EQ(query_.num_joins(), 0);
+  ASSERT_EQ(query_.predicates.size(), 1u);
+  EXPECT_EQ(query_.predicates[0].op, CmpOp::kGt);
+  EXPECT_EQ(query_.predicates[0].value, 2000);
+}
+
+TEST_F(ParserTest, TwoTableJoin) {
+  ASSERT_TRUE(Parse("SELECT COUNT(*) FROM title, movie_companies WHERE "
+                    "movie_companies.movie_id = title.id")
+                  .ok());
+  EXPECT_EQ(query_.num_tables(), 2);
+  EXPECT_EQ(query_.num_joins(), 1);
+  EXPECT_TRUE(query_.IsConnected(query_.AllRels()));
+}
+
+TEST_F(ParserTest, FullQueryWithMixedConditions) {
+  const std::string sql =
+      "select count(*) from title, movie_companies, company_name where "
+      "movie_companies.movie_id = title.id and "
+      "movie_companies.company_id = company_name.id and "
+      "title.production_year >= 1990 and company_name.country_code_id <> 3";
+  ASSERT_TRUE(Parse(sql).ok());
+  EXPECT_EQ(query_.num_tables(), 3);
+  EXPECT_EQ(query_.num_joins(), 2);
+  EXPECT_EQ(query_.predicates.size(), 2u);
+}
+
+TEST_F(ParserTest, CaseInsensitiveKeywordsAndSemicolon) {
+  EXPECT_TRUE(Parse("SeLeCt CoUnT(*) FrOm title;").ok());
+}
+
+TEST_F(ParserTest, AllComparisonOperators) {
+  for (const char* op : {"<", "<=", "=", ">=", ">", "<>"}) {
+    const std::string sql = std::string("SELECT COUNT(*) FROM title WHERE "
+                                        "title.kind_id ") +
+                            op + " 3";
+    EXPECT_TRUE(Parse(sql).ok()) << op;
+  }
+}
+
+TEST_F(ParserTest, NegativeLiteral) {
+  ASSERT_TRUE(Parse("SELECT COUNT(*) FROM title WHERE title.votes > -5").ok());
+  EXPECT_EQ(query_.predicates[0].value, -5);
+}
+
+TEST_F(ParserTest, RejectsUnknownTable) {
+  Status status = Parse("SELECT COUNT(*) FROM nonsense");
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+TEST_F(ParserTest, RejectsUnknownColumn) {
+  Status status = Parse("SELECT COUNT(*) FROM title WHERE title.bogus = 1");
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+TEST_F(ParserTest, RejectsDisconnectedJoinGraph) {
+  // Two tables but no join condition.
+  Status status = Parse("SELECT COUNT(*) FROM title, movie_companies");
+  EXPECT_FALSE(status.ok());
+}
+
+TEST_F(ParserTest, RejectsTableNotInFromList) {
+  Status status = Parse(
+      "SELECT COUNT(*) FROM title WHERE movie_companies.movie_id = title.id");
+  EXPECT_FALSE(status.ok());
+}
+
+TEST_F(ParserTest, RejectsNonEquiJoin) {
+  Status status = Parse(
+      "SELECT COUNT(*) FROM title, movie_companies WHERE "
+      "movie_companies.movie_id < title.id");
+  EXPECT_FALSE(status.ok());
+}
+
+TEST_F(ParserTest, RejectsDuplicateTable) {
+  Status status = Parse("SELECT COUNT(*) FROM title, title");
+  EXPECT_FALSE(status.ok());
+}
+
+TEST_F(ParserTest, RejectsTrailingGarbage) {
+  Status status = Parse("SELECT COUNT(*) FROM title LIMIT 5");
+  EXPECT_FALSE(status.ok());
+}
+
+TEST_F(ParserTest, RejectsBadCharacters) {
+  Status status = Parse("SELECT COUNT(*) FROM title WHERE title.id @ 3");
+  EXPECT_FALSE(status.ok());
+}
+
+TEST_F(ParserTest, ParsedQueryExecutes) {
+  ASSERT_TRUE(Parse("SELECT COUNT(*) FROM title, cast_info WHERE "
+                    "cast_info.movie_id = title.id AND title.kind_id = 1")
+                  .ok());
+  auto plan = exec::BuildCanonicalHashPlan(query_);
+  exec::Executor executor(database_.get(), &query_);
+  exec::RowSetPtr result = executor.Execute(plan.get());
+  ASSERT_NE(result, nullptr);
+  // Brute-force verification.
+  const db::Table& title = database_->table(query_.tables[0]);
+  const db::Table& ci = database_->table(query_.tables[1]);
+  uint64_t expect = 0;
+  for (size_t i = 0; i < ci.num_rows(); ++i) {
+    const int64_t movie = ci.at(i, 1);
+    if (title.at(static_cast<size_t>(movie), 1) == 1) ++expect;
+  }
+  EXPECT_EQ(result->num_rows(), expect);
+}
+
+TEST_F(ParserTest, RoundTripsThroughToString) {
+  const std::string sql =
+      "SELECT COUNT(*) FROM title, movie_keyword, keyword WHERE "
+      "movie_keyword.movie_id = title.id AND movie_keyword.keyword_id = "
+      "keyword.id AND title.votes < 500";
+  ASSERT_TRUE(Parse(sql).ok());
+  const std::string printed = query_.ToString(database_->catalog());
+  Query reparsed;
+  ASSERT_TRUE(ParseQuery(database_->catalog(), printed, &reparsed).ok());
+  EXPECT_EQ(reparsed.tables, query_.tables);
+  EXPECT_EQ(reparsed.joins.size(), query_.joins.size());
+  EXPECT_EQ(reparsed.predicates.size(), query_.predicates.size());
+}
+
+}  // namespace
+}  // namespace lpce::qry

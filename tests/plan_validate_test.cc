@@ -1,0 +1,165 @@
+// Tests for plan validation, per-node execution timing, and the
+// validation-split training option.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "card/histogram_estimator.h"
+#include "common/timer.h"
+#include "exec/executor.h"
+#include "lpce/tree_model.h"
+#include "optimizer/planner.h"
+#include "workload/workload.h"
+
+namespace lpce {
+namespace {
+
+class PlanValidateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db::SynthImdbOptions opts;
+    opts.scale = 0.03;
+    database_ = db::BuildSynthImdb(opts);
+    stats_.Build(*database_);
+    wk::GeneratorOptions gen;
+    gen.seed = 44;
+    wk::QueryGenerator generator(database_.get(), gen);
+    labeled_ = generator.GenerateLabeled(1, 4, 4).front();
+  }
+
+  std::unique_ptr<db::Database> database_;
+  stats::DatabaseStats stats_;
+  wk::LabeledQuery labeled_;
+};
+
+TEST_F(PlanValidateTest, PlannerOutputAlwaysValidates) {
+  card::HistogramEstimator estimator(&stats_);
+  opt::Planner planner(database_.get(), opt::CostModel{});
+  opt::PlanResult result = planner.Plan(labeled_.query, &estimator);
+  EXPECT_TRUE(exec::ValidatePlan(*result.plan, labeled_.query).ok());
+}
+
+TEST_F(PlanValidateTest, CanonicalPlanValidates) {
+  auto plan = exec::BuildCanonicalHashPlan(labeled_.query);
+  EXPECT_TRUE(exec::ValidatePlan(*plan, labeled_.query).ok());
+}
+
+TEST_F(PlanValidateTest, DetectsWrongRootCoverage) {
+  auto plan = exec::BuildCanonicalHashPlan(labeled_.query);
+  // Chop the root: its left child no longer covers the query.
+  std::unique_ptr<exec::PlanNode> partial = std::move(plan->outer);
+  EXPECT_FALSE(exec::ValidatePlan(*partial, labeled_.query).ok());
+}
+
+TEST_F(PlanValidateTest, DetectsSwappedJoinKeys) {
+  auto plan = exec::BuildCanonicalHashPlan(labeled_.query);
+  // Point the outer key at a column from the inner side: invalid.
+  std::swap(plan->outer_key, plan->inner_key);
+  // Swapping both keys together is the "flipped" (valid) orientation, so
+  // corrupt one side instead.
+  plan->outer_key = plan->inner_key;
+  EXPECT_FALSE(exec::ValidatePlan(*plan, labeled_.query).ok());
+}
+
+TEST_F(PlanValidateTest, DetectsPseudoScanWithoutResult) {
+  auto plan = exec::BuildCanonicalHashPlan(labeled_.query);
+  // Replace the leftmost leaf with an empty pseudo scan.
+  exec::PlanNode* node = plan.get();
+  while (node->outer != nullptr) node = node->outer.get();
+  node->op = exec::PhysOp::kPseudoScan;
+  node->table_pos = -1;
+  EXPECT_FALSE(exec::ValidatePlan(*plan, labeled_.query).ok());
+}
+
+TEST_F(PlanValidateTest, DetectsForeignFilter) {
+  auto plan = exec::BuildCanonicalHashPlan(labeled_.query);
+  exec::PlanNode* node = plan.get();
+  while (node->outer != nullptr) node = node->outer.get();
+  // A filter naming a table that is not this scan's table.
+  const int other_pos = (node->table_pos + 1) % labeled_.query.num_tables();
+  node->filters.push_back(
+      {{labeled_.query.tables[other_pos], 0}, qry::CmpOp::kEq, 1});
+  EXPECT_FALSE(exec::ValidatePlan(*plan, labeled_.query).ok());
+}
+
+TEST_F(PlanValidateTest, PerNodeTimingSumsBelowTotal) {
+  auto plan = exec::BuildCanonicalHashPlan(labeled_.query);
+  exec::Executor executor(database_.get(), &labeled_.query);
+  WallTimer timer;
+  executor.Execute(plan.get());
+  const double total = timer.ElapsedSeconds();
+  std::vector<const exec::PlanNode*> nodes;
+  exec::PostOrderPlan(static_cast<const exec::PlanNode*>(plan.get()), &nodes);
+  double node_sum = 0.0;
+  for (const auto* node : nodes) {
+    EXPECT_TRUE(node->executed);
+    EXPECT_GE(node->exec_seconds, 0.0);
+    node_sum += node->exec_seconds;
+  }
+  // Per-node self times exclude children, so the sum is bounded by the
+  // whole execution (allow slack for timer granularity).
+  EXPECT_LE(node_sum, total * 1.5 + 1e-3);
+}
+
+TEST_F(PlanValidateTest, ValidationSplitTrainingRestoresBestSnapshot) {
+  model::FeatureEncoder encoder(&database_->catalog(), &stats_);
+  wk::GeneratorOptions gen;
+  gen.seed = 52;
+  gen.require_nonempty = true;
+  wk::QueryGenerator generator(database_.get(), gen);
+  auto train = generator.GenerateLabeled(40, 3, 5);
+
+  model::TreeModelConfig config;
+  config.feature_dim = encoder.dim();
+  config.dim = 16;
+  config.embed_hidden = 16;
+  config.out_hidden = 32;
+  config.log_max_card =
+      std::log1p(static_cast<double>(wk::MaxCardinality(train)));
+  model::TreeModel model(&encoder, config);
+  model::TrainOptions options;
+  options.epochs = 8;
+  options.validation_fraction = 0.2;
+  options.patience = 3;
+  const double loss = model::TrainTreeModel(&model, *database_, train, options);
+  EXPECT_TRUE(std::isfinite(loss));
+  // The model must produce sane estimates after the snapshot restore.
+  auto logical =
+      qry::BuildCanonicalTree(train[0].query, train[0].query.AllRels());
+  auto tree = model::MakeEstTree(train[0].query, logical.get(), *database_,
+                                 nullptr);
+  const double est = model.PredictCardFast(train[0].query, tree.get());
+  EXPECT_TRUE(std::isfinite(est));
+  EXPECT_GE(est, 0.0);
+}
+
+TEST_F(PlanValidateTest, EarlyStoppingTerminatesBeforeEpochBudget) {
+  // With patience 1 and many epochs, training must not take unbounded time;
+  // we verify it completes and the snapshot machinery does not corrupt
+  // parameters (loss stays finite).
+  model::FeatureEncoder encoder(&database_->catalog(), &stats_);
+  wk::GeneratorOptions gen;
+  gen.seed = 53;
+  wk::QueryGenerator generator(database_.get(), gen);
+  auto train = generator.GenerateLabeled(20, 3, 4);
+  model::TreeModelConfig config;
+  config.feature_dim = encoder.dim();
+  config.dim = 16;
+  config.embed_hidden = 16;
+  config.out_hidden = 32;
+  config.log_max_card =
+      std::log1p(static_cast<double>(wk::MaxCardinality(train)));
+  model::TreeModel model(&encoder, config);
+  model::TrainOptions options;
+  options.epochs = 200;
+  options.validation_fraction = 0.25;
+  options.patience = 1;
+  WallTimer timer;
+  model::TrainTreeModel(&model, *database_, train, options);
+  // 200 epochs at this size would take far longer than a few seconds; the
+  // early stop keeps it quick.
+  EXPECT_LT(timer.ElapsedSeconds(), 20.0);
+}
+
+}  // namespace
+}  // namespace lpce

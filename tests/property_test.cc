@@ -1,0 +1,237 @@
+// Property-based tests (parameterized sweeps over seeds/configurations):
+//  - plan correctness is invariant to the estimator and the join algorithms;
+//  - re-optimization never changes query results, for any trigger threshold;
+//  - selectivities are proper probabilities and complementary;
+//  - q-error is symmetric, >= 1, and scale-invariant;
+//  - every estimator returns finite non-negative estimates on any subset.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "card/histogram_estimator.h"
+#include "card/sampling.h"
+#include "engine/engine.h"
+#include "exec/executor.h"
+#include "workload/workload.h"
+
+namespace lpce {
+namespace {
+
+// Shared world for property sweeps (built once per test binary).
+struct PropertyWorld {
+  std::unique_ptr<db::Database> database;
+  stats::DatabaseStats stats;
+
+  PropertyWorld() {
+    db::SynthImdbOptions opts;
+    opts.scale = 0.05;
+    database = db::BuildSynthImdb(opts);
+    stats.Build(*database);
+  }
+};
+
+PropertyWorld& World() {
+  static PropertyWorld* world = new PropertyWorld();
+  return *world;
+}
+
+// ---------------------------------------------------------------------------
+// Property: for any query (seed-parameterized) and any forced join algorithm,
+// the executed count equals the canonical hash-join count.
+class JoinAlgorithmProperty
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {};
+
+TEST_P(JoinAlgorithmProperty, AllAlgorithmsAgree) {
+  const auto [seed, joins] = GetParam();
+  auto& world = World();
+  wk::GeneratorOptions gen;
+  gen.seed = seed;
+  wk::QueryGenerator generator(world.database.get(), gen);
+  wk::LabeledQuery labeled;
+  labeled.query = generator.Generate(joins);
+  wk::LabelQuery(*world.database, &labeled);
+
+  for (exec::PhysOp op : {exec::PhysOp::kHashJoin, exec::PhysOp::kMergeJoin,
+                          exec::PhysOp::kNestLoopJoin}) {
+    auto plan = exec::BuildCanonicalHashPlan(labeled.query);
+    std::vector<exec::PlanNode*> nodes;
+    exec::PostOrderPlan(plan.get(), &nodes);
+    for (auto* node : nodes) {
+      if (node->is_join()) node->op = op;
+    }
+    exec::Executor executor(world.database.get(), &labeled.query);
+    EXPECT_EQ(executor.Execute(plan.get())->num_rows(), labeled.FinalCard())
+        << exec::PhysOpName(op) << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, JoinAlgorithmProperty,
+                         ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u,
+                                                              5u),
+                                            ::testing::Values(2, 4)));
+
+// ---------------------------------------------------------------------------
+// Property: whatever the estimator says, the planner's plan computes the
+// right answer — estimates affect speed, never correctness.
+class EstimatorIndependenceProperty : public ::testing::TestWithParam<uint64_t> {
+};
+
+// Estimator returning arbitrary (seeded) garbage.
+class GarbageEstimator : public card::CardinalityEstimator {
+ public:
+  explicit GarbageEstimator(uint64_t seed) : rng_(seed) {}
+  std::string name() const override { return "garbage"; }
+  double EstimateSubset(const qry::Query&, qry::RelSet) override {
+    return std::pow(10.0, rng_.UniformDouble(0.0, 6.0));
+  }
+
+ private:
+  Rng rng_;
+};
+
+TEST_P(EstimatorIndependenceProperty, GarbageEstimatesStillCorrect) {
+  const uint64_t seed = GetParam();
+  auto& world = World();
+  wk::GeneratorOptions gen;
+  gen.seed = seed + 100;
+  wk::QueryGenerator generator(world.database.get(), gen);
+  wk::LabeledQuery labeled;
+  labeled.query = generator.Generate(5);
+  wk::LabelQuery(*world.database, &labeled);
+
+  GarbageEstimator garbage(seed);
+  opt::Planner planner(world.database.get(), opt::CostModel{});
+  opt::PlanResult result = planner.Plan(labeled.query, &garbage);
+  exec::Executor executor(world.database.get(), &labeled.query);
+  EXPECT_EQ(executor.Execute(result.plan.get())->num_rows(), labeled.FinalCard());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EstimatorIndependenceProperty,
+                         ::testing::Range(uint64_t{0}, uint64_t{8}));
+
+// ---------------------------------------------------------------------------
+// Property: re-optimization preserves results for any trigger threshold and
+// any re-optimization budget.
+class ReoptProperty
+    : public ::testing::TestWithParam<std::tuple<double, int, uint64_t>> {};
+
+TEST_P(ReoptProperty, ResultInvariant) {
+  const auto [threshold, max_reopts, seed] = GetParam();
+  auto& world = World();
+  wk::GeneratorOptions gen;
+  gen.seed = seed + 500;
+  wk::QueryGenerator generator(world.database.get(), gen);
+  wk::LabeledQuery labeled;
+  labeled.query = generator.Generate(6);
+  wk::LabelQuery(*world.database, &labeled);
+
+  GarbageEstimator garbage(seed);
+  eng::Engine engine(world.database.get(), opt::CostModel{});
+  eng::RunConfig config;
+  config.enable_reopt = true;
+  config.qerror_threshold = threshold;
+  config.max_reopts = max_reopts;
+  eng::RunStats stats = engine.RunQuery(labeled.query, &garbage, nullptr, config);
+  EXPECT_EQ(stats.result_count, labeled.FinalCard());
+  EXPECT_LE(stats.num_reopts, max_reopts);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ReoptProperty,
+    ::testing::Combine(::testing::Values(1.5, 5.0, 50.0),
+                       ::testing::Values(1, 3),
+                       ::testing::Values(uint64_t{1}, uint64_t{2})));
+
+// ---------------------------------------------------------------------------
+// Property: selectivities are probabilities; < and >= are complementary.
+class SelectivityProperty
+    : public ::testing::TestWithParam<std::tuple<int, int64_t>> {};
+
+TEST_P(SelectivityProperty, ProbabilityAxioms) {
+  const auto [column_pick, value] = GetParam();
+  auto& world = World();
+  const db::Catalog& cat = world.database->catalog();
+  // Map the flat pick onto a (table, column).
+  int remaining = column_pick;
+  for (int32_t t = 0; t < cat.num_tables(); ++t) {
+    const int cols = static_cast<int>(cat.table(t).columns.size());
+    if (remaining >= cols) {
+      remaining -= cols;
+      continue;
+    }
+    const stats::ColumnStats& cs = world.stats.column({t, remaining});
+    for (auto op : {qry::CmpOp::kLt, qry::CmpOp::kLe, qry::CmpOp::kEq,
+                    qry::CmpOp::kGe, qry::CmpOp::kGt, qry::CmpOp::kNe}) {
+      const double sel = cs.Selectivity(op, value);
+      EXPECT_GE(sel, 0.0);
+      EXPECT_LE(sel, 1.0 + 1e-9);
+    }
+    EXPECT_NEAR(cs.Selectivity(qry::CmpOp::kLt, value) +
+                    cs.Selectivity(qry::CmpOp::kGe, value),
+                1.0, 0.02);
+    EXPECT_NEAR(cs.Selectivity(qry::CmpOp::kEq, value) +
+                    cs.Selectivity(qry::CmpOp::kNe, value),
+                1.0, 1e-6);
+    return;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SelectivityProperty,
+    ::testing::Combine(::testing::Values(0, 3, 7, 12, 20, 30),
+                       ::testing::Values(int64_t{-5}, int64_t{0}, int64_t{3},
+                                         int64_t{1995}, int64_t{100000})));
+
+// ---------------------------------------------------------------------------
+// Property: q-error axioms.
+class QErrorProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(QErrorProperty, Axioms) {
+  const double x = GetParam();
+  for (double y : {1.0, 10.0, 12345.0}) {
+    EXPECT_GE(exec::QError(x, y), 1.0);
+    EXPECT_DOUBLE_EQ(exec::QError(x, y), exec::QError(y, x));  // symmetry
+    // Scale invariance (both sides above the 1-tuple clamp).
+    if (x >= 1.0) {
+      EXPECT_NEAR(exec::QError(10 * x, 10 * y), exec::QError(x, y),
+                  exec::QError(x, y) * 1e-9);
+    }
+  }
+  EXPECT_DOUBLE_EQ(exec::QError(x, x), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, QErrorProperty,
+                         ::testing::Values(0.0, 0.5, 1.0, 7.0, 1e3, 1e9));
+
+// ---------------------------------------------------------------------------
+// Property: every estimator yields finite, non-negative estimates on every
+// connected subset of random queries.
+class EstimateRangeProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EstimateRangeProperty, FiniteNonNegative) {
+  const uint64_t seed = GetParam();
+  auto& world = World();
+  wk::GeneratorOptions gen;
+  gen.seed = seed + 900;
+  wk::QueryGenerator generator(world.database.get(), gen);
+  qry::Query query = generator.Generate(5);
+
+  card::HistogramEstimator histogram(&world.stats);
+  card::JoinSampleEstimator sampler("s", world.database.get(), 100, seed);
+  for (card::CardinalityEstimator* estimator :
+       {static_cast<card::CardinalityEstimator*>(&histogram),
+        static_cast<card::CardinalityEstimator*>(&sampler)}) {
+    for (qry::RelSet rels = 1; rels <= query.AllRels(); ++rels) {
+      if (!query.IsConnected(rels)) continue;
+      const double est = estimator->EstimateSubset(query, rels);
+      EXPECT_TRUE(std::isfinite(est)) << estimator->name();
+      EXPECT_GE(est, 0.0) << estimator->name();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EstimateRangeProperty,
+                         ::testing::Range(uint64_t{0}, uint64_t{6}));
+
+}  // namespace
+}  // namespace lpce

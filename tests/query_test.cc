@@ -1,0 +1,109 @@
+// Tests for the query representation and canonical logical trees.
+#include <gtest/gtest.h>
+
+#include "query/query.h"
+#include "storage/database.h"
+
+namespace lpce::qry {
+namespace {
+
+class QueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db::SynthImdbOptions opts;
+    opts.scale = 0.02;
+    database_ = db::BuildSynthImdb(opts);
+    const db::Catalog& cat = database_->catalog();
+    const int32_t t = cat.FindTable("title");
+    const int32_t mc = cat.FindTable("movie_companies");
+    const int32_t ci = cat.FindTable("cast_info");
+    const int32_t cn = cat.FindTable("company_name");
+    query_.tables = {t, mc, ci, cn};
+    query_.joins = {{{mc, 1}, {t, 0}}, {{ci, 1}, {t, 0}}, {{mc, 2}, {cn, 0}}};
+    query_.predicates = {{{t, 2}, CmpOp::kGt, 2000}};
+  }
+
+  std::unique_ptr<db::Database> database_;
+  Query query_;
+};
+
+TEST_F(QueryTest, EvalCmpCoversAllOperators) {
+  EXPECT_TRUE(EvalCmp(1, CmpOp::kLt, 2));
+  EXPECT_FALSE(EvalCmp(2, CmpOp::kLt, 2));
+  EXPECT_TRUE(EvalCmp(2, CmpOp::kLe, 2));
+  EXPECT_TRUE(EvalCmp(2, CmpOp::kEq, 2));
+  EXPECT_TRUE(EvalCmp(2, CmpOp::kGe, 2));
+  EXPECT_TRUE(EvalCmp(3, CmpOp::kGt, 2));
+  EXPECT_TRUE(EvalCmp(3, CmpOp::kNe, 2));
+  EXPECT_FALSE(EvalCmp(2, CmpOp::kNe, 2));
+}
+
+TEST_F(QueryTest, ConnectivityRespectsJoinTree) {
+  EXPECT_TRUE(query_.IsConnected(0b1111));
+  EXPECT_TRUE(query_.IsConnected(0b0011));   // title + mc
+  EXPECT_TRUE(query_.IsConnected(0b0101));   // title + ci
+  EXPECT_FALSE(query_.IsConnected(0b0100 | 0b1000));  // ci + cn: not joined
+  EXPECT_FALSE(query_.IsConnected(0b1001));  // title + cn: two hops apart
+  EXPECT_TRUE(query_.IsConnected(0b1010));   // mc + cn
+  EXPECT_TRUE(query_.IsConnected(0b0001));
+}
+
+TEST_F(QueryTest, JoinsBetweenFindsTheCutEdge) {
+  auto joins = query_.JoinsBetween(0b0011, 0b0100);
+  ASSERT_EQ(joins.size(), 1u);
+  EXPECT_EQ(joins[0], 1);  // ci.movie_id = t.id
+  EXPECT_TRUE(query_.JoinsBetween(0b0001, 0b1000).empty());
+}
+
+TEST_F(QueryTest, JoinsWithinCountsInternalEdges) {
+  EXPECT_EQ(query_.JoinsWithin(query_.AllRels()).size(), 3u);
+  EXPECT_EQ(query_.JoinsWithin(0b0011).size(), 1u);
+  EXPECT_EQ(query_.JoinsWithin(0b0001).size(), 0u);
+}
+
+TEST_F(QueryTest, CanonicalTreeCoversSubsetExactly) {
+  auto tree = BuildCanonicalTree(query_, query_.AllRels());
+  EXPECT_EQ(tree->rels, query_.AllRels());
+  std::vector<const LogicalNode*> nodes;
+  PostOrder(tree.get(), &nodes);
+  EXPECT_EQ(nodes.size(), 7u);  // 4 leaves + 3 joins
+  int leaves = 0;
+  for (const auto* n : nodes) {
+    if (n->is_leaf()) ++leaves;
+  }
+  EXPECT_EQ(leaves, 4);
+  // Root is last in post-order.
+  EXPECT_EQ(nodes.back(), tree.get());
+}
+
+TEST_F(QueryTest, CanonicalTreeIsDeterministic) {
+  auto a = BuildCanonicalTree(query_, 0b0111);
+  auto b = BuildCanonicalTree(query_, 0b0111);
+  std::vector<const LogicalNode*> na, nb;
+  PostOrder(a.get(), &na);
+  PostOrder(b.get(), &nb);
+  ASSERT_EQ(na.size(), nb.size());
+  for (size_t i = 0; i < na.size(); ++i) {
+    EXPECT_EQ(na[i]->rels, nb[i]->rels);
+    EXPECT_EQ(na[i]->table_pos, nb[i]->table_pos);
+    EXPECT_EQ(na[i]->join_idx, nb[i]->join_idx);
+  }
+}
+
+TEST_F(QueryTest, ToStringMentionsEverything) {
+  const std::string s = query_.ToString(database_->catalog());
+  EXPECT_NE(s.find("SELECT COUNT(*)"), std::string::npos);
+  EXPECT_NE(s.find("title"), std::string::npos);
+  EXPECT_NE(s.find("production_year > 2000"), std::string::npos);
+  EXPECT_NE(s.find("movie_companies.movie_id = title.id"), std::string::npos);
+}
+
+TEST_F(QueryTest, PositionOfAndPredicatesOf) {
+  EXPECT_EQ(query_.PositionOf(query_.tables[2]), 2);
+  EXPECT_EQ(query_.PositionOf(9999), -1);
+  EXPECT_EQ(query_.PredicatesOf(0).size(), 1u);
+  EXPECT_EQ(query_.PredicatesOf(1).size(), 0u);
+}
+
+}  // namespace
+}  // namespace lpce::qry

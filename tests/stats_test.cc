@@ -1,0 +1,155 @@
+// Tests for column statistics and the histogram estimator: selectivities
+// against brute-force ground truth.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "card/histogram_estimator.h"
+#include "common/rng.h"
+#include "stats/column_stats.h"
+
+namespace lpce::stats {
+namespace {
+
+db::Table MakeTable(const std::vector<int64_t>& values) {
+  db::Table table(1);
+  for (int64_t v : values) table.AppendRow({v});
+  return table;
+}
+
+// Local q-error helper (avoids pulling the executor header).
+double exec_qerror(double a, double b) {
+  a = std::max(a, 1.0);
+  b = std::max(b, 1.0);
+  return a > b ? a / b : b / a;
+}
+
+double TrueSelectivity(const std::vector<int64_t>& values, qry::CmpOp op,
+                       int64_t x) {
+  size_t hits = 0;
+  for (int64_t v : values) {
+    if (qry::EvalCmp(v, op, x)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(values.size());
+}
+
+TEST(ColumnStatsTest, BasicShape) {
+  db::Table table = MakeTable({1, 1, 1, 2, 3, 4, 5, 5, 9});
+  ColumnStats stats = BuildColumnStats(table, 0);
+  EXPECT_EQ(stats.row_count, 9u);
+  EXPECT_EQ(stats.min_value, 1);
+  EXPECT_EQ(stats.max_value, 9);
+  EXPECT_DOUBLE_EQ(stats.n_distinct, 6.0);
+}
+
+TEST(ColumnStatsTest, McvEqualityIsExact) {
+  // With <= 16 distinct values everything is an MCV: equality is exact.
+  std::vector<int64_t> values;
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) values.push_back(rng.UniformInt(0, 9));
+  db::Table table = MakeTable(values);
+  ColumnStats stats = BuildColumnStats(table, 0);
+  for (int64_t x = 0; x <= 9; ++x) {
+    EXPECT_NEAR(stats.Selectivity(qry::CmpOp::kEq, x),
+                TrueSelectivity(values, qry::CmpOp::kEq, x), 1e-9);
+    EXPECT_NEAR(stats.Selectivity(qry::CmpOp::kNe, x),
+                TrueSelectivity(values, qry::CmpOp::kNe, x), 1e-9);
+  }
+  EXPECT_DOUBLE_EQ(stats.Selectivity(qry::CmpOp::kEq, 12345), 0.0);
+}
+
+TEST(ColumnStatsTest, RangeSelectivityCloseToTruthOnSkewedData) {
+  std::vector<int64_t> values;
+  Rng rng(11);
+  ZipfSampler zipf(500, 1.1, &rng);
+  for (int i = 0; i < 5000; ++i) {
+    values.push_back(static_cast<int64_t>(zipf.Sample()));
+  }
+  db::Table table = MakeTable(values);
+  ColumnStats stats = BuildColumnStats(table, 0);
+  for (int64_t x : {1, 3, 10, 50, 200, 400}) {
+    for (auto op : {qry::CmpOp::kLt, qry::CmpOp::kLe, qry::CmpOp::kGe,
+                    qry::CmpOp::kGt}) {
+      const double truth = TrueSelectivity(values, op, x);
+      const double est = stats.Selectivity(op, x);
+      EXPECT_NEAR(est, truth, 0.08) << "op " << qry::CmpOpName(op) << " x " << x;
+    }
+  }
+}
+
+TEST(ColumnStatsTest, SelectivityBoundsAndMonotonicity) {
+  std::vector<int64_t> values;
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) values.push_back(rng.UniformInt(-100, 100));
+  db::Table table = MakeTable(values);
+  ColumnStats stats = BuildColumnStats(table, 0);
+  double prev = -1.0;
+  for (int64_t x = -120; x <= 120; x += 10) {
+    const double s = stats.Selectivity(qry::CmpOp::kLt, x);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+    EXPECT_GE(s, prev - 1e-9) << "Pr[v < x] must be monotone in x";
+    prev = s;
+  }
+  EXPECT_NEAR(stats.Selectivity(qry::CmpOp::kLt, 1000), 1.0, 1e-9);
+  EXPECT_NEAR(stats.Selectivity(qry::CmpOp::kGt, 1000), 0.0, 1e-9);
+}
+
+TEST(DatabaseStatsTest, CoversEveryColumn) {
+  db::SynthImdbOptions opts;
+  opts.scale = 0.02;
+  auto database = db::BuildSynthImdb(opts);
+  DatabaseStats stats(*database);
+  const db::Catalog& cat = database->catalog();
+  for (int32_t t = 0; t < cat.num_tables(); ++t) {
+    EXPECT_EQ(stats.table_rows(t), database->table(t).num_rows());
+    for (size_t c = 0; c < cat.table(t).columns.size(); ++c) {
+      const ColumnStats& cs = stats.column({t, static_cast<int32_t>(c)});
+      EXPECT_EQ(cs.row_count, database->table(t).num_rows());
+    }
+  }
+}
+
+TEST(HistogramEstimatorTest, SingleTableEstimatesTrackTruth) {
+  db::SynthImdbOptions opts;
+  opts.scale = 0.05;
+  auto database = db::BuildSynthImdb(opts);
+  DatabaseStats stats(*database);
+  card::HistogramEstimator estimator(&stats);
+
+  const int32_t t = database->catalog().FindTable("title");
+  qry::Query query;
+  query.tables = {t};
+  query.predicates = {{{t, 2}, qry::CmpOp::kGt, 2005}};
+  const double est = estimator.EstimateSubset(query, 1);
+
+  size_t truth = 0;
+  const db::Table& table = database->table(t);
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    if (table.at(r, 2) > 2005) ++truth;
+  }
+  EXPECT_GT(est, 0.0);
+  EXPECT_LT(exec_qerror(est, static_cast<double>(truth)), 1.5);
+}
+
+TEST(HistogramEstimatorTest, JoinEstimateUsesNdistinct) {
+  db::SynthImdbOptions opts;
+  opts.scale = 0.05;
+  auto database = db::BuildSynthImdb(opts);
+  DatabaseStats stats(*database);
+  card::HistogramEstimator estimator(&stats);
+
+  const db::Catalog& cat = database->catalog();
+  const int32_t t = cat.FindTable("title");
+  const int32_t mc = cat.FindTable("movie_companies");
+  qry::Query query;
+  query.tables = {t, mc};
+  query.joins = {{{mc, 1}, {t, 0}}};
+  const double est = estimator.EstimateSubset(query, 0b11);
+  // FK join through a PK: |mc| x |t| / nd(t.id) = |mc| exactly.
+  EXPECT_NEAR(est, static_cast<double>(database->table(mc).num_rows()),
+              static_cast<double>(database->table(mc).num_rows()) * 0.05);
+}
+
+}  // namespace
+}  // namespace lpce::stats

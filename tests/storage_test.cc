@@ -1,0 +1,169 @@
+// Unit tests for schema/catalog, tables, indexes, and the synthetic dataset.
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "storage/database.h"
+
+namespace lpce::db {
+namespace {
+
+TEST(CatalogTest, GlobalColumnIdsAreDense) {
+  Catalog cat;
+  cat.AddTable({"a", {{"x"}, {"y"}}});
+  cat.AddTable({"b", {{"z"}}});
+  EXPECT_EQ(cat.TotalColumns(), 3);
+  EXPECT_EQ(cat.GlobalColumnId({0, 0}), 0);
+  EXPECT_EQ(cat.GlobalColumnId({0, 1}), 1);
+  EXPECT_EQ(cat.GlobalColumnId({1, 0}), 2);
+  EXPECT_EQ(cat.FindTable("b"), 1);
+  EXPECT_EQ(cat.FindTable("nope"), -1);
+  EXPECT_EQ(cat.FindColumn(0, "y"), 1);
+}
+
+TEST(CatalogTest, EdgesOfTable) {
+  Catalog cat;
+  cat.AddTable({"a", {{"id"}}});
+  cat.AddTable({"b", {{"a_id"}}});
+  cat.AddTable({"c", {{"a_id"}}});
+  cat.AddJoinEdge({1, 0}, {0, 0});
+  cat.AddJoinEdge({2, 0}, {0, 0});
+  EXPECT_EQ(cat.EdgesOfTable(0).size(), 2u);
+  EXPECT_EQ(cat.EdgesOfTable(1).size(), 1u);
+}
+
+TEST(TableTest, AppendAndRead) {
+  Table t(2);
+  t.AppendRow({1, 10});
+  t.AppendRow({2, 20});
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.at(1, 1), 20);
+}
+
+TEST(HashIndexTest, LookupFindsAllMatches) {
+  Table t(1);
+  for (int64_t v : {5, 3, 5, 7, 5}) t.AppendRow({v});
+  HashIndex idx(t, 0);
+  EXPECT_EQ(idx.Lookup(5).size(), 3u);
+  EXPECT_EQ(idx.Lookup(3).size(), 1u);
+  EXPECT_TRUE(idx.Lookup(99).empty());
+  EXPECT_EQ(idx.num_distinct(), 3u);
+}
+
+TEST(SortedIndexTest, RangeQueriesMatchBruteForce) {
+  Rng rng(123);
+  Table t(1);
+  for (int i = 0; i < 500; ++i) t.AppendRow({rng.UniformInt(0, 50)});
+  SortedIndex idx(t, 0);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int64_t lo = rng.UniformInt(-5, 55);
+    const int64_t hi = rng.UniformInt(lo, 60);
+    size_t expect = 0;
+    for (size_t r = 0; r < t.num_rows(); ++r) {
+      if (t.at(r, 0) >= lo && t.at(r, 0) <= hi) ++expect;
+    }
+    EXPECT_EQ(idx.RangeCount(lo, hi), expect);
+    EXPECT_EQ(idx.RangeLookup(lo, hi).size(), expect);
+  }
+  EXPECT_EQ(idx.RangeCount(10, 5), 0u);
+}
+
+TEST(SynthImdbTest, SchemaShape) {
+  SynthImdbOptions opts;
+  opts.scale = 0.05;
+  auto database = BuildSynthImdb(opts);
+  const Catalog& cat = database->catalog();
+  EXPECT_EQ(cat.num_tables(), 10);
+  EXPECT_EQ(cat.join_edges().size(), 10u);
+  EXPECT_GE(cat.TotalColumns(), 30);
+  EXPECT_TRUE(database->indexes_built());
+}
+
+TEST(SynthImdbTest, ForeignKeysResolve) {
+  SynthImdbOptions opts;
+  opts.scale = 0.05;
+  auto database = BuildSynthImdb(opts);
+  const Catalog& cat = database->catalog();
+  // Every FK edge: all values on the FK side exist on the PK side.
+  for (const auto& edge : cat.join_edges()) {
+    const Table& fk_table = database->table(edge.left.table);
+    const HashIndex& pk_index = database->hash_index(edge.right);
+    const auto& fk_col = fk_table.column(edge.left.column);
+    size_t misses = 0;
+    for (int64_t v : fk_col) {
+      if (pk_index.Lookup(v).empty()) ++misses;
+    }
+    EXPECT_EQ(misses, 0u) << "dangling FKs on edge "
+                          << cat.ColumnName(edge.left) << " = "
+                          << cat.ColumnName(edge.right);
+  }
+}
+
+TEST(SynthImdbTest, FanoutsAreSkewed) {
+  SynthImdbOptions opts;
+  opts.scale = 0.2;
+  auto database = BuildSynthImdb(opts);
+  const Catalog& cat = database->catalog();
+  const int32_t ci = cat.FindTable("cast_info");
+  ASSERT_GE(ci, 0);
+  const Table& cast_info = database->table(ci);
+  // Count fanout per movie. Fanouts are Zipf-skewed but capped (to keep
+  // multi-satellite joins bounded): the max should still clearly exceed the
+  // mean, and the hottest 10% of movies should hold an outsized row share.
+  std::unordered_map<int64_t, size_t> fanout;
+  for (int64_t m : cast_info.column(1)) ++fanout[m];
+  size_t max_fanout = 0;
+  std::vector<size_t> counts;
+  for (const auto& [m, f] : fanout) {
+    max_fanout = std::max(max_fanout, f);
+    counts.push_back(f);
+  }
+  const double mean = static_cast<double>(cast_info.num_rows()) /
+                      static_cast<double>(fanout.size());
+  EXPECT_GT(static_cast<double>(max_fanout), 2.0 * mean);
+  std::sort(counts.rbegin(), counts.rend());
+  size_t top_rows = 0;
+  for (size_t i = 0; i < counts.size() / 10; ++i) top_rows += counts[i];
+  EXPECT_GT(static_cast<double>(top_rows),
+            0.2 * static_cast<double>(cast_info.num_rows()));
+}
+
+TEST(SynthImdbTest, DeterministicForSameSeed) {
+  SynthImdbOptions opts;
+  opts.scale = 0.05;
+  auto a = BuildSynthImdb(opts);
+  auto b = BuildSynthImdb(opts);
+  const int32_t t = a->catalog().FindTable("title");
+  ASSERT_EQ(a->table(t).num_rows(), b->table(t).num_rows());
+  for (size_t c = 0; c < a->table(t).num_columns(); ++c) {
+    EXPECT_EQ(a->table(t).column(c), b->table(t).column(c));
+  }
+}
+
+TEST(SynthImdbTest, ScaleChangesRowCounts) {
+  SynthImdbOptions small;
+  small.scale = 0.05;
+  SynthImdbOptions big;
+  big.scale = 0.1;
+  auto a = BuildSynthImdb(small);
+  auto b = BuildSynthImdb(big);
+  const int32_t t = a->catalog().FindTable("cast_info");
+  EXPECT_LT(a->table(t).num_rows(), b->table(t).num_rows());
+}
+
+TEST(ZipfSamplerTest, HeavySkewAtLowRanks) {
+  Rng rng(7);
+  ZipfSampler zipf(1000, 1.2, &rng);
+  size_t low = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (zipf.Sample() < 10) ++low;
+  }
+  // With s=1.2 the top-10 ranks carry far more than 10/1000 of the mass.
+  EXPECT_GT(low, static_cast<size_t>(n) / 5);
+}
+
+}  // namespace
+}  // namespace lpce::db

@@ -1,0 +1,127 @@
+// Workload generator and labeling tests.
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "workload/workload.h"
+
+namespace lpce::wk {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db::SynthImdbOptions opts;
+    opts.scale = 0.03;
+    database_ = db::BuildSynthImdb(opts);
+  }
+
+  std::unique_ptr<db::Database> database_;
+};
+
+TEST_F(WorkloadTest, GeneratesRequestedJoinCounts) {
+  GeneratorOptions opts;
+  QueryGenerator generator(database_.get(), opts);
+  for (int joins = 2; joins <= 8; ++joins) {
+    qry::Query query = generator.Generate(joins);
+    EXPECT_EQ(query.num_joins(), joins);
+    EXPECT_EQ(query.num_tables(), joins + 1);
+    EXPECT_TRUE(query.IsConnected(query.AllRels()));
+    // Tables are distinct.
+    std::set<int32_t> distinct(query.tables.begin(), query.tables.end());
+    EXPECT_EQ(distinct.size(), query.tables.size());
+  }
+}
+
+TEST_F(WorkloadTest, LabelsEveryCanonicalNode) {
+  GeneratorOptions opts;
+  QueryGenerator generator(database_.get(), opts);
+  auto workload = generator.GenerateLabeled(5, 3, 5);
+  ASSERT_EQ(workload.size(), 5u);
+  for (const auto& labeled : workload) {
+    // 2k-1 nodes for k tables.
+    EXPECT_EQ(labeled.true_cards.size(),
+              static_cast<size_t>(2 * labeled.query.num_tables() - 1));
+    EXPECT_TRUE(labeled.true_cards.count(labeled.query.AllRels()) > 0);
+  }
+}
+
+TEST_F(WorkloadTest, LabelsMatchIndependentExecution) {
+  GeneratorOptions opts;
+  opts.seed = 42;
+  QueryGenerator generator(database_.get(), opts);
+  auto workload = generator.GenerateLabeled(3, 2, 4);
+  for (const auto& labeled : workload) {
+    auto plan = exec::BuildCanonicalHashPlan(labeled.query);
+    exec::Executor executor(database_.get(), &labeled.query);
+    EXPECT_EQ(executor.Execute(plan.get())->num_rows(), labeled.FinalCard());
+  }
+}
+
+TEST_F(WorkloadTest, RequireNonemptyProducesNonzeroResults) {
+  GeneratorOptions opts;
+  opts.require_nonempty = true;
+  opts.seed = 9;
+  QueryGenerator generator(database_.get(), opts);
+  auto workload = generator.GenerateLabeled(5, 2, 6);
+  for (const auto& labeled : workload) {
+    EXPECT_GT(labeled.FinalCard(), 0u);
+  }
+}
+
+TEST_F(WorkloadTest, DeterministicAcrossRuns) {
+  GeneratorOptions opts;
+  opts.seed = 77;
+  QueryGenerator g1(database_.get(), opts);
+  QueryGenerator g2(database_.get(), opts);
+  auto w1 = g1.GenerateLabeled(4, 2, 5);
+  auto w2 = g2.GenerateLabeled(4, 2, 5);
+  for (size_t i = 0; i < w1.size(); ++i) {
+    EXPECT_EQ(w1[i].query.tables, w2[i].query.tables);
+    EXPECT_EQ(w1[i].FinalCard(), w2[i].FinalCard());
+  }
+}
+
+TEST_F(WorkloadTest, SaveLoadRoundTrip) {
+  GeneratorOptions opts;
+  QueryGenerator generator(database_.get(), opts);
+  auto workload = generator.GenerateLabeled(6, 2, 6);
+  const std::string path = ::testing::TempDir() + "/workload.bin";
+  ASSERT_TRUE(SaveWorkload(workload, path).ok());
+  std::vector<LabeledQuery> loaded;
+  ASSERT_TRUE(LoadWorkload(path, &loaded).ok());
+  ASSERT_EQ(loaded.size(), workload.size());
+  for (size_t i = 0; i < workload.size(); ++i) {
+    EXPECT_EQ(loaded[i].query.tables, workload[i].query.tables);
+    EXPECT_EQ(loaded[i].query.joins.size(), workload[i].query.joins.size());
+    EXPECT_EQ(loaded[i].query.predicates.size(),
+              workload[i].query.predicates.size());
+    EXPECT_EQ(loaded[i].true_cards, workload[i].true_cards);
+  }
+}
+
+TEST_F(WorkloadTest, LoadRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/garbage.bin";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  const char junk[] = "not a workload";
+  std::fwrite(junk, 1, sizeof(junk), f);
+  std::fclose(f);
+  std::vector<LabeledQuery> loaded;
+  EXPECT_FALSE(LoadWorkload(path, &loaded).ok());
+}
+
+TEST_F(WorkloadTest, MaxCardinalityIsMaxOverAllNodes) {
+  GeneratorOptions opts;
+  QueryGenerator generator(database_.get(), opts);
+  auto workload = generator.GenerateLabeled(4, 2, 5);
+  const uint64_t max_card = MaxCardinality(workload);
+  uint64_t expect = 1;
+  for (const auto& labeled : workload) {
+    for (const auto& [rels, card] : labeled.true_cards) {
+      expect = std::max(expect, card);
+    }
+  }
+  EXPECT_EQ(max_card, expect);
+}
+
+}  // namespace
+}  // namespace lpce::wk
