@@ -1,7 +1,9 @@
 #include "exec/executor.h"
 
 #include <algorithm>
+#include <atomic>
 
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include <functional>
 #include <limits>
@@ -22,6 +24,28 @@ void AppendUnique(std::vector<db::ColRef>* cols, db::ColRef ref) {
     if (c == ref) return;
   }
   cols->push_back(ref);
+}
+
+// Inputs below this many rows run the sequential operator paths: the pool
+// dispatch is not worth it, and tiny intermediates dominate the plans here.
+constexpr size_t kMinParallelRows = 4096;
+
+// Effective worker count for an operator: the global pool capped by the
+// per-run knob.
+int EffectiveThreads(int num_threads) {
+  int workers = common::GlobalPool().size();
+  if (num_threads > 0) workers = std::min(workers, num_threads);
+  return workers;
+}
+
+// splitmix64 finalizer — spreads join keys across build partitions even when
+// they are small consecutive integers.
+inline uint64_t MixKey(int64_t key) {
+  uint64_t x = static_cast<uint64_t>(key);
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
 }
 
 }  // namespace
@@ -45,6 +69,7 @@ RowSetPtr Executor::Execute(PlanNode* root) {
 
 Executor::RunResult Executor::Run(PlanNode* root, const Options& options) {
   peak_bytes_ = 0;
+  live_bytes_ = 0;
   RunResult result;
   RowSetPtr out = ExecuteNode(root, {}, options, &result);
   if (result.tripped == nullptr) result.result = out;
@@ -70,7 +95,7 @@ RowSetPtr Executor::ExecuteNode(PlanNode* node,
     children_seconds = children_timer.ElapsedSeconds();
     bool overflow = false;
     out = ExecuteJoin(*node, *outer, *inner, required, options.max_node_rows,
-                      &overflow);
+                      &overflow, options.num_threads);
     if (overflow) {
       result->aborted = true;
       return nullptr;
@@ -78,12 +103,16 @@ RowSetPtr Executor::ExecuteNode(PlanNode* node,
   } else if (node->op == PhysOp::kPseudoScan) {
     out = ExecutePseudo(*node, required);
   } else {
-    out = ExecuteScan(*node, required);
+    out = ExecuteScan(*node, required, options.num_threads);
   }
   node->actual_card = out->num_rows();
   node->executed = true;
   node->exec_seconds = node_timer.ElapsedSeconds() - children_seconds;
-  peak_bytes_ = std::max(peak_bytes_, out->ByteSize());
+  // Every finished result is retained in result->finished until the run ends
+  // (checkpoints may re-plan around any of them), so live memory is the sum
+  // of all finished intermediates, not the largest single one.
+  live_bytes_ += out->ByteSize();
+  peak_bytes_ = std::max(peak_bytes_, live_bytes_);
   result->finished[node] = out;
   // Checkpoint: a pseudo scan's cardinality is exact by construction, and a
   // tripped root has nothing left to re-plan.
@@ -104,7 +133,8 @@ RowSetPtr Executor::ExecuteNode(PlanNode* node,
 }
 
 RowSetPtr Executor::ExecuteScan(const PlanNode& node,
-                                const std::vector<db::ColRef>& required) {
+                                const std::vector<db::ColRef>& required,
+                                int num_threads) {
   const int32_t table_id = query_->tables[node.table_pos];
   const db::Table& table = db_->table(table_id);
   auto out = std::make_shared<RowSet>();
@@ -119,6 +149,10 @@ RowSetPtr Executor::ExecuteScan(const PlanNode& node,
     const db::SortedIndex& index = db_->sorted_index(node.index_col);
     int64_t lo = std::numeric_limits<int64_t>::min();
     int64_t hi = std::numeric_limits<int64_t>::max();
+    // `x < INT64_MIN` / `x > INT64_MAX` cannot match anything, and naively
+    // widening the literal by one would overflow (UB) — mark the range empty
+    // instead.
+    bool empty_range = false;
     bool driven = false;
     for (const auto& f : node.filters) {
       if (!(f.col == node.index_col) || driven || f.op == qry::CmpOp::kNe) {
@@ -128,7 +162,11 @@ RowSetPtr Executor::ExecuteScan(const PlanNode& node,
       driven = true;
       switch (f.op) {
         case qry::CmpOp::kLt:
-          hi = f.value - 1;
+          if (f.value == std::numeric_limits<int64_t>::min()) {
+            empty_range = true;
+          } else {
+            hi = f.value - 1;
+          }
           break;
         case qry::CmpOp::kLe:
           hi = f.value;
@@ -140,43 +178,85 @@ RowSetPtr Executor::ExecuteScan(const PlanNode& node,
           lo = f.value;
           break;
         case qry::CmpOp::kGt:
-          lo = f.value + 1;
+          if (f.value == std::numeric_limits<int64_t>::max()) {
+            empty_range = true;
+          } else {
+            lo = f.value + 1;
+          }
           break;
         case qry::CmpOp::kNe:
           break;
       }
     }
-    rows = index.RangeLookup(lo, hi);
+    if (!empty_range) rows = index.RangeLookup(lo, hi);
   } else {
     residual = node.filters;
     rows.resize(table.num_rows());
     for (size_t i = 0; i < rows.size(); ++i) rows[i] = static_cast<uint32_t>(i);
   }
 
-  // Apply residual filters.
+  // Apply residual filters: every chunk filters its slice into a private
+  // buffer and the buffers are concatenated in chunk order, so the surviving
+  // row order matches the sequential path exactly.
   if (!residual.empty()) {
-    std::vector<uint32_t> kept;
-    kept.reserve(rows.size());
-    for (uint32_t row : rows) {
-      bool pass = true;
-      for (const auto& f : residual) {
-        if (!qry::EvalCmp(table.at(row, f.col.column), f.op, f.value)) {
-          pass = false;
-          break;
+    auto filter_range = [&](size_t b, size_t e, std::vector<uint32_t>* kept) {
+      for (size_t i = b; i < e; ++i) {
+        const uint32_t row = rows[i];
+        bool pass = true;
+        for (const auto& f : residual) {
+          if (!qry::EvalCmp(table.at(row, f.col.column), f.op, f.value)) {
+            pass = false;
+            break;
+          }
         }
+        if (pass) kept->push_back(row);
       }
-      if (pass) kept.push_back(row);
+    };
+    const int workers = EffectiveThreads(num_threads);
+    if (workers > 1 && rows.size() >= kMinParallelRows) {
+      const auto chunks = common::ThreadPool::Partition(
+          0, rows.size(), kMinParallelRows / 4, workers);
+      std::vector<std::vector<uint32_t>> kept(chunks.size());
+      common::GlobalPool().ParallelFor(
+          0, chunks.size(), 1,
+          [&](size_t c0, size_t c1) {
+            for (size_t c = c0; c < c1; ++c) {
+              kept[c].reserve(chunks[c].second - chunks[c].first);
+              filter_range(chunks[c].first, chunks[c].second, &kept[c]);
+            }
+          },
+          workers);
+      size_t total = 0;
+      for (const auto& k : kept) total += k.size();
+      std::vector<uint32_t> merged;
+      merged.reserve(total);
+      for (const auto& k : kept) merged.insert(merged.end(), k.begin(), k.end());
+      rows.swap(merged);
+    } else {
+      std::vector<uint32_t> kept;
+      kept.reserve(rows.size());
+      filter_range(0, rows.size(), &kept);
+      rows.swap(kept);
     }
-    rows.swap(kept);
   }
 
   out->row_count = rows.size();
+  const int workers = EffectiveThreads(num_threads);
   for (size_t c = 0; c < required.size(); ++c) {
     LPCE_CHECK(required[c].table == table_id);
     const auto& src = table.column(required[c].column);
     auto& dst = out->cols[c];
-    dst.reserve(rows.size());
-    for (uint32_t row : rows) dst.push_back(src[row]);
+    dst.resize(rows.size());
+    if (workers > 1 && rows.size() >= kMinParallelRows) {
+      common::GlobalPool().ParallelFor(
+          0, rows.size(), kMinParallelRows / 4,
+          [&](size_t b, size_t e) {
+            for (size_t i = b; i < e; ++i) dst[i] = src[rows[i]];
+          },
+          workers);
+    } else {
+      for (size_t i = 0; i < rows.size(); ++i) dst[i] = src[rows[i]];
+    }
   }
   return out;
 }
@@ -200,12 +280,19 @@ RowSetPtr Executor::ExecutePseudo(const PlanNode& node,
 RowSetPtr Executor::ExecuteJoin(const PlanNode& node, const RowSet& outer,
                                 const RowSet& inner,
                                 const std::vector<db::ColRef>& required,
-                                size_t max_rows, bool* overflow) {
+                                size_t max_rows, bool* overflow,
+                                int num_threads) {
   const int outer_key = outer.ColumnIndex(node.outer_key);
   const int inner_key = inner.ColumnIndex(node.inner_key);
   LPCE_CHECK(outer_key >= 0 && inner_key >= 0);
   const auto& okeys = outer.cols[outer_key];
   const auto& ikeys = inner.cols[inner_key];
+
+  if (node.op == PhysOp::kHashJoin && EffectiveThreads(num_threads) > 1 &&
+      okeys.size() + ikeys.size() >= kMinParallelRows) {
+    return ParallelHashJoin(outer, inner, outer_key, inner_key, required,
+                            max_rows, overflow, num_threads);
+  }
 
   // Source (side, column index) for every output column.
   struct Source {
@@ -306,6 +393,134 @@ RowSetPtr Executor::ExecuteJoin(const PlanNode& node, const RowSet& outer,
     default:
       LPCE_CHECK_MSG(false, "not a join operator");
   }
+  return out;
+}
+
+RowSetPtr Executor::ParallelHashJoin(const RowSet& outer, const RowSet& inner,
+                                     int outer_key, int inner_key,
+                                     const std::vector<db::ColRef>& required,
+                                     size_t max_rows, bool* overflow,
+                                     int num_threads) {
+  const auto& okeys = outer.cols[outer_key];
+  const auto& ikeys = inner.cols[inner_key];
+  const int workers = EffectiveThreads(num_threads);
+  common::ThreadPool& pool = common::GlobalPool();
+
+  struct Source {
+    bool from_outer;
+    int col;
+  };
+  std::vector<Source> sources;
+  sources.reserve(required.size());
+  for (const auto& ref : required) {
+    int idx = outer.ColumnIndex(ref);
+    if (idx >= 0) {
+      sources.push_back({true, idx});
+    } else {
+      idx = inner.ColumnIndex(ref);
+      LPCE_CHECK_MSG(idx >= 0, "join output column not found in either side");
+      sources.push_back({false, idx});
+    }
+  }
+
+  // Partitioned build: rows are hashed into `workers` partitions; each
+  // partition's table is built by one task. Within a partition the rows keep
+  // their ascending order, so a key's match list is identical to the one the
+  // sequential build produces.
+  // Partition ids are stored in a byte; more than 255 partitions would be
+  // far past any sane pool size anyway.
+  const size_t P = std::min<size_t>(static_cast<size_t>(workers), 255);
+  std::vector<uint8_t> part(ikeys.size());
+  pool.ParallelFor(
+      0, ikeys.size(), 4096,
+      [&](size_t b, size_t e) {
+        for (size_t r = b; r < e; ++r) {
+          part[r] = static_cast<uint8_t>(MixKey(ikeys[r]) % P);
+        }
+      },
+      workers);
+  std::vector<std::unordered_map<int64_t, std::vector<uint32_t>>> build(P);
+  pool.ParallelFor(
+      0, P, 1,
+      [&](size_t p0, size_t p1) {
+        for (size_t p = p0; p < p1; ++p) {
+          build[p].reserve(ikeys.size() / P + 1);
+          for (size_t r = 0; r < ikeys.size(); ++r) {
+            if (part[r] == p) build[p][ikeys[r]].push_back(static_cast<uint32_t>(r));
+          }
+        }
+      },
+      workers);
+
+  // Parallel probe: each chunk of outer rows emits into private per-column
+  // buffers; concatenating them in chunk order reproduces the sequential
+  // output row order exactly (outer order, then build-list order per key).
+  const auto chunks =
+      common::ThreadPool::Partition(0, okeys.size(), 1024, workers);
+  struct ChunkOut {
+    std::vector<std::vector<int64_t>> cols;
+    size_t rows = 0;
+  };
+  std::vector<ChunkOut> partials(chunks.size());
+  std::atomic<size_t> emitted{0};
+  std::atomic<bool> over{false};
+  pool.ParallelFor(
+      0, chunks.size(), 1,
+      [&](size_t c0, size_t c1) {
+        for (size_t c = c0; c < c1; ++c) {
+          ChunkOut& local = partials[c];
+          local.cols.resize(sources.size());
+          for (size_t r = chunks[c].first; r < chunks[c].second; ++r) {
+            if (over.load(std::memory_order_relaxed)) return;
+            const int64_t key = okeys[r];
+            const auto& table = build[MixKey(key) % P];
+            auto it = table.find(key);
+            if (it == table.end()) continue;
+            for (uint32_t ir : it->second) {
+              for (size_t s = 0; s < sources.size(); ++s) {
+                local.cols[s].push_back(sources[s].from_outer
+                                            ? outer.cols[sources[s].col][r]
+                                            : inner.cols[sources[s].col][ir]);
+              }
+            }
+            local.rows += it->second.size();
+            if (max_rows > 0 &&
+                emitted.fetch_add(it->second.size(),
+                                  std::memory_order_relaxed) +
+                        it->second.size() >
+                    max_rows) {
+              over.store(true, std::memory_order_relaxed);
+              return;
+            }
+          }
+        }
+      },
+      workers);
+
+  auto out = std::make_shared<RowSet>();
+  out->schema = required;
+  out->cols.resize(required.size());
+  if (over.load()) {
+    // The run is abandoned; the partially-built output is discarded upstream.
+    *overflow = true;
+    return out;
+  }
+  size_t total = 0;
+  for (const auto& p : partials) total += p.rows;
+  out->row_count = total;
+  // Per-column concatenation in chunk order, itself parallel across columns.
+  pool.ParallelFor(
+      0, sources.size(), 1,
+      [&](size_t s0, size_t s1) {
+        for (size_t s = s0; s < s1; ++s) {
+          auto& dst = out->cols[s];
+          dst.reserve(total);
+          for (const auto& p : partials) {
+            dst.insert(dst.end(), p.cols[s].begin(), p.cols[s].end());
+          }
+        }
+      },
+      workers);
   return out;
 }
 

@@ -40,6 +40,10 @@ class Executor {
     /// this (0 = unlimited). Used by the workload generator to reject
     /// pathologically exploding queries.
     size_t max_node_rows = 0;
+    /// Caps the worker threads used for hash-join build/probe and residual
+    /// scan filtering (0 = the global pool's full size, 1 = sequential).
+    /// Output row order is deterministic — identical at every setting.
+    int num_threads = 0;
   };
 
   struct RunResult {
@@ -63,20 +67,28 @@ class Executor {
   /// Runs with the given options; may stop early at a tripped checkpoint.
   RunResult Run(PlanNode* root, const Options& options);
 
-  /// Resident bytes of the largest intermediate seen in the last run — the
-  /// "peak memory" proxy for the Sec. 6.2 overhead experiment.
+  /// Peak total resident bytes across all retained intermediates in the last
+  /// run — the "peak memory" proxy for the Sec. 6.2 overhead experiment.
+  /// Every finished node's result is retained (checkpoints may need it for
+  /// re-planning), so this is the sum of live rowsets at its maximum, not
+  /// just the largest single one.
   size_t peak_intermediate_bytes() const { return peak_bytes_; }
 
  private:
   RowSetPtr ExecuteNode(PlanNode* node, const std::vector<db::ColRef>& required,
                         const Options& options, RunResult* result);
 
-  RowSetPtr ExecuteScan(const PlanNode& node, const std::vector<db::ColRef>& required);
+  RowSetPtr ExecuteScan(const PlanNode& node, const std::vector<db::ColRef>& required,
+                        int num_threads);
   RowSetPtr ExecutePseudo(const PlanNode& node,
                           const std::vector<db::ColRef>& required);
   RowSetPtr ExecuteJoin(const PlanNode& node, const RowSet& outer, const RowSet& inner,
                         const std::vector<db::ColRef>& required, size_t max_rows,
-                        bool* overflow);
+                        bool* overflow, int num_threads);
+  RowSetPtr ParallelHashJoin(const RowSet& outer, const RowSet& inner,
+                             int outer_key, int inner_key,
+                             const std::vector<db::ColRef>& required,
+                             size_t max_rows, bool* overflow, int num_threads);
 
   /// Splits parent-required columns into those provided by `rels`.
   std::vector<db::ColRef> SideRequired(const std::vector<db::ColRef>& required,
@@ -85,6 +97,7 @@ class Executor {
   const db::Database* db_;
   const qry::Query* query_;
   size_t peak_bytes_ = 0;
+  size_t live_bytes_ = 0;
 };
 
 /// Builds an all-hash-join plan following the canonical left-deep tree for

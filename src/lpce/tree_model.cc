@@ -10,6 +10,23 @@ namespace lpce::model {
 
 nn::Tensor Detach(const nn::Tensor& t) { return nn::MakeTensor(t->value()); }
 
+namespace {
+
+/// Applies a training config's matmul thread cap for the duration of a
+/// training run, restoring the previous cap on exit.
+class ScopedMatMulThreads {
+ public:
+  explicit ScopedMatMulThreads(int num_threads) : prev_(nn::MatMulThreads()) {
+    nn::SetMatMulThreads(num_threads);
+  }
+  ~ScopedMatMulThreads() { nn::SetMatMulThreads(prev_); }
+
+ private:
+  int prev_;
+};
+
+}  // namespace
+
 std::unique_ptr<EstNode> MakeEstTree(
     const qry::Query& query, const qry::LogicalNode* logical,
     const db::Database& database,
@@ -329,6 +346,7 @@ nn::Tensor TreeLoss(const TreeModel& model,
 double TrainTreeModel(TreeModel* model, const db::Database& database,
                       const std::vector<wk::LabeledQuery>& train,
                       const TrainOptions& options) {
+  ScopedMatMulThreads thread_cap(options.num_threads);
   nn::Adam adam(&model->params(), {.lr = options.lr});
   Rng rng(options.seed);
 
@@ -432,6 +450,7 @@ void DistillTreeModel(TreeModel* student, const TreeModel& teacher,
                       const db::Database& database,
                       const std::vector<wk::LabeledQuery>& train,
                       const DistillOptions& options) {
+  ScopedMatMulThreads thread_cap(options.num_threads);
   // Projections p_e / p_s lift student embeddings/representations to the
   // teacher's width (Eq. 4). They live in their own store: training-only.
   Rng rng(options.seed);

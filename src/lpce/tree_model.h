@@ -163,6 +163,10 @@ struct TrainOptions {
   /// stops early after `patience` epochs without improvement (0 = never).
   double validation_fraction = 0.0;
   int patience = 0;
+  /// Thread cap for the training matrix products (0 = global pool size,
+  /// 1 = sequential). Any setting trains to bit-identical parameters — the
+  /// parallel products preserve the sequential accumulation order.
+  int num_threads = 0;
 };
 
 /// Trains with the (node- or query-wise) q-error surrogate |y - y*| and
@@ -179,6 +183,8 @@ struct DistillOptions {
   int batch_size = 32;
   float grad_clip = 5.0f;
   uint64_t seed = 321;
+  /// Same contract as TrainOptions::num_threads.
+  int num_threads = 0;
 };
 
 /// Knowledge distillation: trains `student` to match `teacher` through

@@ -6,8 +6,13 @@ namespace lpce::nn {
 
 void Adam::Step() {
   ++t_;
-  const float bc1 = 1.0f - std::pow(options_.beta1, static_cast<float>(t_));
-  const float bc2 = 1.0f - std::pow(options_.beta2, static_cast<float>(t_));
+  // Bias corrections in double: float pow drifts visibly from the reference
+  // value at large t with beta2 = 0.999 (1 - beta2^t is a difference of
+  // nearly-equal numbers until t is in the thousands).
+  const float bc1 = static_cast<float>(
+      1.0 - std::pow(static_cast<double>(options_.beta1), static_cast<double>(t_)));
+  const float bc2 = static_cast<float>(
+      1.0 - std::pow(static_cast<double>(options_.beta2), static_cast<double>(t_)));
   for (const auto& name : store_->names()) {
     Tensor param = store_->Get(name);
     Matrix& value = param->mutable_value();

@@ -1,8 +1,44 @@
 #include "nn/matrix.h"
 
+#include <atomic>
 #include <cmath>
 
+#include "common/thread_pool.h"
+
 namespace lpce::nn {
+
+namespace {
+
+std::atomic<int> g_matmul_threads{0};
+
+// Parallelize a product only when it is worth a dispatch: below this flop
+// count the pool hand-off costs more than the arithmetic it saves. The
+// per-node 1xD training/inference products stay sequential; batched training
+// products and the bench workloads go wide.
+constexpr size_t kParallelFlopCutoff = size_t{1} << 18;
+
+// Runs fn(row_begin, row_end) over [0, rows), split across the global pool
+// when the product is large enough. Each chunk owns a disjoint block of
+// output rows and accumulates each output element in the same order as the
+// sequential loop, so results are bit-identical at every thread count.
+void ParallelRows(size_t rows, size_t flops,
+                  const std::function<void(size_t, size_t)>& fn) {
+  const int cap = g_matmul_threads.load(std::memory_order_relaxed);
+  if (flops < kParallelFlopCutoff || rows < 2 || cap == 1) {
+    fn(0, rows);
+    return;
+  }
+  common::GlobalPool().ParallelFor(0, rows, /*grain=*/1, fn, cap);
+}
+
+}  // namespace
+
+void SetMatMulThreads(int num_threads) {
+  g_matmul_threads.store(num_threads < 0 ? 0 : num_threads,
+                         std::memory_order_relaxed);
+}
+
+int MatMulThreads() { return g_matmul_threads.load(std::memory_order_relaxed); }
 
 void Matrix::AddInPlace(const Matrix& other) {
   LPCE_CHECK(SameShape(other));
@@ -22,33 +58,39 @@ Matrix Matrix::MatMul(const Matrix& other) const {
   LPCE_CHECK(cols_ == other.rows_);
   Matrix out(rows_, other.cols_, 0.0f);
   // i-k-j loop order: streams over contiguous rows of `other` and `out`.
-  for (size_t i = 0; i < rows_; ++i) {
-    const float* a_row = data() + i * cols_;
-    float* out_row = out.data() + i * other.cols_;
-    for (size_t k = 0; k < cols_; ++k) {
-      const float a = a_row[k];
-      if (a == 0.0f) continue;
-      const float* b_row = other.data() + k * other.cols_;
-      for (size_t j = 0; j < other.cols_; ++j) out_row[j] += a * b_row[j];
+  ParallelRows(rows_, rows_ * cols_ * other.cols_, [&](size_t r0, size_t r1) {
+    for (size_t i = r0; i < r1; ++i) {
+      const float* a_row = data() + i * cols_;
+      float* out_row = out.data() + i * other.cols_;
+      for (size_t k = 0; k < cols_; ++k) {
+        const float a = a_row[k];
+        if (a == 0.0f) continue;
+        const float* b_row = other.data() + k * other.cols_;
+        for (size_t j = 0; j < other.cols_; ++j) out_row[j] += a * b_row[j];
+      }
     }
-  }
+  });
   return out;
 }
 
 Matrix Matrix::TransposeMatMul(const Matrix& other) const {
-  // Computes this^T (cols_ x rows_) * other (rows_ x other.cols_).
+  // Computes this^T (cols_ x rows_) * other (rows_ x other.cols_). Each chunk
+  // owns output rows [i0, i1) — a column block of `this` — and walks the full
+  // k range in order, preserving the sequential accumulation order.
   LPCE_CHECK(rows_ == other.rows_);
   Matrix out(cols_, other.cols_, 0.0f);
-  for (size_t k = 0; k < rows_; ++k) {
-    const float* a_row = data() + k * cols_;
-    const float* b_row = other.data() + k * other.cols_;
-    for (size_t i = 0; i < cols_; ++i) {
-      const float a = a_row[i];
-      if (a == 0.0f) continue;
-      float* out_row = out.data() + i * other.cols_;
-      for (size_t j = 0; j < other.cols_; ++j) out_row[j] += a * b_row[j];
+  ParallelRows(cols_, rows_ * cols_ * other.cols_, [&](size_t i0, size_t i1) {
+    for (size_t k = 0; k < rows_; ++k) {
+      const float* a_row = data() + k * cols_;
+      const float* b_row = other.data() + k * other.cols_;
+      for (size_t i = i0; i < i1; ++i) {
+        const float a = a_row[i];
+        if (a == 0.0f) continue;
+        float* out_row = out.data() + i * other.cols_;
+        for (size_t j = 0; j < other.cols_; ++j) out_row[j] += a * b_row[j];
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -56,16 +98,18 @@ Matrix Matrix::MatMulTranspose(const Matrix& other) const {
   // Computes this (rows_ x cols_) * other^T (cols_ x other.rows_).
   LPCE_CHECK(cols_ == other.cols_);
   Matrix out(rows_, other.rows_, 0.0f);
-  for (size_t i = 0; i < rows_; ++i) {
-    const float* a_row = data() + i * cols_;
-    float* out_row = out.data() + i * other.rows_;
-    for (size_t j = 0; j < other.rows_; ++j) {
-      const float* b_row = other.data() + j * cols_;
-      float acc = 0.0f;
-      for (size_t k = 0; k < cols_; ++k) acc += a_row[k] * b_row[k];
-      out_row[j] = acc;
+  ParallelRows(rows_, rows_ * cols_ * other.rows_, [&](size_t r0, size_t r1) {
+    for (size_t i = r0; i < r1; ++i) {
+      const float* a_row = data() + i * cols_;
+      float* out_row = out.data() + i * other.rows_;
+      for (size_t j = 0; j < other.rows_; ++j) {
+        const float* b_row = other.data() + j * cols_;
+        float acc = 0.0f;
+        for (size_t k = 0; k < cols_; ++k) acc += a_row[k] * b_row[k];
+        out_row[j] = acc;
+      }
     }
-  }
+  });
   return out;
 }
 

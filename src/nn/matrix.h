@@ -1,6 +1,9 @@
 // Dense row-major float matrix — the numeric workhorse under the autograd
-// tensors in nn/tensor.h. Single-threaded, cache-friendly loops; sized for the
-// small models the paper uses (hidden dims 64-1024).
+// tensors in nn/tensor.h. Cache-friendly loops; the three matrix products go
+// row-blocked parallel (common/thread_pool.h) above a flop cutoff, with a
+// per-output-element accumulation order identical to the sequential loops, so
+// results are bit-identical at every thread count. Sized for the small models
+// the paper uses (hidden dims 64-1024).
 #ifndef LPCE_NN_MATRIX_H_
 #define LPCE_NN_MATRIX_H_
 
@@ -75,6 +78,12 @@ class Matrix {
 void SigmoidInPlace(Matrix* m);
 void TanhInPlace(Matrix* m);
 void ReluInPlace(Matrix* m);
+
+/// Caps the number of threads the matrix products may use (0 = the global
+/// pool's full size, 1 = sequential). Training configs set this from their
+/// num_threads knob; any cap yields bit-identical results.
+void SetMatMulThreads(int num_threads);
+int MatMulThreads();
 
 }  // namespace lpce::nn
 

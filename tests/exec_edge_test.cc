@@ -1,5 +1,8 @@
 // Executor edge cases: empty inputs, all-filtered scans, duplicate-heavy
 // merge joins, row-limit aborts, and peak-memory accounting.
+#include <limits>
+#include <utility>
+
 #include <gtest/gtest.h>
 
 #include "exec/executor.h"
@@ -117,7 +120,7 @@ TEST_F(ExecEdgeTest, RowLimitDoesNotTriggerBelowThreshold) {
   EXPECT_EQ(run.result->num_rows(), 20u);
 }
 
-TEST_F(ExecEdgeTest, PeakIntermediateBytesTracksLargestResult) {
+TEST_F(ExecEdgeTest, PeakIntermediateBytesSumsLiveResults) {
   for (int i = 0; i < 50; ++i) {
     database_.table(a_).AppendRow({i % 5, i});
     database_.table(b_).AppendRow({i % 5, i});
@@ -126,9 +129,67 @@ TEST_F(ExecEdgeTest, PeakIntermediateBytesTracksLargestResult) {
   auto plan = Join(PhysOp::kHashJoin, Scan(0), Scan(1));
   Executor executor(&database_, &query_);
   executor.Execute(plan.get());
-  // Join output: 50*10 = 500 rows; the scans carry one column each (the
-  // key), so the peak must be at least the scan size.
-  EXPECT_GE(executor.peak_intermediate_bytes(), 50 * sizeof(int64_t));
+  // Every finished intermediate stays retained for the run (checkpoints may
+  // re-plan around it), so the peak is the *sum* of live rowsets: both scans
+  // carry their key column (50 rows each); the root projects everything away.
+  // The old largest-single-rowset accounting under-reported this as one scan.
+  EXPECT_GE(executor.peak_intermediate_bytes(), 2 * 50 * sizeof(int64_t));
+}
+
+TEST_F(ExecEdgeTest, IndexScanLtAtInt64MinIsEmptyNotUB) {
+  // x < INT64_MIN matches nothing; the old bound arithmetic computed
+  // `INT64_MIN - 1` (signed overflow, UB) which in practice wrapped to
+  // INT64_MAX and returned every row.
+  for (int64_t i = 0; i < 10; ++i) {
+    database_.table(a_).AppendRow({i, i});
+    database_.table(b_).AppendRow({i, i});
+  }
+  database_.BuildAllIndexes();
+  qry::Predicate lt_min{{a_, 0}, qry::CmpOp::kLt,
+                        std::numeric_limits<int64_t>::min()};
+  auto scan = Scan(0, {lt_min});
+  scan->op = PhysOp::kIndexScan;
+  scan->index_col = {a_, 0};
+  auto plan = Join(PhysOp::kHashJoin, std::move(scan), Scan(1));
+  Executor executor(&database_, &query_);
+  EXPECT_EQ(executor.Execute(plan.get())->num_rows(), 0u);
+}
+
+TEST_F(ExecEdgeTest, IndexScanGtAtInt64MaxIsEmptyNotUB) {
+  for (int64_t i = 0; i < 10; ++i) {
+    database_.table(a_).AppendRow({i, i});
+    database_.table(b_).AppendRow({i, i});
+  }
+  database_.BuildAllIndexes();
+  qry::Predicate gt_max{{a_, 0}, qry::CmpOp::kGt,
+                        std::numeric_limits<int64_t>::max()};
+  auto scan = Scan(0, {gt_max});
+  scan->op = PhysOp::kIndexScan;
+  scan->index_col = {a_, 0};
+  auto plan = Join(PhysOp::kHashJoin, std::move(scan), Scan(1));
+  Executor executor(&database_, &query_);
+  EXPECT_EQ(executor.Execute(plan.get())->num_rows(), 0u);
+}
+
+TEST_F(ExecEdgeTest, IndexScanInclusiveBoundsAtExtremesKeepAllRows) {
+  // The inclusive operators at the extreme literals must still return
+  // everything (no clamping side effects).
+  for (int64_t i = 0; i < 10; ++i) {
+    database_.table(a_).AppendRow({i, i});
+    database_.table(b_).AppendRow({i, i});
+  }
+  database_.BuildAllIndexes();
+  for (auto [op, value] :
+       {std::pair{qry::CmpOp::kLe, std::numeric_limits<int64_t>::max()},
+        std::pair{qry::CmpOp::kGe, std::numeric_limits<int64_t>::min()}}) {
+    qry::Predicate pred{{a_, 0}, op, value};
+    auto scan = Scan(0, {pred});
+    scan->op = PhysOp::kIndexScan;
+    scan->index_col = {a_, 0};
+    auto plan = Join(PhysOp::kHashJoin, std::move(scan), Scan(1));
+    Executor executor(&database_, &query_);
+    EXPECT_EQ(executor.Execute(plan.get())->num_rows(), 10u);
+  }
 }
 
 TEST_F(ExecEdgeTest, IndexScanOnEqualityBound) {
