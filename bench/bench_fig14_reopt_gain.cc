@@ -57,7 +57,8 @@ void RunSet(const World& world, int joins) {
 }  // namespace
 }  // namespace lpce::bench
 
-int main() {
+int main(int argc, char** argv) {
+  lpce::bench::ParseBenchFlags(argc, argv);
   const auto& world = lpce::bench::GetWorld();
   std::printf("\n=== Figure 14: time decomposition of re-optimized queries ===\n");
   lpce::bench::RunSet(world, 6);

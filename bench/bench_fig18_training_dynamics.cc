@@ -73,7 +73,8 @@ void Run() {
 }  // namespace
 }  // namespace lpce::bench
 
-int main() {
+int main(int argc, char** argv) {
+  lpce::bench::ParseBenchFlags(argc, argv);
   lpce::bench::Run();
   return 0;
 }

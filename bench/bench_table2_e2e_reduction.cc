@@ -83,7 +83,8 @@ void RunSet(const World& world, int joins) {
 }  // namespace
 }  // namespace lpce::bench
 
-int main() {
+int main(int argc, char** argv) {
+  lpce::bench::ParseBenchFlags(argc, argv);
   const auto& world = lpce::bench::GetWorld();
   std::printf("\n=== Table 2: end-to-end execution time reduction ===\n");
   lpce::bench::RunSet(world, 6);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -365,6 +366,24 @@ std::vector<EstimatorEntry> MakeEstimatorLineup(const World& world) {
   return lineup;
 }
 
+namespace {
+std::string g_trace_json_path;  // --trace_json=PATH; empty = off
+}  // namespace
+
+void ParseBenchFlags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string prefix = "--trace_json=";
+    if (arg.rfind(prefix, 0) == 0) {
+      g_trace_json_path = arg.substr(prefix.size());
+      continue;
+    }
+    std::fprintf(stderr, "unknown flag %s\nusage: %s [--trace_json=PATH]\n",
+                 arg.c_str(), argv[0]);
+    std::exit(2);
+  }
+}
+
 std::vector<eng::RunStats> RunWorkload(const World& world,
                                        const EstimatorEntry& entry,
                                        const std::vector<wk::LabeledQuery>& queries) {
@@ -373,11 +392,19 @@ std::vector<eng::RunStats> RunWorkload(const World& world,
   config.enable_reopt = entry.enable_reopt;
   std::vector<eng::RunStats> out;
   out.reserve(queries.size());
+  std::ofstream trace_out;
+  if (!g_trace_json_path.empty()) {
+    trace_out.open(g_trace_json_path, std::ios::app);
+    LPCE_CHECK_MSG(trace_out.good(), "cannot open --trace_json file");
+  }
   for (const auto& labeled : queries) {
     eng::RunStats stats = engine.RunQuery(labeled.query, entry.estimator.get(),
                                           entry.refiner.get(), config);
     LPCE_CHECK_MSG(stats.result_count == labeled.FinalCard(),
                    "end-to-end result mismatch");
+    if (trace_out.is_open()) {
+      trace_out << stats.trace->ToJson(eng::TraceJsonMode::kFull) << "\n";
+    }
     out.push_back(std::move(stats));
   }
   return out;

@@ -110,9 +110,16 @@ std::vector<EstimatorEntry> MakeEstimatorLineup(const World& world);
 /// Mean/percentile helpers shared by the bench printers.
 double Percentile(std::vector<double> values, double pct);
 
+/// Parses the bench command line. Call first thing in main(). Flags:
+///   --trace_json=PATH  append every RunWorkload query's full trace JSON
+///                      (engine/trace.h, kFull mode) as one line to PATH.
+/// Unknown flags print usage and exit(2).
+void ParseBenchFlags(int argc, char** argv);
+
 /// Runs every query of a workload end-to-end with the entry's estimator
 /// (+ refiner / re-optimization when the entry enables it), verifying result
-/// counts against the labels. Returns one RunStats per query.
+/// counts against the labels. Returns one RunStats per query. With
+/// --trace_json, each query's trace is appended to the flag's file.
 std::vector<eng::RunStats> RunWorkload(const World& world,
                                        const EstimatorEntry& entry,
                                        const std::vector<wk::LabeledQuery>& queries);

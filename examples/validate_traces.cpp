@@ -1,0 +1,40 @@
+// Validates a JSONL file of query traces (one engine/trace.h JSON document
+// per line) against the trace schema. CI runs this over the traces the
+// LPCE_TRACE=1 test jobs emit; exits non-zero on the first invalid line.
+//
+//   validate_traces traces.jsonl [more.jsonl ...]
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "engine/trace.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s TRACES.jsonl [...]\n", argv[0]);
+    return 2;
+  }
+  size_t total = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i]);
+    if (!in.good()) {
+      std::fprintf(stderr, "%s: cannot open\n", argv[i]);
+      return 1;
+    }
+    std::string line;
+    size_t lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (line.empty()) continue;
+      const lpce::Status status = lpce::eng::ValidateTraceJson(line);
+      if (!status.ok()) {
+        std::fprintf(stderr, "%s:%zu: invalid trace: %s\n", argv[i], lineno,
+                     status.message().c_str());
+        return 1;
+      }
+      ++total;
+    }
+  }
+  std::printf("validate_traces: %zu trace(s) OK\n", total);
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Process-wide metrics registry: named counters, gauges, and fixed-bucket
+// latency histograms.
+//
+// Updates are lock-free atomics, safe from any thread (including ThreadPool
+// workers mid-ParallelFor); name lookup takes a mutex, so hot paths should
+// resolve their instruments once (function-local static) and reuse the
+// pointer — instruments are never destroyed, only Reset(). The JSON dump is
+// deterministic in *structure* (instruments sorted by name, stable key
+// order); the values are whatever the process has accumulated.
+#ifndef LPCE_COMMON_METRICS_H_
+#define LPCE_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lpce::common {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (e.g. peak bytes of the last run).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Histogram over fixed, ascending bucket upper bounds (plus an implicit
+/// +inf overflow bucket). Designed for latencies in seconds but unit-free.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Count per bucket; size() == bounds().size() + 1 (last = overflow).
+  std::vector<uint64_t> counts() const;
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default latency buckets: 1us .. 10s, decade-and-a-half spaced.
+const std::vector<double>& DefaultLatencyBounds();
+
+/// Thread-safe name -> instrument registry. Instruments are created on first
+/// use and live for the process lifetime, so cached pointers stay valid.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  /// `bounds` is used only on first creation; later calls return the
+  /// existing histogram regardless of the argument.
+  Histogram* histogram(const std::string& name,
+                       const std::vector<double>& bounds = DefaultLatencyBounds());
+
+  /// All instruments as one JSON object, names sorted, stable key order:
+  /// {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string ToJson() const;
+
+  /// Zeroes every instrument (tests). Pointers remain valid.
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace lpce::common
+
+#endif  // LPCE_COMMON_METRICS_H_

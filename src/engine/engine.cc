@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/timer.h"
 
 namespace lpce::eng {
@@ -27,7 +28,12 @@ RunStats Engine::RunQuery(const qry::Query& query,
                           card::CardinalityEstimator* initial,
                           card::CardinalityEstimator* refiner,
                           const RunConfig& config) {
+  WallTimer total_timer;
   RunStats stats;
+  stats.trace = std::make_shared<QueryTrace>();
+  QueryTrace* trace = stats.trace.get();
+  trace->SetQuery(query);
+  trace->SetThreshold(config.qerror_threshold);
   initial->ResetObservations();
   if (refiner != nullptr) refiner->ResetObservations();
 
@@ -44,6 +50,15 @@ RunStats Engine::RunQuery(const qry::Query& query,
   stats.num_estimates += planned.num_estimates;
   std::unique_ptr<exec::PlanNode> plan = std::move(planned.plan);
   stats.initial_plan = plan->ToString(db_->catalog(), query);
+  {
+    TraceEvent event;
+    event.kind = TraceEventKind::kPlan;
+    event.plan_cost = plan->est_cost;
+    event.num_estimates = planned.num_estimates;
+    event.decision = "initial";
+    event.wall_seconds = planned.search_seconds + planned.inference_seconds;
+    trace->AddEvent(std::move(event));
+  }
 
   // The overlay pins executed subsets to their exact cardinalities; the
   // refinement model (when present) additionally adjusts the supersets.
@@ -55,6 +70,7 @@ RunStats Engine::RunQuery(const qry::Query& query,
   exec_opts.qerror_threshold = config.qerror_threshold;
   exec_opts.min_trip_rows = config.min_trip_rows;
   exec_opts.underestimates_only = config.underestimates_only;
+  exec_opts.trace = trace;
 
   while (true) {
     LPCE_DCHECK(exec::ValidatePlan(*plan, query).ok());
@@ -79,6 +95,11 @@ RunStats Engine::RunQuery(const qry::Query& query,
       if (!node->executed || node->op == exec::PhysOp::kPseudoScan) continue;
       overlay.ObserveActual(query, node->rels,
                             static_cast<double>(node->actual_card));
+      TraceEvent event;
+      event.kind = TraceEventKind::kRefinement;
+      event.rels = node->rels;
+      event.actual_card = static_cast<double>(node->actual_card);
+      trace->AddEvent(std::move(event));
     }
 
     // Plan units: maximal executed subtrees become pseudo relations.
@@ -102,17 +123,43 @@ RunStats Engine::RunQuery(const qry::Query& query,
       units.push_back(std::move(unit));
     }
 
+    const exec::PlanNode* tripped = run.tripped;
+    const double tripped_est = tripped->est_card;
+    const double tripped_actual = static_cast<double>(tripped->actual_card);
+    const qry::RelSet tripped_rels = tripped->rels;
+    const double before_cost = plan->est_cost;
+
     // Continue from the materialized progress...
     opt::PlanResult cont = planner_.PlanUnits(query, &overlay, units);
     stats.num_estimates += cont.num_estimates;
+    size_t reopt_estimates = cont.num_estimates;
     plan = std::move(cont.plan);
     // ...or restart from scratch if that now looks cheaper (Sec. 6.2).
+    bool restarted = false;
     if (config.consider_restart) {
       opt::PlanResult restart = planner_.Plan(query, &overlay);
       stats.num_estimates += restart.num_estimates;
-      if (restart.plan->est_cost < plan->est_cost) plan = std::move(restart.plan);
+      reopt_estimates += restart.num_estimates;
+      if (restart.plan->est_cost < plan->est_cost) {
+        plan = std::move(restart.plan);
+        restarted = true;
+      }
     }
     stats.reopt_seconds += reopt_timer.ElapsedSeconds();
+    {
+      TraceEvent event;
+      event.kind = TraceEventKind::kReoptimization;
+      event.rels = tripped_rels;
+      event.qerror = exec::QError(tripped_est, tripped_actual);
+      event.threshold = config.qerror_threshold;
+      event.before_cost = before_cost;
+      event.plan_cost = plan->est_cost;
+      event.num_estimates = reopt_estimates;
+      event.decision = restarted ? "restart" : "continue";
+      event.wall_seconds = reopt_timer.ElapsedSeconds();
+      trace->AddEvent(std::move(event));
+    }
+    trace->BeginRound();
 
     // Re-optimization budget exhausted: run the rest without checkpoints.
     if (stats.num_reopts >= config.max_reopts) {
@@ -121,6 +168,19 @@ RunStats Engine::RunQuery(const qry::Query& query,
   }
 
   stats.final_plan = plan->ToString(db_->catalog(), query);
+  trace->SetResultRows(stats.result_count);
+  {
+    static common::Counter* queries_total =
+        common::MetricsRegistry::Global().counter("engine.queries_total");
+    static common::Counter* reopts_total =
+        common::MetricsRegistry::Global().counter("engine.reopts_total");
+    static common::Histogram* query_seconds =
+        common::MetricsRegistry::Global().histogram("engine.query_seconds");
+    queries_total->Increment();
+    reopts_total->Increment(static_cast<uint64_t>(stats.num_reopts));
+    query_seconds->Observe(total_timer.ElapsedSeconds());
+  }
+  MaybeDumpTrace(*trace);
   return stats;
 }
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "card/estimator.h"
+#include "engine/trace.h"
 #include "exec/executor.h"
 #include "optimizer/planner.h"
 
@@ -39,6 +40,10 @@ struct RunStats {
   size_t num_estimates = 0;
   std::string initial_plan;  // pretty-printed (case studies, Fig. 17)
   std::string final_plan;
+  /// Structured trace of the run: one span per executed operator, one event
+  /// per plan/checkpoint/refinement/re-optimization (always populated; see
+  /// engine/trace.h for the serialization contract).
+  std::shared_ptr<QueryTrace> trace;
 
   double TotalSeconds() const {
     return plan_seconds + inference_seconds + reopt_seconds + exec_seconds;

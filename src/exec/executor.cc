@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include <functional>
@@ -73,6 +74,9 @@ Executor::RunResult Executor::Run(PlanNode* root, const Options& options) {
   RunResult result;
   RowSetPtr out = ExecuteNode(root, {}, options, &result);
   if (result.tripped == nullptr) result.result = out;
+  common::MetricsRegistry::Global()
+      .gauge("executor.peak_intermediate_bytes")
+      ->Set(static_cast<double>(peak_bytes_));
   return result;
 }
 
@@ -82,6 +86,8 @@ RowSetPtr Executor::ExecuteNode(PlanNode* node,
   WallTimer node_timer;
   double children_seconds = 0.0;
   RowSetPtr out;
+  int outer_span = -1, inner_span = -1;
+  uint64_t outer_rows = 0, inner_rows = 0;
   if (node->is_join()) {
     std::vector<db::ColRef> outer_req = SideRequired(required, node->outer->rels);
     std::vector<db::ColRef> inner_req = SideRequired(required, node->inner->rels);
@@ -90,9 +96,13 @@ RowSetPtr Executor::ExecuteNode(PlanNode* node,
     WallTimer children_timer;
     RowSetPtr outer = ExecuteNode(node->outer.get(), outer_req, options, result);
     if (result->tripped != nullptr || result->aborted) return nullptr;
+    if (options.trace != nullptr) outer_span = options.trace->last_span_id();
     RowSetPtr inner = ExecuteNode(node->inner.get(), inner_req, options, result);
     if (result->tripped != nullptr || result->aborted) return nullptr;
+    if (options.trace != nullptr) inner_span = options.trace->last_span_id();
     children_seconds = children_timer.ElapsedSeconds();
+    outer_rows = outer->num_rows();
+    inner_rows = inner->num_rows();
     bool overflow = false;
     out = ExecuteJoin(*node, *outer, *inner, required, options.max_node_rows,
                       &overflow, options.num_threads);
@@ -114,6 +124,33 @@ RowSetPtr Executor::ExecuteNode(PlanNode* node,
   live_bytes_ += out->ByteSize();
   peak_bytes_ = std::max(peak_bytes_, live_bytes_);
   result->finished[node] = out;
+
+  {
+    static common::Counter* nodes_total =
+        common::MetricsRegistry::Global().counter("executor.nodes_total");
+    static common::Counter* rows_total =
+        common::MetricsRegistry::Global().counter("executor.rows_out_total");
+    static common::Histogram* node_seconds =
+        common::MetricsRegistry::Global().histogram("executor.node_seconds");
+    nodes_total->Increment();
+    rows_total->Increment(node->actual_card);
+    node_seconds->Observe(node->exec_seconds);
+  }
+  if (options.trace != nullptr) {
+    eng::TraceSpan span;
+    span.op = PhysOpName(node->op);
+    span.rels = node->rels;
+    span.est_card = node->est_card;
+    span.actual_card = node->actual_card;
+    span.qerror = QError(node->est_card, static_cast<double>(node->actual_card));
+    span.outer_span = outer_span;
+    span.inner_span = inner_span;
+    span.outer_rows = outer_rows;
+    span.inner_rows = inner_rows;
+    span.wall_seconds = node->exec_seconds;
+    options.trace->AddSpan(std::move(span));
+  }
+
   // Checkpoint: a pseudo scan's cardinality is exact by construction, and a
   // tripped root has nothing left to re-plan.
   if (options.enable_checkpoints && node->op != PhysOp::kPseudoScan &&
@@ -123,8 +160,26 @@ RowSetPtr Executor::ExecuteNode(PlanNode* node,
     const bool policy_allows =
         node->actual_card >= options.min_trip_rows &&
         (!options.underestimates_only || is_underestimate);
-    if (policy_allows &&
-        QError(node->est_card, actual) >= options.qerror_threshold) {
+    const bool tripped =
+        policy_allows &&
+        QError(node->est_card, actual) >= options.qerror_threshold;
+    if (options.trace != nullptr) {
+      eng::TraceEvent event;
+      event.kind = eng::TraceEventKind::kCheckpoint;
+      event.rels = node->rels;
+      event.est_card = node->est_card;
+      event.actual_card = actual;
+      event.qerror = QError(node->est_card, actual);
+      event.threshold = options.qerror_threshold;
+      event.policy_allows = policy_allows;
+      event.tripped = tripped;
+      options.trace->AddEvent(std::move(event));
+    }
+    if (tripped) {
+      static common::Counter* trips_total =
+          common::MetricsRegistry::Global().counter(
+              "executor.checkpoint_trips_total");
+      trips_total->Increment();
       result->tripped = node;
       return nullptr;
     }

@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "engine/trace.h"
 #include "exec/plan.h"
 #include "exec/rowset.h"
 #include "storage/database.h"
@@ -44,6 +45,9 @@ class Executor {
     /// scan filtering (0 = the global pool's full size, 1 = sequential).
     /// Output row order is deterministic — identical at every setting.
     int num_threads = 0;
+    /// When set, every finished operator appends a span and every checkpoint
+    /// evaluation appends an event (see engine/trace.h). Not owned.
+    eng::QueryTrace* trace = nullptr;
   };
 
   struct RunResult {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
+
 namespace lpce::model {
 
 std::unique_ptr<EstNode> CloneEstTree(const EstNode* node) {
@@ -47,6 +49,10 @@ bool TreeModelEstimator::PreparedFor(const qry::Query& query) const {
 }
 
 void TreeModelEstimator::PrepareQuery(const qry::Query& query) {
+  static common::Counter* prepared_total =
+      common::MetricsRegistry::Global().counter(
+          "lpce.tree_model.prepared_queries_total");
+  prepared_total->Increment();
   prepared_ = false;
   prepared_cards_.clear();
   if (model_->config().with_child_cards) return;  // unsupported; lazy path
@@ -97,6 +103,10 @@ double TreeModelEstimator::EstimateSubset(const qry::Query& query,
 void LpceREstimator::ObserveActual(const qry::Query& query, qry::RelSet rels,
                                    double actual) {
   if (roots_.count(rels) > 0) return;  // duplicate observation
+  static common::Counter* observations_total =
+      common::MetricsRegistry::Global().counter(
+          "lpce.refiner.observations_total");
+  observations_total->Increment();
   auto node = std::make_unique<EstNode>();
   node->rels = rels;
   node->true_card = actual;
@@ -150,6 +160,9 @@ nn::Tensor LpceREstimator::EncodingFor(const qry::Query& query, qry::RelSet rels
 }
 
 double LpceREstimator::EstimateSubset(const qry::Query& query, qry::RelSet rels) {
+  static common::Counter* estimates_total =
+      common::MetricsRegistry::Global().counter("lpce.refiner.estimates_total");
+  estimates_total->Increment();
   // Units: maximal executed subtrees inside `rels` + uncovered base tables.
   struct Unit {
     qry::RelSet rels;

@@ -5,6 +5,7 @@
 #include <limits>
 #include <unordered_map>
 
+#include "common/metrics.h"
 #include "common/timer.h"
 
 namespace lpce::opt {
@@ -189,6 +190,17 @@ PlanResult Planner::PlanUnits(const qry::Query& query,
   result.plan = build(full);
   result.search_seconds =
       std::max(0.0, total_timer.ElapsedSeconds() - result.inference_seconds);
+  {
+    static common::Counter* plans_total =
+        common::MetricsRegistry::Global().counter("planner.plans_total");
+    static common::Counter* estimates_total =
+        common::MetricsRegistry::Global().counter("planner.estimates_total");
+    static common::Histogram* search_seconds =
+        common::MetricsRegistry::Global().histogram("planner.search_seconds");
+    plans_total->Increment();
+    estimates_total->Increment(result.num_estimates);
+    search_seconds->Observe(result.search_seconds);
+  }
   return result;
 }
 

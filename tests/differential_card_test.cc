@@ -1,0 +1,115 @@
+// Differential cardinality tests against the brute-force exact oracle
+// (tests/testing/exact_card.{h,cc}):
+//   1. the executor-based workload labeler agrees exactly with the oracle on
+//      every canonical sub-plan of ~200 generated queries, and
+//   2. HistogramEstimator and a small trained LPCE-I stay within documented
+//      aggregate q-error bounds against the oracle's true cardinalities.
+//
+// Documented bounds (see DESIGN.md "Observability"): on this workload the
+// histogram estimator's independence assumptions hold to median q-error <= 8
+// and p95 <= 1e4; a briefly-trained LPCE-I stays within median <= 32 and
+// p95 <= 1e4. These are loose by design — the test guards against estimator
+// regressions of orders of magnitude, not day-to-day noise.
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "card/histogram_estimator.h"
+#include "exec/executor.h"
+#include "lpce/estimators.h"
+#include "testing/exact_card.h"
+#include "workload/workload.h"
+
+namespace lpce {
+namespace {
+
+double Percentile(std::vector<double> values, double pct) {
+  LPCE_CHECK(!values.empty());
+  std::sort(values.begin(), values.end());
+  const double idx = pct / 100.0 * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(idx);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+class DifferentialCardTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db::SynthImdbOptions opts;
+    opts.scale = 0.01;  // tables of a few hundred rows: brute-force friendly
+    database_ = db::BuildSynthImdb(opts);
+    stats_.Build(*database_);
+
+    wk::GeneratorOptions gen;
+    gen.seed = 911;
+    wk::QueryGenerator generator(database_.get(), gen);
+    queries_ = generator.GenerateLabeled(200, 1, 3);
+  }
+
+  std::unique_ptr<db::Database> database_;
+  stats::DatabaseStats stats_;
+  std::vector<wk::LabeledQuery> queries_;
+};
+
+TEST_F(DifferentialCardTest, LabelerMatchesExactOracle) {
+  // The workload labeler (executor over the canonical hash plan) and the
+  // backtracking oracle compute true cardinalities by entirely different
+  // means; they must agree exactly, subset by subset.
+  for (const auto& labeled : queries_) {
+    for (const auto& [rels, card] : labeled.true_cards) {
+      EXPECT_EQ(testing::ExactCardinality(*database_, labeled.query, rels), card)
+          << labeled.query.ToString(database_->catalog()) << " subset " << rels;
+    }
+  }
+}
+
+TEST_F(DifferentialCardTest, HistogramQErrorWithinDocumentedBounds) {
+  card::HistogramEstimator estimator(&stats_);
+  std::vector<double> qerrors;
+  for (const auto& labeled : queries_) {
+    for (const auto& [rels, card] : labeled.true_cards) {
+      const double est = estimator.EstimateSubset(labeled.query, rels);
+      qerrors.push_back(exec::QError(est, static_cast<double>(card)));
+    }
+  }
+  EXPECT_LE(Percentile(qerrors, 50), 8.0);
+  EXPECT_LE(Percentile(qerrors, 95), 1e4);
+}
+
+TEST_F(DifferentialCardTest, LpceIQErrorWithinDocumentedBounds) {
+  model::FeatureEncoder encoder(&database_->catalog(), &stats_);
+  wk::GeneratorOptions gen;
+  gen.seed = 313;
+  wk::QueryGenerator generator(database_.get(), gen);
+  auto train = generator.GenerateLabeled(60, 1, 3);
+
+  model::TreeModelConfig config;
+  config.feature_dim = encoder.dim();
+  config.dim = 16;
+  config.embed_hidden = 16;
+  config.out_hidden = 32;
+  config.log_max_card =
+      std::log1p(static_cast<double>(wk::MaxCardinality(train)));
+  model::TreeModel lpce_i(&encoder, config);
+  model::TrainOptions topt;
+  topt.epochs = 8;
+  model::TrainTreeModel(&lpce_i, *database_, train, topt);
+  model::TreeModelEstimator estimator("LPCE-I", &lpce_i, database_.get());
+
+  std::vector<double> qerrors;
+  for (const auto& labeled : queries_) {
+    estimator.PrepareQuery(labeled.query);
+    for (const auto& [rels, card] : labeled.true_cards) {
+      const double est = estimator.EstimateSubset(labeled.query, rels);
+      qerrors.push_back(exec::QError(est, static_cast<double>(card)));
+    }
+  }
+  EXPECT_LE(Percentile(qerrors, 50), 32.0);
+  EXPECT_LE(Percentile(qerrors, 95), 1e4);
+}
+
+}  // namespace
+}  // namespace lpce

@@ -1,0 +1,122 @@
+// Golden-trace tests: the deterministic trace JSON of two fixed-seed queries
+// (one that re-optimizes, one that does not) is pinned against checked-in
+// goldens under tests/testing/golden/. On mismatch the failure message is a
+// readable line diff (DiffTraceJson). Regenerate with:
+//   LPCE_UPDATE_GOLDENS=1 ./golden_trace_test
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "card/histogram_estimator.h"
+#include "engine/engine.h"
+#include "workload/workload.h"
+
+#ifndef LPCE_TEST_GOLDEN_DIR
+#error "tests/CMakeLists.txt must define LPCE_TEST_GOLDEN_DIR"
+#endif
+
+namespace lpce::eng {
+namespace {
+
+bool UpdateGoldens() {
+  const char* env = std::getenv("LPCE_UPDATE_GOLDENS");
+  return env != nullptr && env[0] != '\0' && std::string(env) != "0";
+}
+
+void CompareGolden(const std::string& name, const std::string& actual) {
+  const std::string path = std::string(LPCE_TEST_GOLDEN_DIR) + "/" + name;
+  if (UpdateGoldens()) {
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write golden " << path;
+    out << actual;
+    return;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden " << path
+                         << " — run with LPCE_UPDATE_GOLDENS=1 to create it";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  if (expected.str() != actual) {
+    FAIL() << "trace differs from golden " << path
+           << " (LPCE_UPDATE_GOLDENS=1 regenerates):\n"
+           << DiffTraceJson(expected.str(), actual);
+  }
+}
+
+/// Grossly underestimates joins so nested-loop plans get picked and the
+/// checkpoints trip (same adversary as engine_test.cc).
+class UnderEstimator : public card::CardinalityEstimator {
+ public:
+  explicit UnderEstimator(card::CardinalityEstimator* base) : base_(base) {}
+  std::string name() const override { return "under"; }
+  double EstimateSubset(const qry::Query& query, qry::RelSet rels) override {
+    const double base = base_->EstimateSubset(query, rels);
+    return qry::PopCount(rels) > 1 ? std::max(1.0, base / 1e4) : base;
+  }
+
+ private:
+  card::CardinalityEstimator* base_;
+};
+
+class GoldenTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db::SynthImdbOptions opts;
+    opts.scale = 0.04;
+    database_ = db::BuildSynthImdb(opts);
+    stats_.Build(*database_);
+    wk::GeneratorOptions gen;
+    gen.seed = 31;
+    wk::QueryGenerator generator(database_.get(), gen);
+    workload_ = generator.GenerateLabeled(8, 3, 6);
+  }
+
+  std::unique_ptr<db::Database> database_;
+  stats::DatabaseStats stats_;
+  std::vector<wk::LabeledQuery> workload_;
+};
+
+TEST_F(GoldenTraceTest, QueryWithoutReoptimization) {
+  card::HistogramEstimator estimator(&stats_);
+  Engine engine(database_.get(), opt::CostModel{});
+  RunConfig config;
+  config.enable_reopt = true;  // threshold 50: histogram stays under it here
+  RunStats stats =
+      engine.RunQuery(workload_[0].query, &estimator, nullptr, config);
+  ASSERT_NE(stats.trace, nullptr);
+  ASSERT_EQ(stats.num_reopts, 0);
+  ASSERT_EQ(stats.trace->num_reopts(), 0);
+  const std::string json = stats.trace->ToJson(TraceJsonMode::kDeterministic);
+  ASSERT_TRUE(ValidateTraceJson(json).ok()) << ValidateTraceJson(json).message();
+  CompareGolden("trace_no_reopt.json", json);
+}
+
+TEST_F(GoldenTraceTest, QueryWithReoptimization) {
+  card::HistogramEstimator histogram(&stats_);
+  UnderEstimator under(&histogram);
+  Engine engine(database_.get(), opt::CostModel{});
+  RunConfig config;
+  config.enable_reopt = true;
+  config.qerror_threshold = 10.0;
+  // First fixed-seed query that actually re-optimizes under the adversarial
+  // estimator; its index is as stable as the workload seed.
+  for (const auto& labeled : workload_) {
+    RunStats stats = engine.RunQuery(labeled.query, &under, nullptr, config);
+    ASSERT_NE(stats.trace, nullptr);
+    if (stats.num_reopts == 0) continue;
+    ASSERT_GE(stats.trace->num_reopts(), 1);
+    EXPECT_EQ(stats.result_count, labeled.FinalCard());
+    const std::string json = stats.trace->ToJson(TraceJsonMode::kDeterministic);
+    ASSERT_TRUE(ValidateTraceJson(json).ok())
+        << ValidateTraceJson(json).message();
+    CompareGolden("trace_reopt.json", json);
+    return;
+  }
+  FAIL() << "no fixed-seed query re-optimized; the golden needs a new seed";
+}
+
+}  // namespace
+}  // namespace lpce::eng

@@ -1,0 +1,111 @@
+// MetricsRegistry unit tests: identity/caching semantics, exact counting
+// under concurrent ThreadPool updates, histogram bucketing, and the JSON
+// dump's structure.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+
+namespace lpce::common {
+namespace {
+
+TEST(MetricsTest, RegistryReturnsStablePointers) {
+  auto& registry = MetricsRegistry::Global();
+  Counter* c1 = registry.counter("test.stable.counter");
+  Counter* c2 = registry.counter("test.stable.counter");
+  EXPECT_EQ(c1, c2);
+  Gauge* g1 = registry.gauge("test.stable.gauge");
+  EXPECT_EQ(g1, registry.gauge("test.stable.gauge"));
+  Histogram* h1 = registry.histogram("test.stable.histogram");
+  EXPECT_EQ(h1, registry.histogram("test.stable.histogram"));
+  // Bounds are fixed at creation; a second lookup ignores its argument.
+  EXPECT_EQ(h1, registry.histogram("test.stable.histogram", {1.0, 2.0}));
+  EXPECT_EQ(h1->bounds(), DefaultLatencyBounds());
+}
+
+TEST(MetricsTest, ConcurrentIncrementsCountExactly) {
+  Counter* counter =
+      MetricsRegistry::Global().counter("test.concurrent.counter");
+  counter->Reset();
+  Histogram* histogram =
+      MetricsRegistry::Global().histogram("test.concurrent.histogram");
+  histogram->Reset();
+  ThreadPool pool(8);
+  constexpr size_t kUpdates = 100000;
+  pool.ParallelFor(0, kUpdates, 1, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      counter->Increment();
+      histogram->Observe(1e-5);
+    }
+  });
+  EXPECT_EQ(counter->value(), kUpdates);
+  EXPECT_EQ(histogram->count(), kUpdates);
+  EXPECT_NEAR(histogram->sum(), 1e-5 * kUpdates, 1e-3);
+}
+
+TEST(MetricsTest, HistogramBucketsObservations) {
+  Histogram histogram({1.0, 10.0, 100.0});
+  histogram.Observe(0.5);    // bucket 0 (<= 1)
+  histogram.Observe(1.0);    // bucket 0 (inclusive upper bound)
+  histogram.Observe(5.0);    // bucket 1
+  histogram.Observe(500.0);  // overflow bucket
+  const std::vector<uint64_t> expected = {2, 1, 0, 1};
+  EXPECT_EQ(histogram.counts(), expected);
+  EXPECT_EQ(histogram.count(), 4u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 506.5);
+}
+
+TEST(MetricsTest, GaugeIsLastWriteWins) {
+  Gauge gauge;
+  gauge.Set(3.5);
+  gauge.Set(-1.25);
+  EXPECT_DOUBLE_EQ(gauge.value(), -1.25);
+  gauge.Reset();
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+}
+
+TEST(MetricsTest, ToJsonHasStableStructure) {
+  auto& registry = MetricsRegistry::Global();
+  registry.counter("test.json.b")->Reset();
+  registry.counter("test.json.a")->Increment(3);
+  const std::string json = registry.ToJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  // Top-level sections in fixed order.
+  const size_t counters = json.find("\"counters\"");
+  const size_t gauges = json.find("\"gauges\"");
+  const size_t histograms = json.find("\"histograms\"");
+  ASSERT_NE(counters, std::string::npos);
+  ASSERT_NE(gauges, std::string::npos);
+  ASSERT_NE(histograms, std::string::npos);
+  EXPECT_LT(counters, gauges);
+  EXPECT_LT(gauges, histograms);
+  // Names sorted within a section.
+  const size_t a = json.find("\"test.json.a\"");
+  const size_t b = json.find("\"test.json.b\"");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(b, std::string::npos);
+  EXPECT_LT(a, b);
+  EXPECT_NE(json.find("\"test.json.a\":3"), std::string::npos) << json;
+}
+
+TEST(MetricsTest, ResetAllZeroesEverything) {
+  auto& registry = MetricsRegistry::Global();
+  Counter* counter = registry.counter("test.reset.counter");
+  Gauge* gauge = registry.gauge("test.reset.gauge");
+  Histogram* histogram = registry.histogram("test.reset.histogram");
+  counter->Increment(7);
+  gauge->Set(2.0);
+  histogram->Observe(0.1);
+  registry.ResetAll();
+  EXPECT_EQ(counter->value(), 0u);
+  EXPECT_DOUBLE_EQ(gauge->value(), 0.0);
+  EXPECT_EQ(histogram->count(), 0u);
+  EXPECT_DOUBLE_EQ(histogram->sum(), 0.0);
+}
+
+}  // namespace
+}  // namespace lpce::common

@@ -4,11 +4,15 @@
 // per-output accumulation order matches the sequential loops, so this is an
 // exact equality test, not a tolerance test.
 #include <cmath>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "card/histogram_estimator.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "engine/engine.h"
 #include "exec/executor.h"
 #include "lpce/tree_model.h"
 #include "nn/matrix.h"
@@ -112,6 +116,62 @@ TEST_F(ParallelDeterminismTest, MatrixProductsIdenticalAcrossThreadCaps) {
     EXPECT_EQ(a.MatMulTranspose(a).storage(), mt1.storage()) << threads;
   }
   nn::SetMatMulThreads(0);
+}
+
+/// Underestimates joins so checkpoints trip (same adversary as
+/// engine_test.cc) — exercises the multi-round trace paths.
+class UnderEstimator : public card::CardinalityEstimator {
+ public:
+  explicit UnderEstimator(card::CardinalityEstimator* base) : base_(base) {}
+  std::string name() const override { return "under"; }
+  double EstimateSubset(const qry::Query& query, qry::RelSet rels) override {
+    const double base = base_->EstimateSubset(query, rels);
+    return qry::PopCount(rels) > 1 ? std::max(1.0, base / 1e4) : base;
+  }
+
+ private:
+  card::CardinalityEstimator* base_;
+};
+
+TEST_F(ParallelDeterminismTest, EngineTraceIdenticalAcrossPoolSizes) {
+  // The deterministic trace JSON — spans, cardinalities, q-errors, plan
+  // costs, re-optimization decisions — must be byte-identical at every pool
+  // size; only the kFull wall-clock fields may differ.
+  db::SynthImdbOptions opts;
+  opts.scale = 0.04;
+  auto database = db::BuildSynthImdb(opts);
+  stats::DatabaseStats stats;
+  stats.Build(*database);
+  wk::GeneratorOptions gen;
+  gen.seed = 31;
+  wk::QueryGenerator generator(database.get(), gen);
+  auto workload = generator.GenerateLabeled(4, 3, 6);
+
+  auto traces_with = [&](int pool_size) {
+    common::SetGlobalPoolSize(pool_size);
+    card::HistogramEstimator histogram(&stats);
+    UnderEstimator under(&histogram);
+    eng::Engine engine(database.get(), opt::CostModel{});
+    eng::RunConfig config;
+    config.enable_reopt = true;
+    config.qerror_threshold = 10.0;
+    std::vector<std::string> jsons;
+    for (const auto& labeled : workload) {
+      eng::RunStats run = engine.RunQuery(labeled.query, &under, nullptr, config);
+      jsons.push_back(run.trace->ToJson(eng::TraceJsonMode::kDeterministic));
+    }
+    return jsons;
+  };
+
+  const std::vector<std::string> reference = traces_with(1);
+  for (int pool_size : {2, 4}) {
+    const std::vector<std::string> traces = traces_with(pool_size);
+    for (size_t q = 0; q < reference.size(); ++q) {
+      EXPECT_EQ(traces[q], reference[q])
+          << "query " << q << " at pool size " << pool_size << ":\n"
+          << eng::DiffTraceJson(reference[q], traces[q]);
+    }
+  }
 }
 
 TEST_F(ParallelDeterminismTest, TrainingEpochIdenticalAcrossPoolSizes) {

@@ -1,0 +1,144 @@
+#include "testing/exact_card.h"
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+
+namespace lpce::testing {
+
+namespace {
+
+/// Rows of the table at `pos` surviving the query's predicates on it.
+std::vector<uint32_t> FilteredRows(const db::Database& database,
+                                   const qry::Query& query, int pos) {
+  const db::Table& table = database.table(query.tables[pos]);
+  const auto preds = query.PredicatesOf(pos);
+  std::vector<uint32_t> rows;
+  rows.reserve(table.num_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    bool pass = true;
+    for (const auto& p : preds) {
+      if (!qry::EvalCmp(table.at(r, p.col.column), p.op, p.value)) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) rows.push_back(static_cast<uint32_t>(r));
+  }
+  return rows;
+}
+
+}  // namespace
+
+uint64_t ExactCardinality(const db::Database& database, const qry::Query& query,
+                          qry::RelSet rels) {
+  LPCE_CHECK_MSG(rels != 0 && query.IsConnected(rels),
+                 "exact oracle needs a connected, non-empty subset");
+
+  // Visit positions in a connect order: every added table is linked to the
+  // already-covered prefix by at least one join edge (the query's join graph
+  // is a spanning tree, so normally exactly one).
+  std::vector<int> order;
+  qry::RelSet acc = qry::Bit(__builtin_ctz(rels));
+  order.push_back(__builtin_ctz(rels));
+  while (acc != rels) {
+    for (int pos = 0; pos < query.num_tables(); ++pos) {
+      if (!qry::Contains(rels, pos) || qry::Contains(acc, pos)) continue;
+      if (query.JoinsBetween(acc, qry::Bit(pos)).empty()) continue;
+      order.push_back(pos);
+      acc |= qry::Bit(pos);
+      break;
+    }
+  }
+
+  // Per step: the join constraints against earlier steps. The first listed
+  // edge drives a value -> rows grouping of this step's filtered rows; any
+  // further edges are checked per candidate.
+  struct Constraint {
+    int own_col;    // column on this step's table
+    int prev_step;  // earlier step index the edge connects to
+    int prev_col;   // column on that step's table
+  };
+  const size_t n = order.size();
+  std::vector<std::vector<uint32_t>> rows(n);
+  std::vector<std::vector<Constraint>> constraints(n);
+  std::vector<std::unordered_map<int64_t, std::vector<uint32_t>>> grouped(n);
+  for (size_t step = 0; step < n; ++step) {
+    const int pos = order[step];
+    rows[step] = FilteredRows(database, query, pos);
+    if (step == 0) continue;
+    qry::RelSet prefix = 0;
+    for (size_t s = 0; s < step; ++s) prefix |= qry::Bit(order[s]);
+    for (int j : query.JoinsBetween(prefix, qry::Bit(pos))) {
+      const qry::Join& join = query.joins[j];
+      const bool own_left = query.PositionOf(join.left.table) == pos;
+      const qry::ColRef own = own_left ? join.left : join.right;
+      const qry::ColRef other = own_left ? join.right : join.left;
+      const int other_pos = query.PositionOf(other.table);
+      int prev_step = -1;
+      for (size_t s = 0; s < step; ++s) {
+        if (order[s] == other_pos) prev_step = static_cast<int>(s);
+      }
+      LPCE_CHECK(prev_step >= 0);
+      constraints[step].push_back({static_cast<int>(own.column), prev_step,
+                                   static_cast<int>(other.column)});
+    }
+    LPCE_CHECK(!constraints[step].empty());
+    const db::Table& table = database.table(query.tables[pos]);
+    auto& groups = grouped[step];
+    for (uint32_t r : rows[step]) {
+      groups[table.at(r, constraints[step][0].own_col)].push_back(r);
+    }
+  }
+
+  std::vector<uint32_t> assigned(n, 0);
+  std::function<uint64_t(size_t)> count_from = [&](size_t step) -> uint64_t {
+    if (step == n) return 1;
+    const db::Table& table = database.table(query.tables[order[step]]);
+    uint64_t total = 0;
+    auto matches = [&](uint32_t r) {
+      for (size_t c = 1; c < constraints[step].size(); ++c) {
+        const Constraint& k = constraints[step][c];
+        const db::Table& prev =
+            database.table(query.tables[order[k.prev_step]]);
+        if (table.at(r, k.own_col) != prev.at(assigned[k.prev_step], k.prev_col)) {
+          return false;
+        }
+      }
+      return true;
+    };
+    if (step == 0) {
+      for (uint32_t r : rows[0]) {
+        assigned[0] = r;
+        total += count_from(1);
+      }
+      return total;
+    }
+    const Constraint& k = constraints[step][0];
+    const db::Table& prev = database.table(query.tables[order[k.prev_step]]);
+    const int64_t want = prev.at(assigned[k.prev_step], k.prev_col);
+    auto it = grouped[step].find(want);
+    if (it == grouped[step].end()) return 0;
+    for (uint32_t r : it->second) {
+      if (!matches(r)) continue;
+      assigned[step] = r;
+      total += count_from(step + 1);
+    }
+    return total;
+  };
+  return count_from(0);
+}
+
+std::unordered_map<qry::RelSet, uint64_t> ExactAllConnectedSubsets(
+    const db::Database& database, const qry::Query& query) {
+  std::unordered_map<qry::RelSet, uint64_t> out;
+  for (qry::RelSet s = 1; s <= query.AllRels(); ++s) {
+    if (!query.IsConnected(s)) continue;
+    out[s] = ExactCardinality(database, query, s);
+  }
+  return out;
+}
+
+}  // namespace lpce::testing

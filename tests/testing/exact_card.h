@@ -1,0 +1,28 @@
+// Exact-cardinality oracle for tests: computes true COUNT(*) cardinalities
+// by brute force (backtracking over the cross product of filtered tables,
+// pruned by the join constraints). Deliberately independent of the executor
+// and the workload labeler, so differential tests can pit all three against
+// each other. Exponential in the worst case — use on small tables only.
+#ifndef LPCE_TESTS_TESTING_EXACT_CARD_H_
+#define LPCE_TESTS_TESTING_EXACT_CARD_H_
+
+#include <unordered_map>
+
+#include "query/query.h"
+#include "storage/database.h"
+
+namespace lpce::testing {
+
+/// True cardinality of the connected subset `rels` of `query`: the number of
+/// row combinations of the subset's (filtered) tables satisfying every join
+/// edge inside the subset.
+uint64_t ExactCardinality(const db::Database& database, const qry::Query& query,
+                          qry::RelSet rels);
+
+/// ExactCardinality for every connected subset of the query.
+std::unordered_map<qry::RelSet, uint64_t> ExactAllConnectedSubsets(
+    const db::Database& database, const qry::Query& query);
+
+}  // namespace lpce::testing
+
+#endif  // LPCE_TESTS_TESTING_EXACT_CARD_H_

@@ -1,0 +1,171 @@
+// Structural invariants of QueryTrace over adversarial re-optimizing runs:
+//   - the re-optimization count never exceeds the configured budget and
+//     matches RunStats::num_reopts,
+//   - checkpoint events fire only at materializing, non-pseudo, non-root
+//     operators (each directly follows its operator's span),
+//   - every re-optimization event is preceded by a checkpoint whose q-error
+//     met the threshold (tripped == true),
+//   - a join span's recorded input rows equal its child spans' output rows,
+//   - both JSON modes pass schema validation.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "card/histogram_estimator.h"
+#include "engine/engine.h"
+#include "workload/workload.h"
+
+namespace lpce::eng {
+namespace {
+
+class UnderEstimator : public card::CardinalityEstimator {
+ public:
+  explicit UnderEstimator(card::CardinalityEstimator* base) : base_(base) {}
+  std::string name() const override { return "under"; }
+  double EstimateSubset(const qry::Query& query, qry::RelSet rels) override {
+    const double base = base_->EstimateSubset(query, rels);
+    return qry::PopCount(rels) > 1 ? std::max(1.0, base / 1e4) : base;
+  }
+
+ private:
+  card::CardinalityEstimator* base_;
+};
+
+class TracePropertyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db::SynthImdbOptions opts;
+    opts.scale = 0.04;
+    database_ = db::BuildSynthImdb(opts);
+    stats_.Build(*database_);
+    wk::GeneratorOptions gen;
+    gen.seed = 31;
+    wk::QueryGenerator generator(database_.get(), gen);
+    workload_ = generator.GenerateLabeled(8, 3, 6);
+  }
+
+  std::unique_ptr<db::Database> database_;
+  stats::DatabaseStats stats_;
+  std::vector<wk::LabeledQuery> workload_;
+};
+
+void CheckTraceInvariants(const qry::Query& query, const QueryTrace& trace,
+                          const RunConfig& config) {
+  const auto& spans = trace.spans();
+  const auto& events = trace.events();
+  ASSERT_FALSE(spans.empty());
+
+  // The final round completes: its last span is the root, whose output is
+  // the query result.
+  EXPECT_EQ(spans.back().rels, query.AllRels());
+  EXPECT_EQ(spans.back().actual_card, trace.result_rows());
+
+  // Join spans reference earlier spans whose output rows they consumed; the
+  // producer's output cardinality must equal the consumer's input rows.
+  for (const auto& span : spans) {
+    EXPECT_GE(span.qerror, 1.0);
+    ASSERT_EQ(span.outer_span >= 0, span.inner_span >= 0) << span.id;
+    if (span.outer_span < 0) continue;
+    ASSERT_LT(span.outer_span, span.id);
+    ASSERT_LT(span.inner_span, span.id);
+    const TraceSpan& outer = spans[span.outer_span];
+    const TraceSpan& inner = spans[span.inner_span];
+    EXPECT_EQ(outer.actual_card, span.outer_rows) << "span " << span.id;
+    EXPECT_EQ(inner.actual_card, span.inner_rows) << "span " << span.id;
+    EXPECT_EQ(outer.rels | inner.rels, span.rels) << "span " << span.id;
+    EXPECT_EQ(outer.round, span.round);
+    EXPECT_EQ(inner.round, span.round);
+  }
+
+  // Checkpoints only at materializing, non-pseudo, non-root operators: each
+  // checkpoint event immediately follows the span it evaluated.
+  const TraceEvent* last_checkpoint = nullptr;
+  int reopt_events = 0;
+  for (const auto& event : events) {
+    if (event.kind == TraceEventKind::kCheckpoint) {
+      last_checkpoint = &event;
+      EXPECT_NE(event.rels, query.AllRels());
+      bool found_span = false;
+      for (const auto& span : spans) {
+        if (span.seq + 1 != event.seq) continue;
+        found_span = true;
+        EXPECT_EQ(span.rels, event.rels);
+        EXPECT_EQ(span.round, event.round);
+        EXPECT_NE(span.op, "PseudoScan");
+      }
+      EXPECT_TRUE(found_span) << "checkpoint at seq " << event.seq
+                              << " does not follow its operator span";
+      if (event.tripped) {
+        EXPECT_TRUE(event.policy_allows);
+        EXPECT_GE(event.qerror, event.threshold);
+      }
+    } else if (event.kind == TraceEventKind::kReoptimization) {
+      ++reopt_events;
+      ASSERT_NE(last_checkpoint, nullptr);
+      EXPECT_TRUE(last_checkpoint->tripped);
+      EXPECT_GE(last_checkpoint->qerror, config.qerror_threshold);
+      EXPECT_EQ(last_checkpoint->rels, event.rels);
+      EXPECT_TRUE(event.decision == "continue" || event.decision == "restart");
+    }
+  }
+  EXPECT_EQ(trace.num_reopts(), reopt_events);
+  EXPECT_LE(trace.num_reopts(), config.max_reopts);
+
+  for (auto mode : {TraceJsonMode::kDeterministic, TraceJsonMode::kFull}) {
+    const Status status = ValidateTraceJson(trace.ToJson(mode));
+    EXPECT_TRUE(status.ok()) << status.message();
+  }
+}
+
+TEST_F(TracePropertyTest, AdversarialReoptRunsKeepInvariants) {
+  card::HistogramEstimator histogram(&stats_);
+  UnderEstimator under(&histogram);
+  Engine engine(database_.get(), opt::CostModel{});
+  RunConfig config;
+  config.enable_reopt = true;
+  config.qerror_threshold = 10.0;
+  int total_reopts = 0;
+  for (const auto& labeled : workload_) {
+    RunStats stats = engine.RunQuery(labeled.query, &under, nullptr, config);
+    ASSERT_NE(stats.trace, nullptr);
+    EXPECT_EQ(stats.trace->num_reopts(), stats.num_reopts);
+    EXPECT_EQ(stats.trace->result_rows(), stats.result_count);
+    total_reopts += stats.num_reopts;
+    CheckTraceInvariants(labeled.query, *stats.trace, config);
+  }
+  EXPECT_GT(total_reopts, 0) << "adversary never tripped a checkpoint";
+}
+
+TEST_F(TracePropertyTest, TightBudgetIsNeverExceeded) {
+  card::HistogramEstimator histogram(&stats_);
+  UnderEstimator under(&histogram);
+  Engine engine(database_.get(), opt::CostModel{});
+  RunConfig config;
+  config.enable_reopt = true;
+  config.qerror_threshold = 1.5;  // trips almost everywhere
+  config.max_reopts = 3;
+  for (const auto& labeled : workload_) {
+    RunStats stats = engine.RunQuery(labeled.query, &under, nullptr, config);
+    ASSERT_NE(stats.trace, nullptr);
+    CheckTraceInvariants(labeled.query, *stats.trace, config);
+  }
+}
+
+TEST_F(TracePropertyTest, ReoptDisabledYieldsNoCheckpointEvents) {
+  card::HistogramEstimator estimator(&stats_);
+  Engine engine(database_.get(), opt::CostModel{});
+  RunStats stats =
+      engine.RunQuery(workload_[0].query, &estimator, nullptr, RunConfig{});
+  ASSERT_NE(stats.trace, nullptr);
+  int plan_events = 0;
+  for (const auto& event : stats.trace->events()) {
+    EXPECT_NE(event.kind, TraceEventKind::kCheckpoint);
+    EXPECT_NE(event.kind, TraceEventKind::kReoptimization);
+    if (event.kind == TraceEventKind::kPlan) ++plan_events;
+  }
+  EXPECT_EQ(plan_events, 1);
+  EXPECT_EQ(stats.trace->num_reopts(), 0);
+}
+
+}  // namespace
+}  // namespace lpce::eng
