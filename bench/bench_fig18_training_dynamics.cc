@@ -27,8 +27,8 @@ void Run() {
   }
 
   std::printf("\n=== Figure 18: training dynamics vs number of samples ===\n");
-  std::printf("%8s %14s %12s %14s\n", "samples", "collect(s)", "train(s)",
-              "e2e eval(s)");
+  std::printf("%8s %14s %12s %10s %12s %14s\n", "samples", "collect(s)",
+              "train(s)", "epochs", "final loss", "e2e eval(s)");
   for (int n : sweep) {
     if (n < 8) continue;
     // Sample collection: re-label the n training queries from scratch
@@ -43,17 +43,25 @@ void Run() {
     }
     const double collect_seconds = collect_timer.ElapsedSeconds();
 
-    WallTimer train_timer;
+    // Training cost and dynamics come straight from the TrainStats reports —
+    // no bench-side timer around the calls.
     model::TreeModel teacher(world.encoder.get(), world.TeacherConfig());
     model::TrainOptions topt;
     topt.epochs = 12;
-    model::TrainTreeModel(&teacher, *world.database, subset, topt);
+    topt.tag = "fig18_teacher@" + std::to_string(n);
+    const model::TrainStats teacher_stats =
+        model::TrainTreeModel(&teacher, *world.database, subset, topt);
     model::TreeModel student(world.encoder.get(), world.StudentConfig());
     model::DistillOptions distill;
     distill.hint_epochs = 8;
     distill.predict_epochs = 24;
-    model::DistillTreeModel(&student, teacher, *world.database, subset, distill);
-    const double train_seconds = train_timer.ElapsedSeconds();
+    distill.tag = "fig18_distill@" + std::to_string(n);
+    const model::TrainStats distill_stats = model::DistillTreeModel(
+        &student, teacher, *world.database, subset, distill);
+    const double train_seconds =
+        teacher_stats.total_seconds + distill_stats.total_seconds;
+    const size_t train_epochs =
+        teacher_stats.epochs.size() + distill_stats.epochs.size();
 
     EstimatorEntry entry;
     entry.name = "LPCE-I@" + std::to_string(n);
@@ -63,7 +71,8 @@ void Run() {
     double e2e = 0.0;
     for (const auto& s : stats) e2e += s.TotalSeconds();
 
-    std::printf("%8d %14.2f %12.2f %14.3f\n", n, collect_seconds, train_seconds,
+    std::printf("%8d %14.2f %12.2f %10zu %12.4f %14.3f\n", n, collect_seconds,
+                train_seconds, train_epochs, distill_stats.final_train_loss(),
                 e2e);
   }
   std::printf("\n(paper: collection dominates and grows linearly; execution"

@@ -1,10 +1,14 @@
 // Paper Figure 19: average model inference time for one cardinality
 // estimation — LPCE-T (LSTM large), LPCE-S (SRU large), LPCE-C (SRU small,
-// direct), LPCE-I (SRU small, distilled). Uses google-benchmark.
+// direct), LPCE-I (SRU small, distilled). Uses google-benchmark, then prints
+// each model's training-cost summary (TrainStats) so inference speed can be
+// read against what the model cost to train.
 //
 // Expected shape: SRU ~1.7x faster than LSTM at equal size; the compressed
 // models another ~1.8x faster (paper Sec. 7.3).
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
 
 #include "bench_world.h"
 
@@ -34,7 +38,33 @@ BENCHMARK(BM_LpceS)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_LpceC)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_LpceI)->Unit(benchmark::kMicrosecond);
 
+void PrintTrainingSummary() {
+  const World& world = GetWorld();
+  if (world.train_stats.empty()) {
+    std::printf("\n(training summary unavailable: models loaded from cache;"
+                " delete %s to retrain)\n", world.options.cache_dir.c_str());
+    return;
+  }
+  std::printf("\n=== training cost per model (this process) ===\n");
+  std::printf("%8s %8s %10s %12s %12s\n", "model", "epochs", "best", "train(s)",
+              "final loss");
+  for (const char* tag : {"lpce_t", "lpce_s", "lpce_c", "lpce_i"}) {
+    auto it = world.train_stats.find(tag);
+    if (it == world.train_stats.end()) continue;
+    const model::TrainStats& s = it->second;
+    std::printf("%8s %8zu %10d %12.2f %12.4f\n", tag, s.epochs.size(),
+                s.best_epoch, s.total_seconds, s.final_train_loss());
+  }
+}
+
 }  // namespace
 }  // namespace lpce::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  lpce::bench::ParseBenchFlags(argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  lpce::bench::PrintTrainingSummary();
+  return 0;
+}

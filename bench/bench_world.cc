@@ -8,6 +8,7 @@
 #include <fstream>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 
@@ -203,28 +204,39 @@ void BuildModels(World* world) {
   LPCE_LOG(Info) << "training LPCE-S (teacher, SRU large, node-wise)";
   model::TrainOptions node_wise;
   node_wise.epochs = 24;
-  model::TrainTreeModel(world->lpce_s.get(), database, train, node_wise);
+  node_wise.tag = "lpce_s";
+  world->train_stats["lpce_s"] =
+      model::TrainTreeModel(world->lpce_s.get(), database, train, node_wise);
 
   LPCE_LOG(Info) << "training LPCE-T (LSTM large, node-wise)";
-  model::TrainTreeModel(world->lpce_t.get(), database, train, node_wise);
+  node_wise.tag = "lpce_t";
+  world->train_stats["lpce_t"] =
+      model::TrainTreeModel(world->lpce_t.get(), database, train, node_wise);
 
   LPCE_LOG(Info) << "training LPCE-C (SRU small, direct)";
-  model::TrainTreeModel(world->lpce_c.get(), database, train, node_wise);
+  node_wise.tag = "lpce_c";
+  world->train_stats["lpce_c"] =
+      model::TrainTreeModel(world->lpce_c.get(), database, train, node_wise);
 
   LPCE_LOG(Info) << "training LPCE-I (distilled from LPCE-S)";
   model::DistillOptions distill;
   distill.hint_epochs = 8;
   distill.predict_epochs = 60;
-  model::DistillTreeModel(world->lpce_i.get(), *world->lpce_s, database, train,
-                          distill);
+  distill.tag = "lpce_i";
+  world->train_stats["lpce_i"] = model::DistillTreeModel(
+      world->lpce_i.get(), *world->lpce_s, database, train, distill);
 
   LPCE_LOG(Info) << "training LPCE-Q (SRU large, query-wise)";
   model::TrainOptions query_wise = node_wise;
   query_wise.node_wise = false;
-  model::TrainTreeModel(world->lpce_q.get(), database, train, query_wise);
+  query_wise.tag = "lpce_q";
+  world->train_stats["lpce_q"] =
+      model::TrainTreeModel(world->lpce_q.get(), database, train, query_wise);
 
   LPCE_LOG(Info) << "training TLSTM (LSTM large, query-wise)";
-  model::TrainTreeModel(world->tlstm.get(), database, train, query_wise);
+  query_wise.tag = "tlstm";
+  world->train_stats["tlstm"] =
+      model::TrainTreeModel(world->tlstm.get(), database, train, query_wise);
 
   LPCE_LOG(Info) << "training MSCN";
   card::MscnTrainOptions mscn_opts;
@@ -249,18 +261,25 @@ void BuildModels(World* world) {
   LPCE_LOG(Info) << "training LPCE-R (full, content from LPCE-I)";
   model::LpceRTrainOptions lpce_r_opts;
   lpce_r_opts.pretrain = node_wise;
+  lpce_r_opts.pretrain.tag = "lpce_r_pretrain";
   lpce_r_opts.refine_epochs = 8;
   lpce_r_opts.prefixes_per_query = 4;
   lpce_r_opts.pretrained_content = world->lpce_i.get();
-  model::TrainLpceR(world->lpce_r.get(), database, train, lpce_r_opts);
+  lpce_r_opts.tag = "lpce_r";
+  world->train_stats["lpce_r"] =
+      model::TrainLpceR(world->lpce_r.get(), database, train, lpce_r_opts);
 
   LPCE_LOG(Info) << "training LPCE-R-Single (ablation)";
   model::LpceRTrainOptions single_opts = lpce_r_opts;
   single_opts.pretrained_content = nullptr;
-  model::TrainLpceR(world->lpce_r_single.get(), database, train, single_opts);
+  single_opts.tag = "lpce_r_single";
+  world->train_stats["lpce_r_single"] = model::TrainLpceR(
+      world->lpce_r_single.get(), database, train, single_opts);
 
   LPCE_LOG(Info) << "training LPCE-R-Two (ablation)";
-  model::TrainLpceR(world->lpce_r_two.get(), database, train, single_opts);
+  single_opts.tag = "lpce_r_two";
+  world->train_stats["lpce_r_two"] =
+      model::TrainLpceR(world->lpce_r_two.get(), database, train, single_opts);
 
   LPCE_LOG(Info) << "model training took " << timer.ElapsedSeconds() << "s";
 
@@ -367,7 +386,8 @@ std::vector<EstimatorEntry> MakeEstimatorLineup(const World& world) {
 }
 
 namespace {
-std::string g_trace_json_path;  // --trace_json=PATH; empty = off
+std::string g_trace_json_path;    // --trace_json=PATH; empty = off
+std::string g_metrics_json_path;  // --metrics_json=PATH; empty = off
 }  // namespace
 
 void ParseBenchFlags(int argc, char** argv) {
@@ -378,7 +398,14 @@ void ParseBenchFlags(int argc, char** argv) {
       g_trace_json_path = arg.substr(prefix.size());
       continue;
     }
-    std::fprintf(stderr, "unknown flag %s\nusage: %s [--trace_json=PATH]\n",
+    const std::string metrics_prefix = "--metrics_json=";
+    if (arg.rfind(metrics_prefix, 0) == 0) {
+      g_metrics_json_path = arg.substr(metrics_prefix.size());
+      continue;
+    }
+    std::fprintf(stderr,
+                 "unknown flag %s\nusage: %s [--trace_json=PATH] "
+                 "[--metrics_json=PATH]\n",
                  arg.c_str(), argv[0]);
     std::exit(2);
   }
@@ -397,6 +424,16 @@ std::vector<eng::RunStats> RunWorkload(const World& world,
     trace_out.open(g_trace_json_path, std::ios::app);
     LPCE_CHECK_MSG(trace_out.good(), "cannot open --trace_json file");
   }
+  std::ofstream metrics_out;
+  if (!g_metrics_json_path.empty()) {
+    metrics_out.open(g_metrics_json_path, std::ios::app);
+    LPCE_CHECK_MSG(metrics_out.good(), "cannot open --metrics_json file");
+  }
+  // Snapshot-diff instead of ResetAll: the registry is process-global and
+  // other entries' runs accumulate into the same instruments.
+  const common::MetricsSnapshot before =
+      metrics_out.is_open() ? common::MetricsRegistry::Global().Snapshot()
+                            : common::MetricsSnapshot{};
   for (const auto& labeled : queries) {
     eng::RunStats stats = engine.RunQuery(labeled.query, entry.estimator.get(),
                                           entry.refiner.get(), config);
@@ -406,6 +443,13 @@ std::vector<eng::RunStats> RunWorkload(const World& world,
       trace_out << stats.trace->ToJson(eng::TraceJsonMode::kFull) << "\n";
     }
     out.push_back(std::move(stats));
+  }
+  if (metrics_out.is_open()) {
+    const common::MetricsSnapshot delta =
+        common::Delta(before, common::MetricsRegistry::Global().Snapshot());
+    metrics_out << "{\"entry\":\"" << entry.name
+                << "\",\"queries\":" << queries.size()
+                << ",\"delta\":" << delta.ToJson() << "}\n";
   }
   return out;
 }

@@ -70,6 +70,11 @@ struct World {
   std::unique_ptr<model::LpceR> lpce_r_single;
   std::unique_ptr<model::LpceR> lpce_r_two;
 
+  /// Telemetry of every tree-model/LPCE-R training run keyed by model tag
+  /// (lpce_s, lpce_i, ...). Empty when the models came from the disk cache —
+  /// nothing was trained in this process.
+  std::map<std::string, model::TrainStats> train_stats;
+
   /// Walk budgets of the sampling stand-ins (DeepDB*/NeuroCard*/FLAT*/UAE*).
   /// Larger budgets = more accurate and slower, mirroring each baseline's
   /// accuracy/latency profile in the paper's Table 1.
@@ -111,15 +116,19 @@ std::vector<EstimatorEntry> MakeEstimatorLineup(const World& world);
 double Percentile(std::vector<double> values, double pct);
 
 /// Parses the bench command line. Call first thing in main(). Flags:
-///   --trace_json=PATH  append every RunWorkload query's full trace JSON
-///                      (engine/trace.h, kFull mode) as one line to PATH.
+///   --trace_json=PATH    append every RunWorkload query's full trace JSON
+///                        (engine/trace.h, kFull mode) as one line to PATH.
+///   --metrics_json=PATH  append one JSON line per RunWorkload call holding
+///                        the entry name and the metrics-registry delta
+///                        (common/metrics.h Snapshot/Delta) over the run.
 /// Unknown flags print usage and exit(2).
 void ParseBenchFlags(int argc, char** argv);
 
 /// Runs every query of a workload end-to-end with the entry's estimator
 /// (+ refiner / re-optimization when the entry enables it), verifying result
 /// counts against the labels. Returns one RunStats per query. With
-/// --trace_json, each query's trace is appended to the flag's file.
+/// --trace_json, each query's trace is appended to the flag's file; with
+/// --metrics_json, the run's metric delta is appended to that file.
 std::vector<eng::RunStats> RunWorkload(const World& world,
                                        const EstimatorEntry& entry,
                                        const std::vector<wk::LabeledQuery>& queries);

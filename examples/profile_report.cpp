@@ -1,0 +1,168 @@
+// Renders a profiler dump (common/profiler.h ToJson output) as two views:
+//
+//   1. A flat table of scopes sorted by self time — where the wall clock
+//      actually went, regardless of nesting.
+//   2. The paper's end-to-end decomposition T_end = T_P + T_I + T_R + T_E
+//      (Eq. 7/8): every nanosecond of self time under engine.run_query is
+//      attributed to the innermost enclosing "T_X."-prefixed scope, and the
+//      four phase totals are reported as a share of Engine::RunQuery wall
+//      time (residual engine bookkeeping shows up as "other").
+//
+//   profile_report [profile.json]       (default: $LPCE_PROFILE_DIR/profile.json)
+//
+// Produce an input with e.g.:
+//   LPCE_PROFILE=1 LPCE_PROFILE_DIR=/tmp/prof ./build/tests/engine_test
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/profiler.h"
+
+namespace {
+
+using lpce::common::JsonParser;
+using lpce::common::JsonValue;
+
+struct Row {
+  uint64_t count = 0;
+  uint64_t total_ns = 0;
+  uint64_t self_ns = 0;
+};
+
+/// Phase label for a scope name: "T_P"/"T_I"/"T_R"/"T_E" or "" (inherit).
+std::string PhaseOf(const std::string& name) {
+  if (name.size() >= 4 && name[0] == 'T' && name[1] == '_' && name[3] == '.' &&
+      (name[2] == 'P' || name[2] == 'I' || name[2] == 'R' || name[2] == 'E')) {
+    return name.substr(0, 3);
+  }
+  return "";
+}
+
+uint64_t NodeU64(const JsonValue& node, const char* key) {
+  const JsonValue* v = node.Find(key);
+  return v != nullptr ? static_cast<uint64_t>(v->num) : 0;
+}
+
+/// Walks one profile node: accumulates the flat per-name table, and (when
+/// inside an engine.run_query subtree) adds self time to the innermost
+/// enclosing phase.
+void Walk(const JsonValue& node, bool in_engine, const std::string& phase,
+          std::map<std::string, Row>* flat,
+          std::map<std::string, uint64_t>* phase_ns, uint64_t* engine_ns) {
+  const JsonValue* name_v = node.Find("name");
+  if (name_v == nullptr) return;
+  const std::string& name = name_v->str;
+  const uint64_t self = NodeU64(node, "self_ns");
+
+  Row& row = (*flat)[name];
+  row.count += NodeU64(node, "count");
+  row.total_ns += NodeU64(node, "total_ns");
+  row.self_ns += self;
+
+  bool engine_here = in_engine;
+  std::string child_phase = phase;
+  if (name == "engine.run_query") {
+    engine_here = true;
+    child_phase = "other";
+    *engine_ns += NodeU64(node, "total_ns");
+  }
+  const std::string own_phase = PhaseOf(name);
+  if (!own_phase.empty()) child_phase = own_phase;
+  if (engine_here) (*phase_ns)[child_phase] += self;
+
+  const JsonValue* children = node.Find("children");
+  if (children != nullptr) {
+    for (const JsonValue& child : children->arr) {
+      Walk(child, engine_here, child_phase, flat, phase_ns, engine_ns);
+    }
+  }
+}
+
+double Ms(uint64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  if (argc > 1) {
+    path = argv[1];
+  } else {
+    const char* dir = std::getenv("LPCE_PROFILE_DIR");
+    path = std::string(dir != nullptr ? dir : "lpce_profile") + "/profile.json";
+  }
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::fprintf(stderr, "%s: cannot open (run something with LPCE_PROFILE=1"
+                 " first)\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+
+  const lpce::Status valid = lpce::common::ValidateProfileJson(json);
+  if (!valid.ok()) {
+    std::fprintf(stderr, "%s: invalid profile: %s\n", path.c_str(),
+                 valid.message().c_str());
+    return 1;
+  }
+
+  JsonValue root;
+  std::string error;
+  JsonParser parser(json);
+  if (!parser.Parse(&root, &error)) {
+    std::fprintf(stderr, "%s: parse error: %s\n", path.c_str(), error.c_str());
+    return 1;
+  }
+
+  std::map<std::string, Row> flat;
+  std::map<std::string, uint64_t> phase_ns;
+  uint64_t engine_ns = 0;
+  for (const JsonValue& top : root.Find("roots")->arr) {
+    Walk(top, /*in_engine=*/false, /*phase=*/"", &flat, &phase_ns, &engine_ns);
+  }
+
+  std::vector<std::pair<std::string, Row>> rows(flat.begin(), flat.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    if (a.second.self_ns != b.second.self_ns) {
+      return a.second.self_ns > b.second.self_ns;
+    }
+    return a.first < b.first;
+  });
+  uint64_t grand_self = 0;
+  for (const auto& [name, row] : rows) grand_self += row.self_ns;
+
+  std::printf("=== scopes by self time (%s) ===\n", path.c_str());
+  std::printf("%-28s %10s %12s %12s %7s\n", "scope", "calls", "total(ms)",
+              "self(ms)", "self%");
+  for (const auto& [name, row] : rows) {
+    std::printf("%-28s %10llu %12.3f %12.3f %6.1f%%\n", name.c_str(),
+                static_cast<unsigned long long>(row.count), Ms(row.total_ns),
+                Ms(row.self_ns),
+                grand_self > 0 ? 100.0 * row.self_ns / grand_self : 0.0);
+  }
+
+  std::printf("\n=== end-to-end decomposition (paper Eq. 7/8) ===\n");
+  if (engine_ns == 0) {
+    std::printf("(no engine.run_query scope in this profile)\n");
+    return 0;
+  }
+  uint64_t covered = 0;
+  for (const char* phase : {"T_P", "T_I", "T_R", "T_E", "other"}) {
+    const auto it = phase_ns.find(phase);
+    const uint64_t ns = it != phase_ns.end() ? it->second : 0;
+    if (std::string(phase) != "other") covered += ns;
+    std::printf("%-8s %12.3f ms %6.1f%%\n", phase, Ms(ns),
+                100.0 * ns / engine_ns);
+  }
+  std::printf("%-8s %12.3f ms\n", "T_end", Ms(engine_ns));
+  std::printf("phase coverage of engine.run_query: %.1f%%\n",
+              100.0 * covered / engine_ns);
+  return 0;
+}

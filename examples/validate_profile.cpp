@@ -1,0 +1,89 @@
+// Validates profiler and training-telemetry artifacts. CI runs this over the
+// dumps the LPCE_PROFILE=1 / LPCE_TRAIN_LOG=1 jobs emit; exits non-zero on
+// the first invalid document.
+//
+//   validate_profile [--profile profile.json ...] [--train-log log.jsonl ...]
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/profiler.h"
+#include "lpce/train_stats.h"
+
+namespace {
+
+int ValidateProfileFile(const char* path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::fprintf(stderr, "%s: cannot open\n", path);
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const lpce::Status status = lpce::common::ValidateProfileJson(buf.str());
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s: invalid profile: %s\n", path,
+                 status.message().c_str());
+    return 1;
+  }
+  std::printf("validate_profile: %s OK\n", path);
+  return 0;
+}
+
+int ValidateTrainLog(const char* path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::fprintf(stderr, "%s: cannot open\n", path);
+    return 1;
+  }
+  std::string line;
+  size_t lineno = 0, valid = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    const lpce::Status status = lpce::model::ValidateTrainLogLine(line);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s:%zu: invalid train-log line: %s\n", path, lineno,
+                   status.message().c_str());
+      return 1;
+    }
+    ++valid;
+  }
+  if (valid == 0) {
+    std::fprintf(stderr, "%s: empty train log\n", path);
+    return 1;
+  }
+  std::printf("validate_profile: %s OK (%zu line(s))\n", path, valid);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s [--profile FILE.json ...] [--train-log FILE.jsonl "
+                 "...]\n",
+                 argv[0]);
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s: missing file operand\n", flag.c_str());
+      return 2;
+    }
+    int rc;
+    if (flag == "--profile") {
+      rc = ValidateProfileFile(argv[++i]);
+    } else if (flag == "--train-log") {
+      rc = ValidateTrainLog(argv[++i]);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+      return 2;
+    }
+    if (rc != 0) return rc;
+  }
+  return 0;
+}

@@ -1,0 +1,178 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace lpce::common {
+
+bool JsonParser::Parse(JsonValue* out, std::string* error) {
+  if (!ParseValue(out, error)) return false;
+  SkipSpace();
+  if (pos_ != text_.size()) {
+    *error = "trailing characters at offset " + std::to_string(pos_);
+    return false;
+  }
+  return true;
+}
+
+void JsonParser::SkipSpace() {
+  while (pos_ < text_.size() &&
+         std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+    ++pos_;
+  }
+}
+
+bool JsonParser::Fail(std::string* error, const std::string& what) {
+  *error = what + " at offset " + std::to_string(pos_);
+  return false;
+}
+
+bool JsonParser::ParseValue(JsonValue* out, std::string* error) {
+  SkipSpace();
+  if (pos_ >= text_.size()) return Fail(error, "unexpected end");
+  const char c = text_[pos_];
+  if (c == '{') return ParseObject(out, error);
+  if (c == '[') return ParseArray(out, error);
+  if (c == '"') return ParseString(out, error);
+  if (text_.compare(pos_, 4, "true") == 0) {
+    out->type = JsonValue::Type::kBool;
+    out->b = true;
+    pos_ += 4;
+    return true;
+  }
+  if (text_.compare(pos_, 5, "false") == 0) {
+    out->type = JsonValue::Type::kBool;
+    out->b = false;
+    pos_ += 5;
+    return true;
+  }
+  if (text_.compare(pos_, 4, "null") == 0) {
+    out->type = JsonValue::Type::kNull;
+    pos_ += 4;
+    return true;
+  }
+  return ParseNumber(out, error);
+}
+
+bool JsonParser::ParseString(JsonValue* out, std::string* error) {
+  ++pos_;  // opening quote
+  std::string s;
+  while (pos_ < text_.size() && text_[pos_] != '"') {
+    if (text_[pos_] == '\\') return Fail(error, "escapes unsupported");
+    s.push_back(text_[pos_++]);
+  }
+  if (pos_ >= text_.size()) return Fail(error, "unterminated string");
+  ++pos_;  // closing quote
+  out->type = JsonValue::Type::kString;
+  out->str = std::move(s);
+  return true;
+}
+
+bool JsonParser::ParseNumber(JsonValue* out, std::string* error) {
+  const size_t start = pos_;
+  while (pos_ < text_.size() &&
+         (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+          text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+          text_[pos_] == 'e' || text_[pos_] == 'E')) {
+    ++pos_;
+  }
+  if (pos_ == start) return Fail(error, "expected value");
+  out->type = JsonValue::Type::kNumber;
+  out->num = std::strtod(text_.c_str() + start, nullptr);
+  return true;
+}
+
+bool JsonParser::ParseArray(JsonValue* out, std::string* error) {
+  ++pos_;  // '['
+  out->type = JsonValue::Type::kArray;
+  SkipSpace();
+  if (pos_ < text_.size() && text_[pos_] == ']') {
+    ++pos_;
+    return true;
+  }
+  while (true) {
+    JsonValue element;
+    if (!ParseValue(&element, error)) return false;
+    out->arr.push_back(std::move(element));
+    SkipSpace();
+    if (pos_ >= text_.size()) return Fail(error, "unterminated array");
+    if (text_[pos_] == ',') {
+      ++pos_;
+      continue;
+    }
+    if (text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    return Fail(error, "expected ',' or ']'");
+  }
+}
+
+bool JsonParser::ParseObject(JsonValue* out, std::string* error) {
+  ++pos_;  // '{'
+  out->type = JsonValue::Type::kObject;
+  SkipSpace();
+  if (pos_ < text_.size() && text_[pos_] == '}') {
+    ++pos_;
+    return true;
+  }
+  while (true) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Fail(error, "expected object key");
+    }
+    JsonValue key;
+    if (!ParseString(&key, error)) return false;
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != ':') {
+      return Fail(error, "expected ':'");
+    }
+    ++pos_;
+    JsonValue value;
+    if (!ParseValue(&value, error)) return false;
+    out->obj.emplace_back(std::move(key.str), std::move(value));
+    SkipSpace();
+    if (pos_ >= text_.size()) return Fail(error, "unterminated object");
+    if (text_[pos_] == ',') {
+      ++pos_;
+      continue;
+    }
+    if (text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    return Fail(error, "expected ',' or '}'");
+  }
+}
+
+Status RequireNumber(const JsonValue& obj, const char* key, double* out) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || v->type != JsonValue::Type::kNumber) {
+    return Status::InvalidArgument(std::string("missing/non-number key '") +
+                                   key + "'");
+  }
+  if (out != nullptr) *out = v->num;
+  return Status::Ok();
+}
+
+Status RequireString(const JsonValue& obj, const char* key, std::string* out) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || v->type != JsonValue::Type::kString) {
+    return Status::InvalidArgument(std::string("missing/non-string key '") +
+                                   key + "'");
+  }
+  if (out != nullptr) *out = v->str;
+  return Status::Ok();
+}
+
+Status RequireBool(const JsonValue& obj, const char* key, bool* out) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || v->type != JsonValue::Type::kBool) {
+    return Status::InvalidArgument(std::string("missing/non-bool key '") + key +
+                                   "'");
+  }
+  if (out != nullptr) *out = v->b;
+  return Status::Ok();
+}
+
+}  // namespace lpce::common

@@ -1,0 +1,151 @@
+// Minimal JSON emit/parse utilities shared by every subsystem that writes a
+// machine-readable artifact (query traces, profiles, train logs, metric
+// snapshots).
+//
+// JsonWriter emits JSON with a caller-controlled, fixed key order — the
+// foundation of the repo's deterministic-serialization contract. The parser
+// is "just enough JSON to validate our own emissions": no escapes, no
+// unicode, numbers via strtod. Both round-trip everything this codebase
+// produces.
+#ifndef LPCE_COMMON_JSON_H_
+#define LPCE_COMMON_JSON_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lpce::common {
+
+/// Emits JSON with a fixed key order. `pretty` adds newlines + indentation
+/// (safe to post-process: no string value ever contains structural chars).
+class JsonWriter {
+ public:
+  explicit JsonWriter(bool pretty) : pretty_(pretty) {}
+
+  void BeginObject() { Open('{'); }
+  void EndObject() { Close('}'); }
+  void BeginArray() { Open('['); }
+  void EndArray() { Close(']'); }
+
+  void Key(const char* name) {
+    Prefix();
+    out_ << '"' << name << "\":";
+    if (pretty_) out_ << ' ';
+    just_keyed_ = true;
+  }
+
+  void Value(const std::string& s) {
+    Prefix();
+    out_ << '"' << s << '"';
+  }
+  void Value(const char* s) { Value(std::string(s)); }
+  void Value(uint64_t v) {
+    Prefix();
+    out_ << v;
+  }
+  void Value(int v) {
+    Prefix();
+    out_ << v;
+  }
+  void Value(bool v) {
+    Prefix();
+    out_ << (v ? "true" : "false");
+  }
+  void NumberLiteral(const std::string& formatted) {
+    Prefix();
+    out_ << formatted;
+  }
+
+  std::string str() const { return out_.str(); }
+
+ private:
+  void Open(char c) {
+    Prefix();
+    out_ << c;
+    first_.push_back(true);
+  }
+  void Close(char c) {
+    const bool empty = first_.back();
+    first_.pop_back();
+    if (pretty_ && !empty) {
+      out_ << '\n';
+      Pad();
+    }
+    out_ << c;
+  }
+  /// Runs before every key, bare value, or container opening: emits the
+  /// separating comma and (pretty) newline + indent, except directly after a
+  /// key, where the value continues the key's line.
+  void Prefix() {
+    if (just_keyed_) {
+      just_keyed_ = false;
+      return;
+    }
+    if (first_.empty()) return;
+    if (!first_.back()) out_ << ',';
+    if (pretty_) {
+      out_ << '\n';
+      Pad();
+    }
+    first_.back() = false;
+  }
+  void Pad() {
+    for (size_t i = 0; i < first_.size(); ++i) out_ << "  ";
+  }
+
+  bool pretty_;
+  std::ostringstream out_;
+  std::vector<bool> first_;
+  bool just_keyed_ = false;
+};
+
+/// Just enough JSON to validate our own emissions.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::vector<std::pair<std::string, JsonValue>> obj;
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : obj) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out, std::string* error);
+
+ private:
+  void SkipSpace();
+  bool Fail(std::string* error, const std::string& what);
+  bool ParseValue(JsonValue* out, std::string* error);
+  bool ParseString(JsonValue* out, std::string* error);
+  bool ParseNumber(JsonValue* out, std::string* error);
+  bool ParseArray(JsonValue* out, std::string* error);
+  bool ParseObject(JsonValue* out, std::string* error);
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+/// Schema-check helpers: require a typed key on an object, optionally
+/// returning the value.
+Status RequireNumber(const JsonValue& obj, const char* key, double* out);
+Status RequireString(const JsonValue& obj, const char* key, std::string* out);
+Status RequireBool(const JsonValue& obj, const char* key, bool* out = nullptr);
+
+}  // namespace lpce::common
+
+#endif  // LPCE_COMMON_JSON_H_

@@ -1,9 +1,31 @@
 #include "common/logging.h"
 
+#include <cctype>
+#include <cstdlib>
+
 namespace lpce {
 
+namespace {
+
+LogLevel LevelFromEnv() {
+  const char* env = std::getenv("LPCE_LOG_LEVEL");
+  if (env == nullptr || env[0] == '\0') return LogLevel::kInfo;
+  std::string value;
+  for (const char* p = env; *p != '\0'; ++p) {
+    value.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(*p))));
+  }
+  if (value == "debug" || value == "0") return LogLevel::kDebug;
+  if (value == "info" || value == "1") return LogLevel::kInfo;
+  if (value == "warn" || value == "warning" || value == "2") return LogLevel::kWarn;
+  if (value == "error" || value == "3") return LogLevel::kError;
+  if (value == "off" || value == "none" || value == "4") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+}  // namespace
+
 LogLevel& GlobalLogLevel() {
-  static LogLevel level = LogLevel::kInfo;
+  static LogLevel level = LevelFromEnv();
   return level;
 }
 

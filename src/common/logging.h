@@ -1,7 +1,10 @@
 // Minimal leveled logging to stderr.
 //
-// Usage: LPCE_LOG(INFO) << "trained " << n << " epochs";
-// The global level can be raised to silence benches/tests.
+// Usage: LPCE_LOG(Info) << "trained " << n << " epochs";
+// The global level can be raised to silence benches/tests, and is
+// initialized from the LPCE_LOG_LEVEL env var (debug/info/warn/error/off,
+// or the digits 0-4; default info). Suppressed messages cost one level
+// compare — the macro short-circuits before any formatting happens.
 #ifndef LPCE_COMMON_LOGGING_H_
 #define LPCE_COMMON_LOGGING_H_
 
@@ -17,6 +20,17 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 LogLevel& GlobalLogLevel();
 
 namespace internal {
+
+inline bool LogLevelEnabled(LogLevel level) {
+  return level >= GlobalLogLevel();
+}
+
+/// Swallows the stream expression in the enabled branch of LPCE_LOG so both
+/// ternary arms have type void (glog's voidify trick). operator& binds
+/// looser than operator<<, so the whole chain runs first.
+struct LogVoidify {
+  void operator&(std::ostream&) {}
+};
 
 class LogMessage {
  public:
@@ -63,8 +77,15 @@ class LogMessage {
 }  // namespace internal
 }  // namespace lpce
 
-#define LPCE_LOG(severity)                                                    \
-  ::lpce::internal::LogMessage(::lpce::LogLevel::k##severity, __FILE__, __LINE__) \
-      .stream()
+// Short-circuits before constructing LogMessage: a suppressed level never
+// formats its arguments (the old form built the full message and prefix,
+// then threw them away in the destructor).
+#define LPCE_LOG(severity)                                                \
+  !::lpce::internal::LogLevelEnabled(::lpce::LogLevel::k##severity)       \
+      ? (void)0                                                           \
+      : ::lpce::internal::LogVoidify() &                                  \
+            ::lpce::internal::LogMessage(::lpce::LogLevel::k##severity,   \
+                                         __FILE__, __LINE__)              \
+                .stream()
 
 #endif  // LPCE_COMMON_LOGGING_H_

@@ -122,6 +122,78 @@ std::string MetricsRegistry::ToJson() const {
   return out.str();
 }
 
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramState state;
+    state.count = h->count();
+    state.sum = h->sum();
+    state.buckets = h->counts();
+    snap.histograms[name] = std::move(state);
+  }
+  return snap;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":" << v;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":" << FormatDouble(v);
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":{\"count\":" << h.count
+        << ",\"sum\":" << FormatDouble(h.sum) << ",\"buckets\":[";
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i > 0) out << ",";
+      out << h.buckets[i];
+    }
+    out << "]}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+MetricsSnapshot Delta(const MetricsSnapshot& before,
+                      const MetricsSnapshot& after) {
+  MetricsSnapshot delta;
+  for (const auto& [name, v] : after.counters) {
+    auto it = before.counters.find(name);
+    delta.counters[name] = v - (it != before.counters.end() ? it->second : 0);
+  }
+  delta.gauges = after.gauges;
+  for (const auto& [name, h] : after.histograms) {
+    MetricsSnapshot::HistogramState d = h;
+    auto it = before.histograms.find(name);
+    if (it != before.histograms.end()) {
+      d.count -= it->second.count;
+      d.sum -= it->second.sum;
+      for (size_t i = 0;
+           i < d.buckets.size() && i < it->second.buckets.size(); ++i) {
+        d.buckets[i] -= it->second.buckets[i];
+      }
+    }
+    delta.histograms[name] = std::move(d);
+  }
+  return delta;
+}
+
 void MetricsRegistry::ResetAll() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, c] : counters_) c->Reset();

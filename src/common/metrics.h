@@ -67,6 +67,31 @@ class Histogram {
 /// Default latency buckets: 1us .. 10s, decade-and-a-half spaced.
 const std::vector<double>& DefaultLatencyBounds();
 
+/// Point-in-time copy of every instrument's value, keyed by name. Taken with
+/// MetricsRegistry::Snapshot(); two snapshots diff with Delta() so callers
+/// can report per-query/per-epoch metric movement without resetting the
+/// process-global registry.
+struct MetricsSnapshot {
+  struct HistogramState {
+    uint64_t count = 0;
+    double sum = 0.0;
+    std::vector<uint64_t> buckets;
+  };
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramState> histograms;
+
+  /// Same shape as MetricsRegistry::ToJson() (stable structure, names
+  /// sorted), minus the histogram bounds.
+  std::string ToJson() const;
+};
+
+/// after - before. Counters and histogram counts/sums/buckets subtract
+/// (instruments absent from `before` count from zero); gauges are
+/// last-write-wins, so the delta simply carries the `after` value.
+MetricsSnapshot Delta(const MetricsSnapshot& before,
+                      const MetricsSnapshot& after);
+
 /// Thread-safe name -> instrument registry. Instruments are created on first
 /// use and live for the process lifetime, so cached pointers stay valid.
 class MetricsRegistry {
@@ -83,6 +108,9 @@ class MetricsRegistry {
   /// All instruments as one JSON object, names sorted, stable key order:
   /// {"counters":{...},"gauges":{...},"histograms":{...}}.
   std::string ToJson() const;
+
+  /// Copies every instrument's current value.
+  MetricsSnapshot Snapshot() const;
 
   /// Zeroes every instrument (tests). Pointers remain valid.
   void ResetAll();

@@ -1,0 +1,367 @@
+#include "common/profiler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/json.h"
+
+namespace lpce::common {
+
+namespace internal {
+std::atomic<bool> g_profiler_enabled{false};
+}  // namespace internal
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Per-thread tree node. Children are keyed by the scope name *pointer* —
+/// LPCE_PROFILE_SCOPE passes string literals, so the lookup on the hot path
+/// is a pointer compare; names are only compared as strings at merge time.
+struct ThreadNode {
+  const char* name = nullptr;
+  ThreadNode* parent = nullptr;
+  uint64_t count = 0;
+  uint64_t total_ns = 0;
+  uint64_t min_ns = std::numeric_limits<uint64_t>::max();
+  uint64_t max_ns = 0;
+  std::map<const void*, std::unique_ptr<ThreadNode>> children;
+};
+
+struct ThreadState {
+  std::mutex mu;
+  ThreadNode root;
+  ThreadNode* current = &root;
+  uint64_t generation = 0;
+};
+
+void MergeTree(ProfileNode* dst, const ThreadNode& src) {
+  if (src.count > 0) {
+    dst->min_ns = dst->count > 0 ? std::min(dst->min_ns, src.min_ns) : src.min_ns;
+    dst->max_ns = std::max(dst->max_ns, src.max_ns);
+    dst->count += src.count;
+    dst->total_ns += src.total_ns;
+  }
+  for (const auto& [key, child] : src.children) {
+    (void)key;
+    MergeTree(&dst->children[child->name], *child);
+  }
+}
+
+}  // namespace
+
+struct Profiler::Impl {
+  std::mutex mu;  // registry + retired; always taken before a ThreadState mu
+  std::vector<ThreadState*> threads;
+  ProfileNode retired;  // merged trees of threads that already exited
+};
+
+Profiler::Impl* Profiler::impl() {
+  static Impl* impl = new Impl();
+  return impl;
+}
+
+Profiler& Profiler::Global() {
+  static Profiler* profiler = new Profiler();
+  return *profiler;
+}
+
+/// Registers the calling thread's state for the lifetime of the thread; on
+/// thread exit the tree is folded into the retired tree so no samples are
+/// lost when pool workers shut down before the dump. Namespace-scope (not
+/// anonymous) to match the friend declaration in Profiler.
+struct ThreadStateHolder {
+  ThreadState state;
+
+  ThreadStateHolder() {
+    auto* impl = Profiler::Global().impl();
+    std::lock_guard<std::mutex> lock(impl->mu);
+    impl->threads.push_back(&state);
+  }
+
+  ~ThreadStateHolder() {
+    auto* impl = Profiler::Global().impl();
+    std::lock_guard<std::mutex> lock(impl->mu);
+    {
+      std::lock_guard<std::mutex> tl(state.mu);
+      MergeTree(&impl->retired, state.root);
+    }
+    auto& threads = impl->threads;
+    threads.erase(std::remove(threads.begin(), threads.end(), &state),
+                  threads.end());
+  }
+};
+
+namespace {
+
+ThreadState& LocalState() {
+  thread_local ThreadStateHolder holder;
+  return holder.state;
+}
+
+}  // namespace
+
+void SetProfilerEnabled(bool enabled) {
+  internal::g_profiler_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+uint64_t ProfileNode::SelfNs() const {
+  uint64_t child_total = 0;
+  for (const auto& [name, child] : children) child_total += child.total_ns;
+  return child_total >= total_ns ? 0 : total_ns - child_total;
+}
+
+void ProfileScope::Enter(const char* name) {
+  ThreadState& state = LocalState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  auto& slot = state.current->children[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<ThreadNode>();
+    slot->name = name;
+    slot->parent = state.current;
+  }
+  state.current = slot.get();
+  node_ = slot.get();
+  generation_ = state.generation;
+  start_ns_ = NowNs();
+}
+
+void ProfileScope::Exit() {
+  const uint64_t elapsed = NowNs() - start_ns_;
+  ThreadState& state = LocalState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  // A Reset() between Enter and Exit freed the node; drop the sample.
+  if (state.generation != generation_) return;
+  auto* node = static_cast<ThreadNode*>(node_);
+  ++node->count;
+  node->total_ns += elapsed;
+  node->min_ns = std::min(node->min_ns, elapsed);
+  node->max_ns = std::max(node->max_ns, elapsed);
+  state.current = node->parent;
+}
+
+ProfileNode Profiler::Merged() const {
+  auto* im = const_cast<Profiler*>(this)->impl();
+  std::lock_guard<std::mutex> lock(im->mu);
+  ProfileNode out = im->retired;
+  for (ThreadState* state : im->threads) {
+    std::lock_guard<std::mutex> tl(state->mu);
+    MergeTree(&out, state->root);
+  }
+  return out;
+}
+
+void Profiler::Reset() {
+  auto* im = impl();
+  std::lock_guard<std::mutex> lock(im->mu);
+  im->retired = ProfileNode();
+  for (ThreadState* state : im->threads) {
+    std::lock_guard<std::mutex> tl(state->mu);
+    state->root.children.clear();
+    state->current = &state->root;
+    ++state->generation;
+  }
+}
+
+namespace {
+
+void WriteNodeJson(JsonWriter* w, const std::string& name,
+                   const ProfileNode& node) {
+  w->BeginObject();
+  w->Key("name");
+  w->Value(name);
+  w->Key("count");
+  w->Value(node.count);
+  w->Key("total_ns");
+  w->Value(node.total_ns);
+  w->Key("self_ns");
+  w->Value(node.SelfNs());
+  w->Key("min_ns");
+  w->Value(node.count > 0 ? node.min_ns : uint64_t{0});
+  w->Key("max_ns");
+  w->Value(node.max_ns);
+  w->Key("children");
+  w->BeginArray();
+  for (const auto& [child_name, child] : node.children) {
+    WriteNodeJson(w, child_name, child);
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
+void WriteCollapsed(std::string* out, const std::string& prefix,
+                    const std::string& name, const ProfileNode& node) {
+  const std::string path = prefix.empty() ? name : prefix + ";" + name;
+  if (node.count > 0) {
+    *out += path;
+    *out += ' ';
+    *out += std::to_string(node.SelfNs());
+    *out += '\n';
+  }
+  for (const auto& [child_name, child] : node.children) {
+    WriteCollapsed(out, path, child_name, child);
+  }
+}
+
+}  // namespace
+
+std::string Profiler::ToJson() const {
+  const ProfileNode merged = Merged();
+  JsonWriter w(/*pretty=*/false);
+  w.BeginObject();
+  w.Key("schema_version");
+  w.Value(1);
+  w.Key("unit");
+  w.Value("ns");
+  w.Key("roots");
+  w.BeginArray();
+  for (const auto& [name, child] : merged.children) {
+    WriteNodeJson(&w, name, child);
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+std::string Profiler::ToCollapsed() const {
+  const ProfileNode merged = Merged();
+  std::string out;
+  for (const auto& [name, child] : merged.children) {
+    WriteCollapsed(&out, "", name, child);
+  }
+  return out;
+}
+
+namespace {
+
+Status ValidateProfileNode(const JsonValue& node, int depth) {
+  if (depth > 64) return Status::InvalidArgument("profile tree too deep");
+  if (node.type != JsonValue::Type::kObject) {
+    return Status::InvalidArgument("node must be an object");
+  }
+  std::string name;
+  LPCE_RETURN_IF_ERROR(RequireString(node, "name", &name));
+  if (name.empty()) return Status::InvalidArgument("empty scope name");
+  double count = 0, total = 0, self = 0, min_ns = 0, max_ns = 0;
+  LPCE_RETURN_IF_ERROR(RequireNumber(node, "count", &count));
+  LPCE_RETURN_IF_ERROR(RequireNumber(node, "total_ns", &total));
+  LPCE_RETURN_IF_ERROR(RequireNumber(node, "self_ns", &self));
+  LPCE_RETURN_IF_ERROR(RequireNumber(node, "min_ns", &min_ns));
+  LPCE_RETURN_IF_ERROR(RequireNumber(node, "max_ns", &max_ns));
+  if (count < 0 || total < 0 || self < 0 || min_ns < 0 || max_ns < 0) {
+    return Status::InvalidArgument("negative field in node '" + name + "'");
+  }
+  if (self > total) {
+    return Status::InvalidArgument("self_ns > total_ns in node '" + name + "'");
+  }
+  if (count > 0 && min_ns > max_ns) {
+    return Status::InvalidArgument("min_ns > max_ns in node '" + name + "'");
+  }
+  const JsonValue* children = node.Find("children");
+  if (children == nullptr || children->type != JsonValue::Type::kArray) {
+    return Status::InvalidArgument("missing 'children' array in node '" + name +
+                                   "'");
+  }
+  std::string prev_name;
+  for (size_t i = 0; i < children->arr.size(); ++i) {
+    LPCE_RETURN_IF_ERROR(ValidateProfileNode(children->arr[i], depth + 1));
+    const std::string child_name = children->arr[i].Find("name")->str;
+    if (i > 0 && child_name <= prev_name) {
+      return Status::InvalidArgument("children of '" + name +
+                                     "' not sorted by name");
+    }
+    prev_name = child_name;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status ValidateProfileJson(const std::string& json) {
+  JsonValue root;
+  std::string error;
+  JsonParser parser(json);
+  if (!parser.Parse(&root, &error)) {
+    return Status::InvalidArgument("JSON parse error: " + error);
+  }
+  if (root.type != JsonValue::Type::kObject) {
+    return Status::InvalidArgument("profile root must be an object");
+  }
+  double version = 0;
+  LPCE_RETURN_IF_ERROR(RequireNumber(root, "schema_version", &version));
+  if (version != 1.0) {
+    return Status::InvalidArgument("unsupported schema_version");
+  }
+  std::string unit;
+  LPCE_RETURN_IF_ERROR(RequireString(root, "unit", &unit));
+  if (unit != "ns") return Status::InvalidArgument("unsupported unit");
+  const JsonValue* roots = root.Find("roots");
+  if (roots == nullptr || roots->type != JsonValue::Type::kArray) {
+    return Status::InvalidArgument("missing 'roots' array");
+  }
+  std::string prev_name;
+  for (size_t i = 0; i < roots->arr.size(); ++i) {
+    LPCE_RETURN_IF_ERROR(ValidateProfileNode(roots->arr[i], 0));
+    const std::string name = roots->arr[i].Find("name")->str;
+    if (i > 0 && name <= prev_name) {
+      return Status::InvalidArgument("roots not sorted by name");
+    }
+    prev_name = name;
+  }
+  return Status::Ok();
+}
+
+Status WriteProfileFiles(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status::IoError("cannot create profile dir: " + dir);
+  {
+    std::ofstream out(dir + "/profile.json");
+    if (!out) return Status::IoError("cannot open profile.json in " + dir);
+    out << Profiler::Global().ToJson() << "\n";
+  }
+  {
+    std::ofstream out(dir + "/profile.collapsed");
+    if (!out) return Status::IoError("cannot open profile.collapsed in " + dir);
+    out << Profiler::Global().ToCollapsed();
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+void DumpAtExit() {
+  const char* dir = std::getenv("LPCE_PROFILE_DIR");
+  WriteProfileFiles(dir != nullptr && dir[0] != '\0' ? dir : "lpce_profile");
+}
+
+/// Reads LPCE_PROFILE once at static-init time; when set, profiling is on
+/// from the first instruction and the process dumps its profile at exit.
+struct ProfilerEnvInit {
+  ProfilerEnvInit() {
+    const char* env = std::getenv("LPCE_PROFILE");
+    if (env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0) {
+      internal::g_profiler_enabled.store(true, std::memory_order_relaxed);
+      std::atexit(DumpAtExit);
+    }
+  }
+};
+ProfilerEnvInit g_profiler_env_init;
+
+}  // namespace
+
+}  // namespace lpce::common

@@ -1,0 +1,145 @@
+// Thread-aware hierarchical wall-clock profiler.
+//
+//   void Planner::PlanUnits(...) {
+//     LPCE_PROFILE_SCOPE("planner.dp_search");
+//     ...
+//   }
+//
+// Each scope pushes a frame onto a per-thread stack; nested scopes form a
+// call tree per thread (call count, total/min/max wall nanoseconds per
+// node). At dump time the per-thread trees merge by scope name into one
+// process-wide tree, serialized two ways:
+//
+//   - ToJson(): deterministic-key-order JSON (children sorted by name) —
+//     machine-readable, schema-checked by ValidateProfileJson and rendered
+//     by examples/profile_report.
+//   - ToCollapsed(): Brendan-Gregg collapsed-stack lines
+//     ("a;b;c <self_ns>") — pipe through flamegraph.pl for a flamegraph.
+//
+// Cost model: when profiling is off (the default), a scope is one relaxed
+// atomic load and a branch — cheap enough for per-MatMul instrumentation.
+// When on, entering/leaving a scope takes the owning thread's state mutex
+// (uncontended; each thread has its own), which keeps concurrent merges and
+// TSan happy.
+//
+// Phase labels: scope names beginning with "T_P." / "T_I." / "T_R." / "T_E."
+// mark the paper's end-to-end decomposition T_end = T_P + T_I + T_R + T_E
+// (Eq. 7/8). A nested phase label overrides the enclosing one (self-time
+// attribution), so e.g. model inference inside DP search counts toward T_I,
+// not T_P. See DESIGN.md "Profiling & training telemetry".
+//
+// Env knobs: LPCE_PROFILE=1 enables profiling at process start and dumps
+// profile.json + profile.collapsed into $LPCE_PROFILE_DIR (default
+// "lpce_profile") at exit. Tests toggle programmatically via
+// SetProfilerEnabled.
+#ifndef LPCE_COMMON_PROFILER_H_
+#define LPCE_COMMON_PROFILER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+
+namespace lpce::common {
+
+namespace internal {
+extern std::atomic<bool> g_profiler_enabled;
+}  // namespace internal
+
+/// True when scopes are being recorded. Initialized once from LPCE_PROFILE.
+inline bool ProfilerEnabled() {
+  return internal::g_profiler_enabled.load(std::memory_order_relaxed);
+}
+
+/// Programmatic override (tests, tools). Enabling does not register an
+/// at-exit dump; call WriteProfileFiles / Profiler::ToJson explicitly.
+void SetProfilerEnabled(bool enabled);
+
+/// One node of the merged profile tree. `children` is name-keyed (sorted),
+/// which makes every serialization deterministic in structure.
+struct ProfileNode {
+  uint64_t count = 0;
+  uint64_t total_ns = 0;
+  uint64_t min_ns = 0;
+  uint64_t max_ns = 0;
+  std::map<std::string, ProfileNode> children;
+
+  /// Wall time not attributed to any child (clamped at 0: children that
+  /// completed inside a still-open parent invocation are not yet matched by
+  /// parent total time).
+  uint64_t SelfNs() const;
+};
+
+class Profiler {
+ public:
+  static Profiler& Global();
+
+  /// Snapshot of the process-wide tree: live per-thread trees merged with
+  /// the trees of already-exited threads. The synthetic root has count 0;
+  /// its children are the top-level scopes.
+  ProfileNode Merged() const;
+
+  /// {"schema_version":1,"unit":"ns","roots":[...]} — key order fixed,
+  /// children sorted by name. Values are wall-clock and non-deterministic.
+  std::string ToJson() const;
+
+  /// Collapsed-stack lines, one per tree node with count > 0, value =
+  /// self-time nanoseconds, paths in depth-first name order.
+  std::string ToCollapsed() const;
+
+  /// Drops all recorded data (per-thread and retired). Must not be called
+  /// while any thread holds an open LPCE_PROFILE_SCOPE; scopes opened before
+  /// a Reset and closed after it are discarded, not corrupted.
+  void Reset();
+
+ private:
+  Profiler() = default;
+  friend class ProfileScope;
+  friend struct ThreadStateHolder;
+  struct Impl;
+  Impl* impl();
+};
+
+/// RAII frame. Construct with a string literal (the name is captured by
+/// pointer and must outlive the process).
+class ProfileScope {
+ public:
+  explicit ProfileScope(const char* name) {
+    if (ProfilerEnabled()) Enter(name);
+  }
+  ~ProfileScope() {
+    if (node_ != nullptr) Exit();
+  }
+
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+ private:
+  void Enter(const char* name);
+  void Exit();
+
+  void* node_ = nullptr;   // internal ThreadNode*, null when inactive
+  uint64_t start_ns_ = 0;
+  uint64_t generation_ = 0;  // guards against Reset() racing an open scope
+};
+
+/// Validates a profile JSON document (ToJson output) against the schema:
+/// version, unit, recursively well-formed nodes (typed fields, children
+/// sorted strictly by name, min <= max when count > 0, self <= total).
+Status ValidateProfileJson(const std::string& json);
+
+/// Writes profile.json and profile.collapsed into `dir` (created when
+/// missing). Best effort: returns a Status but never throws.
+Status WriteProfileFiles(const std::string& dir);
+
+#define LPCE_PROFILE_CONCAT_INNER(a, b) a##b
+#define LPCE_PROFILE_CONCAT(a, b) LPCE_PROFILE_CONCAT_INNER(a, b)
+#define LPCE_PROFILE_SCOPE(name)                    \
+  ::lpce::common::ProfileScope LPCE_PROFILE_CONCAT( \
+      lpce_profile_scope_, __LINE__)(name)
+
+}  // namespace lpce::common
+
+#endif  // LPCE_COMMON_PROFILER_H_

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/profiler.h"
 #include "common/timer.h"
 
 namespace lpce::eng {
@@ -28,6 +29,7 @@ RunStats Engine::RunQuery(const qry::Query& query,
                           card::CardinalityEstimator* initial,
                           card::CardinalityEstimator* refiner,
                           const RunConfig& config) {
+  LPCE_PROFILE_SCOPE("engine.run_query");
   WallTimer total_timer;
   RunStats stats;
   stats.trace = std::make_shared<QueryTrace>();
@@ -38,13 +40,17 @@ RunStats Engine::RunQuery(const qry::Query& query,
   if (refiner != nullptr) refiner->ResetObservations();
 
   {
+    LPCE_PROFILE_SCOPE("T_I.prepare");
     WallTimer timer;
     initial->PrepareQuery(query);
     if (refiner != nullptr) refiner->PrepareQuery(query);
     stats.inference_seconds += timer.ElapsedSeconds();
   }
 
-  opt::PlanResult planned = planner_.Plan(query, initial);
+  opt::PlanResult planned = [&] {
+    LPCE_PROFILE_SCOPE("T_P.plan");
+    return planner_.Plan(query, initial);
+  }();
   stats.plan_seconds += planned.search_seconds;
   stats.inference_seconds += planned.inference_seconds;
   stats.num_estimates += planned.num_estimates;
@@ -75,7 +81,10 @@ RunStats Engine::RunQuery(const qry::Query& query,
   while (true) {
     LPCE_DCHECK(exec::ValidatePlan(*plan, query).ok());
     WallTimer exec_timer;
-    exec::Executor::RunResult run = executor.Run(plan.get(), exec_opts);
+    exec::Executor::RunResult run = [&] {
+      LPCE_PROFILE_SCOPE("T_E.execute");
+      return executor.Run(plan.get(), exec_opts);
+    }();
     stats.exec_seconds += exec_timer.ElapsedSeconds();
     if (run.tripped == nullptr) {
       LPCE_CHECK(run.result != nullptr);
@@ -84,6 +93,9 @@ RunStats Engine::RunQuery(const qry::Query& query,
     }
 
     // ---- Re-optimization (paper Sec. 6.2). ------------------------------
+    // Scope spans the rest of the loop body: observation reporting, unit
+    // re-planning, optional restart, and trace bookkeeping.
+    LPCE_PROFILE_SCOPE("T_R.reopt");
     WallTimer reopt_timer;
     ++stats.num_reopts;
 

@@ -1,5 +1,7 @@
 #include "engine/trace.h"
 
+#include "common/json.h"
+
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -9,6 +11,13 @@
 #include <sstream>
 
 namespace lpce::eng {
+
+using common::JsonParser;
+using common::JsonValue;
+using common::JsonWriter;
+using common::RequireBool;
+using common::RequireNumber;
+using common::RequireString;
 
 namespace {
 
@@ -26,89 +35,6 @@ std::string FormatWall(double v) {
   std::snprintf(buf, sizeof(buf), "%.9g", v);
   return buf;
 }
-
-/// Emits JSON with a fixed key order. `pretty` adds newlines + indentation
-/// (safe to post-process: no string value ever contains structural chars).
-class JsonWriter {
- public:
-  explicit JsonWriter(bool pretty) : pretty_(pretty) {}
-
-  void BeginObject() { Open('{'); }
-  void EndObject() { Close('}'); }
-  void BeginArray() { Open('['); }
-  void EndArray() { Close(']'); }
-
-  void Key(const char* name) {
-    Prefix();
-    out_ << '"' << name << "\":";
-    if (pretty_) out_ << ' ';
-    just_keyed_ = true;
-  }
-
-  void Value(const std::string& s) {
-    Prefix();
-    out_ << '"' << s << '"';
-  }
-  void Value(const char* s) { Value(std::string(s)); }
-  void Value(uint64_t v) {
-    Prefix();
-    out_ << v;
-  }
-  void Value(int v) {
-    Prefix();
-    out_ << v;
-  }
-  void Value(bool v) {
-    Prefix();
-    out_ << (v ? "true" : "false");
-  }
-  void NumberLiteral(const std::string& formatted) {
-    Prefix();
-    out_ << formatted;
-  }
-
-  std::string str() const { return out_.str(); }
-
- private:
-  void Open(char c) {
-    Prefix();
-    out_ << c;
-    first_.push_back(true);
-  }
-  void Close(char c) {
-    const bool empty = first_.back();
-    first_.pop_back();
-    if (pretty_ && !empty) {
-      out_ << '\n';
-      Pad();
-    }
-    out_ << c;
-  }
-  /// Runs before every key, bare value, or container opening: emits the
-  /// separating comma and (pretty) newline + indent, except directly after a
-  /// key, where the value continues the key's line.
-  void Prefix() {
-    if (just_keyed_) {
-      just_keyed_ = false;
-      return;
-    }
-    if (first_.empty()) return;
-    if (!first_.back()) out_ << ',';
-    if (pretty_) {
-      out_ << '\n';
-      Pad();
-    }
-    first_.back() = false;
-  }
-  void Pad() {
-    for (size_t i = 0; i < first_.size(); ++i) out_ << "  ";
-  }
-
-  bool pretty_;
-  std::ostringstream out_;
-  std::vector<bool> first_;
-  bool just_keyed_ = false;
-};
 
 void WriteRels(JsonWriter* w, qry::RelSet rels) {
   w->BeginArray();
@@ -297,202 +223,6 @@ std::string QueryTrace::ToJson(TraceJsonMode mode) const {
 // ---- Validation -----------------------------------------------------------
 
 namespace {
-
-/// Just enough JSON to validate our own emissions.
-struct JsonValue {
-  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
-  Type type = Type::kNull;
-  bool b = false;
-  double num = 0.0;
-  std::string str;
-  std::vector<JsonValue> arr;
-  std::vector<std::pair<std::string, JsonValue>> obj;
-
-  const JsonValue* Find(const std::string& key) const {
-    for (const auto& [k, v] : obj) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  bool Parse(JsonValue* out, std::string* error) {
-    if (!ParseValue(out, error)) return false;
-    SkipSpace();
-    if (pos_ != text_.size()) {
-      *error = "trailing characters at offset " + std::to_string(pos_);
-      return false;
-    }
-    return true;
-  }
-
- private:
-  void SkipSpace() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  bool Fail(std::string* error, const std::string& what) {
-    *error = what + " at offset " + std::to_string(pos_);
-    return false;
-  }
-
-  bool ParseValue(JsonValue* out, std::string* error) {
-    SkipSpace();
-    if (pos_ >= text_.size()) return Fail(error, "unexpected end");
-    const char c = text_[pos_];
-    if (c == '{') return ParseObject(out, error);
-    if (c == '[') return ParseArray(out, error);
-    if (c == '"') return ParseString(out, error);
-    if (text_.compare(pos_, 4, "true") == 0) {
-      out->type = JsonValue::Type::kBool;
-      out->b = true;
-      pos_ += 4;
-      return true;
-    }
-    if (text_.compare(pos_, 5, "false") == 0) {
-      out->type = JsonValue::Type::kBool;
-      out->b = false;
-      pos_ += 5;
-      return true;
-    }
-    if (text_.compare(pos_, 4, "null") == 0) {
-      out->type = JsonValue::Type::kNull;
-      pos_ += 4;
-      return true;
-    }
-    return ParseNumber(out, error);
-  }
-
-  bool ParseString(JsonValue* out, std::string* error) {
-    ++pos_;  // opening quote
-    std::string s;
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      if (text_[pos_] == '\\') return Fail(error, "escapes unsupported");
-      s.push_back(text_[pos_++]);
-    }
-    if (pos_ >= text_.size()) return Fail(error, "unterminated string");
-    ++pos_;  // closing quote
-    out->type = JsonValue::Type::kString;
-    out->str = std::move(s);
-    return true;
-  }
-
-  bool ParseNumber(JsonValue* out, std::string* error) {
-    const size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E')) {
-      ++pos_;
-    }
-    if (pos_ == start) return Fail(error, "expected value");
-    out->type = JsonValue::Type::kNumber;
-    out->num = std::strtod(text_.c_str() + start, nullptr);
-    return true;
-  }
-
-  bool ParseArray(JsonValue* out, std::string* error) {
-    ++pos_;  // '['
-    out->type = JsonValue::Type::kArray;
-    SkipSpace();
-    if (pos_ < text_.size() && text_[pos_] == ']') {
-      ++pos_;
-      return true;
-    }
-    while (true) {
-      JsonValue element;
-      if (!ParseValue(&element, error)) return false;
-      out->arr.push_back(std::move(element));
-      SkipSpace();
-      if (pos_ >= text_.size()) return Fail(error, "unterminated array");
-      if (text_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      if (text_[pos_] == ']') {
-        ++pos_;
-        return true;
-      }
-      return Fail(error, "expected ',' or ']'");
-    }
-  }
-
-  bool ParseObject(JsonValue* out, std::string* error) {
-    ++pos_;  // '{'
-    out->type = JsonValue::Type::kObject;
-    SkipSpace();
-    if (pos_ < text_.size() && text_[pos_] == '}') {
-      ++pos_;
-      return true;
-    }
-    while (true) {
-      SkipSpace();
-      if (pos_ >= text_.size() || text_[pos_] != '"') {
-        return Fail(error, "expected object key");
-      }
-      JsonValue key;
-      if (!ParseString(&key, error)) return false;
-      SkipSpace();
-      if (pos_ >= text_.size() || text_[pos_] != ':') {
-        return Fail(error, "expected ':'");
-      }
-      ++pos_;
-      JsonValue value;
-      if (!ParseValue(&value, error)) return false;
-      out->obj.emplace_back(std::move(key.str), std::move(value));
-      SkipSpace();
-      if (pos_ >= text_.size()) return Fail(error, "unterminated object");
-      if (text_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      if (text_[pos_] == '}') {
-        ++pos_;
-        return true;
-      }
-      return Fail(error, "expected ',' or '}'");
-    }
-  }
-
-  const std::string& text_;
-  size_t pos_ = 0;
-};
-
-Status RequireNumber(const JsonValue& obj, const char* key, double* out) {
-  const JsonValue* v = obj.Find(key);
-  if (v == nullptr || v->type != JsonValue::Type::kNumber) {
-    return Status::InvalidArgument(std::string("missing/non-number key '") +
-                                   key + "'");
-  }
-  if (out != nullptr) *out = v->num;
-  return Status::Ok();
-}
-
-Status RequireString(const JsonValue& obj, const char* key, std::string* out) {
-  const JsonValue* v = obj.Find(key);
-  if (v == nullptr || v->type != JsonValue::Type::kString) {
-    return Status::InvalidArgument(std::string("missing/non-string key '") +
-                                   key + "'");
-  }
-  if (out != nullptr) *out = v->str;
-  return Status::Ok();
-}
-
-Status RequireBool(const JsonValue& obj, const char* key) {
-  const JsonValue* v = obj.Find(key);
-  if (v == nullptr || v->type != JsonValue::Type::kBool) {
-    return Status::InvalidArgument(std::string("missing/non-bool key '") + key +
-                                   "'");
-  }
-  return Status::Ok();
-}
 
 Status RequireRels(const JsonValue& obj) {
   const JsonValue* v = obj.Find("rels");

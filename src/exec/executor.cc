@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "common/metrics.h"
+#include "common/profiler.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include <functional>
@@ -190,6 +191,8 @@ RowSetPtr Executor::ExecuteNode(PlanNode* node,
 RowSetPtr Executor::ExecuteScan(const PlanNode& node,
                                 const std::vector<db::ColRef>& required,
                                 int num_threads) {
+  LPCE_PROFILE_SCOPE(node.op == PhysOp::kIndexScan ? "exec.index_scan"
+                                                   : "exec.seq_scan");
   const int32_t table_id = query_->tables[node.table_pos];
   const db::Table& table = db_->table(table_id);
   auto out = std::make_shared<RowSet>();
@@ -275,6 +278,7 @@ RowSetPtr Executor::ExecuteScan(const PlanNode& node,
       common::GlobalPool().ParallelFor(
           0, chunks.size(), 1,
           [&](size_t c0, size_t c1) {
+            LPCE_PROFILE_SCOPE("exec.worker.filter");
             for (size_t c = c0; c < c1; ++c) {
               kept[c].reserve(chunks[c].second - chunks[c].first);
               filter_range(chunks[c].first, chunks[c].second, &kept[c]);
@@ -306,6 +310,7 @@ RowSetPtr Executor::ExecuteScan(const PlanNode& node,
       common::GlobalPool().ParallelFor(
           0, rows.size(), kMinParallelRows / 4,
           [&](size_t b, size_t e) {
+            LPCE_PROFILE_SCOPE("exec.worker.gather");
             for (size_t i = b; i < e; ++i) dst[i] = src[rows[i]];
           },
           workers);
@@ -318,6 +323,7 @@ RowSetPtr Executor::ExecuteScan(const PlanNode& node,
 
 RowSetPtr Executor::ExecutePseudo(const PlanNode& node,
                                   const std::vector<db::ColRef>& required) {
+  LPCE_PROFILE_SCOPE("exec.pseudo_scan");
   LPCE_CHECK(node.pseudo != nullptr);
   const RowSet& src = *node.pseudo;
   auto out = std::make_shared<RowSet>();
@@ -337,6 +343,9 @@ RowSetPtr Executor::ExecuteJoin(const PlanNode& node, const RowSet& outer,
                                 const std::vector<db::ColRef>& required,
                                 size_t max_rows, bool* overflow,
                                 int num_threads) {
+  LPCE_PROFILE_SCOPE(node.op == PhysOp::kHashJoin    ? "exec.hash_join"
+                     : node.op == PhysOp::kMergeJoin ? "exec.merge_join"
+                                                     : "exec.nestloop_join");
   const int outer_key = outer.ColumnIndex(node.outer_key);
   const int inner_key = inner.ColumnIndex(node.inner_key);
   LPCE_CHECK(outer_key >= 0 && inner_key >= 0);
@@ -489,6 +498,7 @@ RowSetPtr Executor::ParallelHashJoin(const RowSet& outer, const RowSet& inner,
   pool.ParallelFor(
       0, ikeys.size(), 4096,
       [&](size_t b, size_t e) {
+        LPCE_PROFILE_SCOPE("exec.worker.partition");
         for (size_t r = b; r < e; ++r) {
           part[r] = static_cast<uint8_t>(MixKey(ikeys[r]) % P);
         }
@@ -498,6 +508,7 @@ RowSetPtr Executor::ParallelHashJoin(const RowSet& outer, const RowSet& inner,
   pool.ParallelFor(
       0, P, 1,
       [&](size_t p0, size_t p1) {
+        LPCE_PROFILE_SCOPE("exec.worker.build");
         for (size_t p = p0; p < p1; ++p) {
           build[p].reserve(ikeys.size() / P + 1);
           for (size_t r = 0; r < ikeys.size(); ++r) {
@@ -522,6 +533,7 @@ RowSetPtr Executor::ParallelHashJoin(const RowSet& outer, const RowSet& inner,
   pool.ParallelFor(
       0, chunks.size(), 1,
       [&](size_t c0, size_t c1) {
+        LPCE_PROFILE_SCOPE("exec.worker.probe");
         for (size_t c = c0; c < c1; ++c) {
           ChunkOut& local = partials[c];
           local.cols.resize(sources.size());
@@ -567,6 +579,7 @@ RowSetPtr Executor::ParallelHashJoin(const RowSet& outer, const RowSet& inner,
   pool.ParallelFor(
       0, sources.size(), 1,
       [&](size_t s0, size_t s1) {
+        LPCE_PROFILE_SCOPE("exec.worker.concat");
         for (size_t s = s0; s < s1; ++s) {
           auto& dst = out->cols[s];
           dst.reserve(total);

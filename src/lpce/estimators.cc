@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/metrics.h"
+#include "common/profiler.h"
 
 namespace lpce::model {
 
@@ -49,6 +50,7 @@ bool TreeModelEstimator::PreparedFor(const qry::Query& query) const {
 }
 
 void TreeModelEstimator::PrepareQuery(const qry::Query& query) {
+  LPCE_PROFILE_SCOPE("lpce.prepare_query");
   static common::Counter* prepared_total =
       common::MetricsRegistry::Global().counter(
           "lpce.tree_model.prepared_queries_total");
@@ -160,6 +162,7 @@ nn::Tensor LpceREstimator::EncodingFor(const qry::Query& query, qry::RelSet rels
 }
 
 double LpceREstimator::EstimateSubset(const qry::Query& query, qry::RelSet rels) {
+  LPCE_PROFILE_SCOPE("lpce.refiner_estimate");
   static common::Counter* estimates_total =
       common::MetricsRegistry::Global().counter("lpce.refiner.estimates_total");
   estimates_total->Increment();

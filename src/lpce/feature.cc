@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/profiler.h"
+
 namespace lpce::model {
 
 float FeatureEncoder::NormalizeOperand(db::ColRef col, int64_t value) const {
@@ -13,6 +15,7 @@ float FeatureEncoder::NormalizeOperand(db::ColRef col, int64_t value) const {
 }
 
 nn::Matrix FeatureEncoder::EncodeScan(const qry::Query& query, int table_pos) const {
+  LPCE_PROFILE_SCOPE("lpce.encode_scan");
   nn::Matrix out(1, static_cast<size_t>(dim()), 0.0f);
   const int cols = catalog_->TotalColumns();
   out.at(0, 0) = 1.0f;  // function = scan
@@ -29,6 +32,7 @@ nn::Matrix FeatureEncoder::EncodeScan(const qry::Query& query, int table_pos) co
 }
 
 nn::Matrix FeatureEncoder::EncodeJoin(const qry::Query& query, int join_idx) const {
+  LPCE_PROFILE_SCOPE("lpce.encode_join");
   nn::Matrix out(1, static_cast<size_t>(dim()), 0.0f);
   out.at(0, 1) = 1.0f;  // function = join
   const qry::Join& join = query.joins[join_idx];

@@ -4,6 +4,8 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "common/profiler.h"
+#include "common/timer.h"
 
 namespace lpce::model {
 
@@ -173,9 +175,13 @@ void CollectSubtreeRoots(const EstNode* node, const EstNode* root,
 
 }  // namespace
 
-void TrainLpceR(LpceR* model, const db::Database& database,
-                const std::vector<wk::LabeledQuery>& train,
-                const LpceRTrainOptions& options) {
+TrainStats TrainLpceR(LpceR* model, const db::Database& database,
+                      const std::vector<wk::LabeledQuery>& train,
+                      const LpceRTrainOptions& options) {
+  LPCE_PROFILE_SCOPE("train.lpce_r");
+  WallTimer total_timer;
+  TrainStats stats;
+  stats.model_tag = options.tag;
   // ---- Stage 1: pre-train the executed-sub-plan modules. ----------------
   if (model->mode() == RefinerMode::kFull) {
     if (options.pretrained_content != nullptr) {
@@ -185,7 +191,12 @@ void TrainLpceR(LpceR* model, const db::Database& database,
     }
   }
   TrainTreeModel(&model->cardinality(), database, train, options.pretrain);
-  if (model->mode() == RefinerMode::kSingle) return;  // no refine module
+  if (model->mode() == RefinerMode::kSingle) {
+    // No refine module: the stage-2 report stays empty.
+    stats.total_seconds = total_timer.ElapsedSeconds();
+    RecordTrainStats(stats);
+    return stats;
+  }
 
   // Refine module starts from the content weights (Fig. 9) when available,
   // otherwise from its own LPCE-I-style pre-training.
@@ -220,10 +231,14 @@ void TrainLpceR(LpceR* model, const db::Database& database,
   std::vector<size_t> order(train.size());
   std::iota(order.begin(), order.end(), 0);
   for (int epoch = 0; epoch < options.refine_epochs; ++epoch) {
+    LPCE_PROFILE_SCOPE("train.lpce_r_refine");
+    WallTimer epoch_timer;
     rng.Shuffle(&order);
     int batch_count = 0;
     double epoch_loss = 0.0;
     int samples = 0;
+    double grad_norm_sum = 0.0;
+    int grad_norm_steps = 0;
     for (size_t idx : order) {
       const auto& labeled = train[idx];
       std::vector<const EstNode*> candidates;
@@ -254,6 +269,9 @@ void TrainLpceR(LpceR* model, const db::Database& database,
         if (++batch_count >= options.batch_size) {
           const float scale = 1.0f / static_cast<float>(batch_count);
           model->refine().params().ScaleGrads(scale);
+          grad_norm_sum +=
+              static_cast<double>(model->refine().params().GradNorm());
+          ++grad_norm_steps;
           model->refine().params().ClipGradNorm(options.grad_clip);
           refine_adam.Step();
           if (connect_adam != nullptr) {
@@ -275,9 +293,23 @@ void TrainLpceR(LpceR* model, const db::Database& database,
       refine_adam.Step();
       if (connect_adam != nullptr) connect_adam->Step();
     }
+    EpochStats es;
+    es.epoch = epoch;
+    es.stage = "refine";
+    es.train_loss = samples > 0 ? epoch_loss / samples : 0.0;
+    es.samples = samples;
+    es.wall_seconds = epoch_timer.ElapsedSeconds();
+    es.examples_per_sec =
+        es.wall_seconds > 0.0 ? samples / es.wall_seconds : 0.0;
+    es.grad_norm =
+        grad_norm_steps > 0 ? grad_norm_sum / grad_norm_steps : 0.0;
+    stats.epochs.push_back(std::move(es));
     LPCE_LOG(Debug) << "lpce-r refine epoch " << epoch << " loss "
-                    << (samples > 0 ? epoch_loss / samples : 0.0);
+                    << es.train_loss;
   }
+  stats.total_seconds = total_timer.ElapsedSeconds();
+  RecordTrainStats(stats);
+  return stats;
 }
 
 }  // namespace lpce::model

@@ -94,12 +94,17 @@ struct LpceRTrainOptions {
   /// Optional: initialize the content module from an already-trained LPCE-I
   /// (same shapes) instead of pre-training it from scratch.
   const TreeModel* pretrained_content = nullptr;
+  /// Model tag stamped into the stage-2 TrainStats / LPCE_TRAIN_LOG JSONL.
+  /// Stage-1 pre-training reports separately under `pretrain.tag`.
+  std::string tag = "lpce_r";
 };
 
-/// Runs the full two-stage training procedure of Fig. 9.
-void TrainLpceR(LpceR* model, const db::Database& database,
-                const std::vector<wk::LabeledQuery>& train,
-                const LpceRTrainOptions& options);
+/// Runs the full two-stage training procedure of Fig. 9. Returns per-epoch
+/// telemetry for the stage-2 refine loop (stage "refine"); the stage-1
+/// pre-training runs report their own TrainStats via TrainTreeModel.
+TrainStats TrainLpceR(LpceR* model, const db::Database& database,
+                      const std::vector<wk::LabeledQuery>& train,
+                      const LpceRTrainOptions& options);
 
 }  // namespace lpce::model
 

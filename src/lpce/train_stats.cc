@@ -1,0 +1,228 @@
+#include "lpce/train_stats.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+
+#include "common/json.h"
+#include "common/logging.h"
+#include "common/metrics.h"
+
+namespace lpce::model {
+
+namespace {
+
+using common::JsonParser;
+using common::JsonValue;
+using common::JsonWriter;
+using common::RequireBool;
+using common::RequireNumber;
+using common::RequireString;
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+bool ValidStage(const std::string& stage) {
+  return stage == "train" || stage == "hint" || stage == "predict" ||
+         stage == "refine";
+}
+
+/// Resolved once per process: nullptr when the log is off.
+const std::string* TrainLogPath() {
+  static const std::string* path = []() -> const std::string* {
+    const char* env = std::getenv("LPCE_TRAIN_LOG");
+    if (env == nullptr || env[0] == '\0' || std::string(env) == "0") {
+      return nullptr;
+    }
+    return new std::string(std::string(env) == "1" ? "lpce_train_log.jsonl"
+                                                   : env);
+  }();
+  return path;
+}
+
+}  // namespace
+
+double TrainStats::final_train_loss() const {
+  if (epochs.empty()) return 0.0;
+  if (best_epoch >= 0 && best_epoch < static_cast<int>(epochs.size())) {
+    return epochs[best_epoch].train_loss;
+  }
+  return epochs.back().train_loss;
+}
+
+std::string TrainStats::ToJsonl() const {
+  std::string out;
+  for (const EpochStats& e : epochs) {
+    JsonWriter w(/*pretty=*/false);
+    w.BeginObject();
+    w.Key("schema_version");
+    w.Value(1);
+    w.Key("model");
+    w.Value(model_tag);
+    w.Key("stage");
+    w.Value(e.stage);
+    w.Key("epoch");
+    w.Value(e.epoch);
+    w.Key("train_loss");
+    w.NumberLiteral(FormatDouble(e.train_loss));
+    w.Key("samples");
+    w.Value(e.samples);
+    w.Key("wall_seconds");
+    w.NumberLiteral(FormatDouble(e.wall_seconds));
+    w.Key("examples_per_sec");
+    w.NumberLiteral(FormatDouble(e.examples_per_sec));
+    w.Key("grad_norm");
+    w.NumberLiteral(FormatDouble(e.grad_norm));
+    w.Key("validation_loss");
+    w.NumberLiteral(FormatDouble(e.validation_loss));
+    w.Key("val_qerror_mean");
+    w.NumberLiteral(FormatDouble(e.val_qerror_mean));
+    w.Key("val_qerror_median");
+    w.NumberLiteral(FormatDouble(e.val_qerror_median));
+    w.Key("val_qerror_p95");
+    w.NumberLiteral(FormatDouble(e.val_qerror_p95));
+    w.Key("is_best");
+    w.Value(e.is_best);
+    w.EndObject();
+    out += w.str();
+    out += '\n';
+  }
+  JsonWriter w(/*pretty=*/false);
+  w.BeginObject();
+  w.Key("schema_version");
+  w.Value(1);
+  w.Key("model");
+  w.Value(model_tag);
+  w.Key("summary");
+  w.Value(true);
+  w.Key("epochs");
+  w.Value(static_cast<int>(epochs.size()));
+  w.Key("best_epoch");
+  w.Value(best_epoch);
+  w.Key("early_stopped");
+  w.Value(early_stopped);
+  w.Key("final_train_loss");
+  w.NumberLiteral(FormatDouble(final_train_loss()));
+  w.Key("total_seconds");
+  w.NumberLiteral(FormatDouble(total_seconds));
+  w.EndObject();
+  out += w.str();
+  out += '\n';
+  return out;
+}
+
+Status ValidateTrainLogLine(const std::string& line) {
+  JsonValue root;
+  std::string error;
+  JsonParser parser(line);
+  if (!parser.Parse(&root, &error)) {
+    return Status::InvalidArgument("JSON parse error: " + error);
+  }
+  if (root.type != JsonValue::Type::kObject) {
+    return Status::InvalidArgument("train log line must be an object");
+  }
+  double version = 0;
+  LPCE_RETURN_IF_ERROR(RequireNumber(root, "schema_version", &version));
+  if (version != 1.0) {
+    return Status::InvalidArgument("unsupported schema_version");
+  }
+  std::string model;
+  LPCE_RETURN_IF_ERROR(RequireString(root, "model", &model));
+  if (model.empty()) return Status::InvalidArgument("empty model tag");
+
+  if (root.Find("summary") != nullptr) {
+    LPCE_RETURN_IF_ERROR(RequireBool(root, "summary"));
+    double epochs = 0, best_epoch = 0, total_seconds = 0;
+    LPCE_RETURN_IF_ERROR(RequireNumber(root, "epochs", &epochs));
+    LPCE_RETURN_IF_ERROR(RequireNumber(root, "best_epoch", &best_epoch));
+    LPCE_RETURN_IF_ERROR(RequireBool(root, "early_stopped"));
+    LPCE_RETURN_IF_ERROR(RequireNumber(root, "final_train_loss", nullptr));
+    LPCE_RETURN_IF_ERROR(RequireNumber(root, "total_seconds", &total_seconds));
+    if (epochs < 0 || total_seconds < 0) {
+      return Status::InvalidArgument("negative summary field");
+    }
+    if (best_epoch < -1 || best_epoch >= epochs) {
+      return Status::InvalidArgument("best_epoch out of range");
+    }
+    return Status::Ok();
+  }
+
+  std::string stage;
+  LPCE_RETURN_IF_ERROR(RequireString(root, "stage", &stage));
+  if (!ValidStage(stage)) {
+    return Status::InvalidArgument("unknown stage '" + stage + "'");
+  }
+  double epoch = 0, samples = 0, wall = 0, eps = 0, grad = 0;
+  LPCE_RETURN_IF_ERROR(RequireNumber(root, "epoch", &epoch));
+  LPCE_RETURN_IF_ERROR(RequireNumber(root, "train_loss", nullptr));
+  LPCE_RETURN_IF_ERROR(RequireNumber(root, "samples", &samples));
+  LPCE_RETURN_IF_ERROR(RequireNumber(root, "wall_seconds", &wall));
+  LPCE_RETURN_IF_ERROR(RequireNumber(root, "examples_per_sec", &eps));
+  LPCE_RETURN_IF_ERROR(RequireNumber(root, "grad_norm", &grad));
+  if (epoch < 0 || samples < 0 || wall < 0 || eps < 0 || grad < 0) {
+    return Status::InvalidArgument("negative epoch field");
+  }
+  for (const char* key :
+       {"validation_loss", "val_qerror_mean", "val_qerror_median",
+        "val_qerror_p95"}) {
+    double v = 0;
+    LPCE_RETURN_IF_ERROR(RequireNumber(root, key, &v));
+    if (v < -1.0) {
+      return Status::InvalidArgument(std::string("out-of-range '") + key + "'");
+    }
+  }
+  LPCE_RETURN_IF_ERROR(RequireBool(root, "is_best"));
+  return Status::Ok();
+}
+
+bool TrainLogEnabled() { return TrainLogPath() != nullptr; }
+
+void RecordTrainStats(const TrainStats& stats) {
+  {
+    static common::Counter* epochs_total =
+        common::MetricsRegistry::Global().counter("lpce.train.epochs_total");
+    static common::Counter* examples_total =
+        common::MetricsRegistry::Global().counter("lpce.train.examples_total");
+    static common::Counter* runs_total =
+        common::MetricsRegistry::Global().counter("lpce.train.runs_total");
+    static common::Counter* early_stops_total =
+        common::MetricsRegistry::Global().counter(
+            "lpce.train.early_stops_total");
+    static common::Histogram* epoch_seconds =
+        common::MetricsRegistry::Global().histogram(
+            "lpce.train.epoch_seconds");
+    static common::Gauge* last_loss =
+        common::MetricsRegistry::Global().gauge("lpce.train.last_loss");
+    runs_total->Increment();
+    if (stats.early_stopped) early_stops_total->Increment();
+    epochs_total->Increment(stats.epochs.size());
+    for (const EpochStats& e : stats.epochs) {
+      examples_total->Increment(static_cast<uint64_t>(e.samples));
+      epoch_seconds->Observe(e.wall_seconds);
+    }
+    last_loss->Set(stats.final_train_loss());
+  }
+
+  const std::string* path = TrainLogPath();
+  if (path == nullptr) return;
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  const std::filesystem::path parent = std::filesystem::path(*path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+  }
+  std::ofstream out(*path, std::ios::app);
+  if (!out) {
+    LPCE_LOG(Warn) << "cannot append train log to " << *path;
+    return;
+  }
+  out << stats.ToJsonl();
+}
+
+}  // namespace lpce::model

@@ -1,0 +1,86 @@
+// Per-epoch training telemetry shared by every training procedure
+// (TrainTreeModel, DistillTreeModel, TrainLpceR stage 2).
+//
+// Each epoch produces one EpochStats record; the whole run produces one
+// TrainStats report, which is (a) returned to the caller, (b) appended as
+// JSONL to $LPCE_TRAIN_LOG via RecordTrainStats, and (c) surfaced through
+// the metrics registry as lpce.train.* counters/histograms.
+//
+// JSONL schema (one object per line, key order fixed):
+//   per-epoch: {"schema_version":1,"model":TAG,"stage":STAGE,"epoch":N,
+//               "train_loss":F,"samples":N,"wall_seconds":F,
+//               "examples_per_sec":F,"grad_norm":F,"validation_loss":F,
+//               "val_qerror_mean":F,"val_qerror_median":F,
+//               "val_qerror_p95":F,"is_best":B}
+//   summary:   {"schema_version":1,"model":TAG,"summary":true,"epochs":N,
+//               "best_epoch":N,"early_stopped":B,"final_train_loss":F,
+//               "total_seconds":F}
+// Validation fields are -1 when the run had no validation split. STAGE is
+// "train" (TrainTreeModel), "hint"/"predict" (distillation), or "refine"
+// (LPCE-R stage 2).
+//
+// LPCE_TRAIN_LOG: unset or "0" disables the log; "1" appends to
+// ./lpce_train_log.jsonl; any other value is used as the output path.
+#ifndef LPCE_LPCE_TRAIN_STATS_H_
+#define LPCE_LPCE_TRAIN_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lpce::model {
+
+struct EpochStats {
+  int epoch = 0;
+  std::string stage = "train";
+  double train_loss = 0.0;
+  int samples = 0;
+  double wall_seconds = 0.0;
+  double examples_per_sec = 0.0;
+  /// Mean pre-clip global gradient norm over the epoch's optimizer steps.
+  double grad_norm = 0.0;
+  // Validation metrics; -1 when the run has no validation split.
+  double validation_loss = -1.0;
+  double val_qerror_mean = -1.0;
+  double val_qerror_median = -1.0;
+  double val_qerror_p95 = -1.0;
+  /// This epoch produced the best validation loss so far (its parameter
+  /// snapshot is the one restored at the end of training).
+  bool is_best = false;
+};
+
+struct TrainStats {
+  std::string model_tag;
+  std::vector<EpochStats> epochs;
+  /// Index into `epochs` of the restored best-validation snapshot, or -1
+  /// when training kept the last epoch's parameters (no validation split).
+  int best_epoch = -1;
+  bool early_stopped = false;
+  double total_seconds = 0.0;
+
+  /// Training loss of the parameters the model actually ends up with: the
+  /// best-validation epoch when one was restored, else the last epoch.
+  /// (The old scalar return reported the last epoch's loss even when early
+  /// stopping had restored an earlier snapshot.)
+  double final_train_loss() const;
+
+  /// JSONL serialization: one line per epoch plus one summary line, each
+  /// `\n`-terminated. Every line validates with ValidateTrainLogLine.
+  std::string ToJsonl() const;
+};
+
+/// Validates one JSONL line (epoch or summary) against the schema above.
+Status ValidateTrainLogLine(const std::string& line);
+
+/// Publishes lpce.train.* metrics and appends the JSONL report to
+/// $LPCE_TRAIN_LOG when enabled. Called by every training procedure;
+/// best-effort (I/O errors are logged, not returned).
+void RecordTrainStats(const TrainStats& stats);
+
+/// True when LPCE_TRAIN_LOG enables the JSONL log.
+bool TrainLogEnabled();
+
+}  // namespace lpce::model
+
+#endif  // LPCE_LPCE_TRAIN_STATS_H_

@@ -5,6 +5,8 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "common/profiler.h"
+#include "common/timer.h"
 
 namespace lpce::model {
 
@@ -99,6 +101,7 @@ struct ForwardState {
 std::vector<TreeModel::NodeOutput> TreeModel::Forward(
     const qry::Query& query, const EstNode* root,
     bool dynamic_child_cards) const {
+  LPCE_PROFILE_SCOPE("lpce.forward");
   std::vector<NodeOutput> outputs;
   // Recursive lambda returning the (c, h) state of each subtree.
   std::function<ForwardState(const EstNode*)> walk =
@@ -258,6 +261,7 @@ nn::Matrix TreeModel::OutputFast(const nn::Matrix& h) const {
 
 double TreeModel::PredictCardFast(const qry::Query& query, const EstNode* root,
                                   bool dynamic_child_cards) const {
+  LPCE_PROFILE_SCOPE("lpce.predict_fast");
   FastState state = FastWalk(*this, embed_, sru_, lstm_, *encoder_, config_, query,
                              root, dynamic_child_cards, nullptr);
   LPCE_CHECK_MSG(!state.injected, "cannot estimate a fully-injected tree");
@@ -343,9 +347,13 @@ nn::Tensor TreeLoss(const TreeModel& model,
 
 }  // namespace
 
-double TrainTreeModel(TreeModel* model, const db::Database& database,
-                      const std::vector<wk::LabeledQuery>& train,
-                      const TrainOptions& options) {
+TrainStats TrainTreeModel(TreeModel* model, const db::Database& database,
+                          const std::vector<wk::LabeledQuery>& train,
+                          const TrainOptions& options) {
+  LPCE_PROFILE_SCOPE("train.tree_model");
+  WallTimer total_timer;
+  TrainStats stats;
+  stats.model_tag = options.tag;
   ScopedMatMulThreads thread_cap(options.num_threads);
   nn::Adam adam(&model->params(), {.lr = options.lr});
   Rng rng(options.seed);
@@ -371,29 +379,60 @@ double TrainTreeModel(TreeModel* model, const db::Database& database,
     validation.assign(order.end() - static_cast<long>(held), order.end());
     order.resize(order.size() - held);
   }
-  auto validation_loss = [&]() {
+  // Validation pass: surrogate loss plus root q-error distribution against
+  // the held-out queries' final cardinalities.
+  struct ValMetrics {
+    double loss = -1.0;
+    double qerror_mean = -1.0;
+    double qerror_median = -1.0;
+    double qerror_p95 = -1.0;
+  };
+  auto validate = [&]() {
+    ValMetrics val;
     double total = 0.0;
     int count = 0;
+    std::vector<double> qerrors;
+    qerrors.reserve(validation.size());
     for (size_t idx : validation) {
       auto outputs = model->Forward(train[idx].query, trees[idx].get());
       nn::Tensor loss = TreeLoss(*model, outputs, options.node_wise);
       if (loss == nullptr) continue;
       total += loss->value().at(0, 0);
       ++count;
+      const double est = std::max(
+          1.0, model->YToCard(
+                   static_cast<double>(outputs.back().y->value().at(0, 0))));
+      const double act =
+          std::max(1.0, static_cast<double>(train[idx].FinalCard()));
+      qerrors.push_back(est > act ? est / act : act / est);
     }
-    return count > 0 ? total / count : 0.0;
+    val.loss = count > 0 ? total / count : 0.0;
+    if (!qerrors.empty()) {
+      std::sort(qerrors.begin(), qerrors.end());
+      double sum = 0.0;
+      for (double q : qerrors) sum += q;
+      const size_t n = qerrors.size();
+      val.qerror_mean = sum / static_cast<double>(n);
+      val.qerror_median = qerrors[(n - 1) / 2];
+      val.qerror_p95 =
+          qerrors[std::min(n - 1, static_cast<size_t>(0.95 * (n - 1) + 0.5))];
+    }
+    return val;
   };
 
   double best_validation = std::numeric_limits<double>::infinity();
   int epochs_since_best = 0;
   std::unordered_map<std::string, nn::Matrix> best_params;
 
-  double last_epoch_loss = 0.0;
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    LPCE_PROFILE_SCOPE("train.epoch");
+    WallTimer epoch_timer;
     rng.Shuffle(&order);
     double epoch_loss = 0.0;
     int batch_count = 0;
     int samples = 0;
+    double grad_norm_sum = 0.0;
+    int grad_norm_steps = 0;
     for (size_t idx : order) {
       const auto& labeled = train[idx];
       auto outputs = model->Forward(labeled.query, trees[idx].get());
@@ -404,6 +443,8 @@ double TrainTreeModel(TreeModel* model, const db::Database& database,
       ++samples;
       if (++batch_count >= options.batch_size) {
         model->params().ScaleGrads(1.0f / static_cast<float>(batch_count));
+        grad_norm_sum += static_cast<double>(model->params().GradNorm());
+        ++grad_norm_steps;
         model->params().ClipGradNorm(options.grad_clip);
         adam.Step();
         batch_count = 0;
@@ -411,18 +452,39 @@ double TrainTreeModel(TreeModel* model, const db::Database& database,
     }
     if (batch_count > 0) {
       model->params().ScaleGrads(1.0f / static_cast<float>(batch_count));
+      grad_norm_sum += static_cast<double>(model->params().GradNorm());
+      ++grad_norm_steps;
       model->params().ClipGradNorm(options.grad_clip);
       adam.Step();
     }
-    last_epoch_loss = samples > 0 ? epoch_loss / samples : 0.0;
-    LPCE_LOG(Debug) << "tree-model epoch " << epoch << " loss " << last_epoch_loss;
 
+    EpochStats es;
+    es.epoch = epoch;
+    es.stage = "train";
+    es.train_loss = samples > 0 ? epoch_loss / samples : 0.0;
+    es.samples = samples;
+    es.wall_seconds = epoch_timer.ElapsedSeconds();
+    es.examples_per_sec =
+        es.wall_seconds > 0.0 ? samples / es.wall_seconds : 0.0;
+    es.grad_norm =
+        grad_norm_steps > 0 ? grad_norm_sum / grad_norm_steps : 0.0;
+    LPCE_LOG(Debug) << "tree-model epoch " << epoch << " loss "
+                    << es.train_loss;
+
+    bool stop = false;
     if (!validation.empty()) {
-      const double val = validation_loss();
-      LPCE_LOG(Debug) << "tree-model epoch " << epoch << " validation " << val;
-      if (val < best_validation) {
-        best_validation = val;
+      const ValMetrics val = validate();
+      es.validation_loss = val.loss;
+      es.val_qerror_mean = val.qerror_mean;
+      es.val_qerror_median = val.qerror_median;
+      es.val_qerror_p95 = val.qerror_p95;
+      LPCE_LOG(Debug) << "tree-model epoch " << epoch << " validation "
+                      << val.loss;
+      if (val.loss < best_validation) {
+        best_validation = val.loss;
         epochs_since_best = 0;
+        es.is_best = true;
+        stats.best_epoch = epoch;
         best_params.clear();
         for (const auto& name : model->params().names()) {
           best_params.emplace(name, model->params().Get(name)->value());
@@ -430,11 +492,16 @@ double TrainTreeModel(TreeModel* model, const db::Database& database,
       } else if (++epochs_since_best >= options.patience &&
                  options.patience > 0) {
         LPCE_LOG(Debug) << "early stop at epoch " << epoch;
-        break;
+        stats.early_stopped = true;
+        stop = true;
       }
     }
+    stats.epochs.push_back(std::move(es));
+    if (stop) break;
   }
-  // Restore the best-validation snapshot (Sec. 7.1's held-out 10%).
+  // Restore the best-validation snapshot (Sec. 7.1's held-out 10%); the
+  // returned stats point at that epoch, so final_train_loss() reflects the
+  // parameters the caller actually gets.
   if (!best_params.empty()) {
     for (const auto& name : model->params().names()) {
       auto it = best_params.find(name);
@@ -443,13 +510,19 @@ double TrainTreeModel(TreeModel* model, const db::Database& database,
       }
     }
   }
-  return last_epoch_loss;
+  stats.total_seconds = total_timer.ElapsedSeconds();
+  RecordTrainStats(stats);
+  return stats;
 }
 
-void DistillTreeModel(TreeModel* student, const TreeModel& teacher,
-                      const db::Database& database,
-                      const std::vector<wk::LabeledQuery>& train,
-                      const DistillOptions& options) {
+TrainStats DistillTreeModel(TreeModel* student, const TreeModel& teacher,
+                            const db::Database& database,
+                            const std::vector<wk::LabeledQuery>& train,
+                            const DistillOptions& options) {
+  LPCE_PROFILE_SCOPE("train.distill");
+  WallTimer total_timer;
+  TrainStats stats;
+  stats.model_tag = options.tag;
   ScopedMatMulThreads thread_cap(options.num_threads);
   // Projections p_e / p_s lift student embeddings/representations to the
   // teacher's width (Eq. 4). They live in their own store: training-only.
@@ -476,9 +549,15 @@ void DistillTreeModel(TreeModel* student, const TreeModel& teacher,
 
   const int total_epochs = options.hint_epochs + options.predict_epochs;
   for (int epoch = 0; epoch < total_epochs; ++epoch) {
+    LPCE_PROFILE_SCOPE("train.epoch");
+    WallTimer epoch_timer;
     const bool hint_stage = epoch < options.hint_epochs;
     order_rng.Shuffle(&order);
     int batch_count = 0;
+    double epoch_loss = 0.0;
+    int samples = 0;
+    double grad_norm_sum = 0.0;
+    int grad_norm_steps = 0;
     for (size_t idx : order) {
       const auto& labeled = train[idx];
       auto teacher_out = teacher.Forward(labeled.query, trees[idx].get());
@@ -512,9 +591,13 @@ void DistillTreeModel(TreeModel* student, const TreeModel& teacher,
       if (loss == nullptr) continue;
       loss = nn::Scale(loss, 1.0f / static_cast<float>(student_out.size()));
       nn::Backward(loss);
+      epoch_loss += loss->value().at(0, 0);
+      ++samples;
       if (++batch_count >= options.batch_size) {
         const float scale = 1.0f / static_cast<float>(batch_count);
         student->params().ScaleGrads(scale);
+        grad_norm_sum += static_cast<double>(student->params().GradNorm());
+        ++grad_norm_steps;
         student->params().ClipGradNorm(options.grad_clip);
         proj_store.ScaleGrads(scale);
         proj_store.ClipGradNorm(options.grad_clip);
@@ -527,9 +610,23 @@ void DistillTreeModel(TreeModel* student, const TreeModel& teacher,
       student_adam.Step();
       proj_adam.Step();
     }
+    EpochStats es;
+    es.epoch = epoch;
+    es.stage = hint_stage ? "hint" : "predict";
+    es.train_loss = samples > 0 ? epoch_loss / samples : 0.0;
+    es.samples = samples;
+    es.wall_seconds = epoch_timer.ElapsedSeconds();
+    es.examples_per_sec =
+        es.wall_seconds > 0.0 ? samples / es.wall_seconds : 0.0;
+    es.grad_norm =
+        grad_norm_steps > 0 ? grad_norm_sum / grad_norm_steps : 0.0;
+    stats.epochs.push_back(std::move(es));
     LPCE_LOG(Debug) << "distill epoch " << epoch
                     << (hint_stage ? " (hint)" : " (predict)");
   }
+  stats.total_seconds = total_timer.ElapsedSeconds();
+  RecordTrainStats(stats);
+  return stats;
 }
 
 double EvaluateRootQError(const TreeModel& model, const db::Database& database,

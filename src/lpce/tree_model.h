@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "lpce/feature.h"
+#include "lpce/train_stats.h"
 #include "nn/adam.h"
 #include "nn/cells.h"
 #include "nn/layers.h"
@@ -167,13 +168,18 @@ struct TrainOptions {
   /// 1 = sequential). Any setting trains to bit-identical parameters — the
   /// parallel products preserve the sequential accumulation order.
   int num_threads = 0;
+  /// Model tag stamped into TrainStats / the LPCE_TRAIN_LOG JSONL.
+  std::string tag = "tree_model";
 };
 
 /// Trains with the (node- or query-wise) q-error surrogate |y - y*| and
-/// returns the final average training loss.
-double TrainTreeModel(TreeModel* model, const db::Database& database,
-                      const std::vector<wk::LabeledQuery>& train,
-                      const TrainOptions& options);
+/// returns per-epoch telemetry. Contract: the returned
+/// TrainStats::final_train_loss() is the training loss of the parameters the
+/// model is left with — the best-validation epoch when early stopping
+/// restored a snapshot (best_epoch >= 0), else the last epoch.
+TrainStats TrainTreeModel(TreeModel* model, const db::Database& database,
+                          const std::vector<wk::LabeledQuery>& train,
+                          const TrainOptions& options);
 
 struct DistillOptions {
   int hint_epochs = 6;        // stage 1: hint loss (Eq. 4)
@@ -185,14 +191,18 @@ struct DistillOptions {
   uint64_t seed = 321;
   /// Same contract as TrainOptions::num_threads.
   int num_threads = 0;
+  /// Model tag stamped into TrainStats / the LPCE_TRAIN_LOG JSONL.
+  std::string tag = "distill";
 };
 
 /// Knowledge distillation: trains `student` to match `teacher` through
 /// learned projections p_e / p_s, then calibrates with the prediction loss.
-void DistillTreeModel(TreeModel* student, const TreeModel& teacher,
-                      const db::Database& database,
-                      const std::vector<wk::LabeledQuery>& train,
-                      const DistillOptions& options);
+/// Epochs carry stage "hint" then "predict"; there is no validation split,
+/// so best_epoch stays -1.
+TrainStats DistillTreeModel(TreeModel* student, const TreeModel& teacher,
+                            const db::Database& database,
+                            const std::vector<wk::LabeledQuery>& train,
+                            const DistillOptions& options);
 
 /// Mean q-error of root predictions over a workload (evaluation helper).
 double EvaluateRootQError(const TreeModel& model, const db::Database& database,

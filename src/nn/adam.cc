@@ -2,9 +2,12 @@
 
 #include <cmath>
 
+#include "common/profiler.h"
+
 namespace lpce::nn {
 
 void Adam::Step() {
+  LPCE_PROFILE_SCOPE("nn.adam_step");
   ++t_;
   // Bias corrections in double: float pow drifts visibly from the reference
   // value at large t with beta2 = 0.999 (1 - beta2^t is a difference of

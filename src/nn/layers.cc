@@ -47,10 +47,14 @@ void ParamStore::ScaleGrads(float scale) {
   }
 }
 
-void ParamStore::ClipGradNorm(float max_norm) {
+float ParamStore::GradNorm() const {
   float sq = 0.0f;
-  for (auto& [name, t] : params_) sq += t->grad().SumSquares();
-  const float norm = std::sqrt(sq);
+  for (const auto& [name, t] : params_) sq += t->grad().SumSquares();
+  return std::sqrt(sq);
+}
+
+void ParamStore::ClipGradNorm(float max_norm) {
+  const float norm = GradNorm();
   if (norm <= max_norm || norm == 0.0f) return;
   ScaleGrads(max_norm / norm);
 }

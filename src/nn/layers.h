@@ -36,6 +36,8 @@ class ParamStore {
   void ZeroGrads();
   /// Scales every gradient by 1/n (to average over a minibatch).
   void ScaleGrads(float scale);
+  /// Global L2 norm over every parameter's gradient.
+  float GradNorm() const;
   /// Global L2-norm gradient clipping.
   void ClipGradNorm(float max_norm);
 

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cmath>
 
+#include "common/profiler.h"
 #include "common/thread_pool.h"
 
 namespace lpce::nn {
@@ -55,6 +56,7 @@ void Matrix::AddScaledInPlace(const Matrix& other, float scale) {
 }
 
 Matrix Matrix::MatMul(const Matrix& other) const {
+  LPCE_PROFILE_SCOPE("nn.matmul");
   LPCE_CHECK(cols_ == other.rows_);
   Matrix out(rows_, other.cols_, 0.0f);
   // i-k-j loop order: streams over contiguous rows of `other` and `out`.
@@ -77,6 +79,7 @@ Matrix Matrix::TransposeMatMul(const Matrix& other) const {
   // Computes this^T (cols_ x rows_) * other (rows_ x other.cols_). Each chunk
   // owns output rows [i0, i1) — a column block of `this` — and walks the full
   // k range in order, preserving the sequential accumulation order.
+  LPCE_PROFILE_SCOPE("nn.tmatmul");
   LPCE_CHECK(rows_ == other.rows_);
   Matrix out(cols_, other.cols_, 0.0f);
   ParallelRows(cols_, rows_ * cols_ * other.cols_, [&](size_t i0, size_t i1) {
@@ -96,6 +99,7 @@ Matrix Matrix::TransposeMatMul(const Matrix& other) const {
 
 Matrix Matrix::MatMulTranspose(const Matrix& other) const {
   // Computes this (rows_ x cols_) * other^T (cols_ x other.rows_).
+  LPCE_PROFILE_SCOPE("nn.matmul_t");
   LPCE_CHECK(cols_ == other.cols_);
   Matrix out(rows_, other.rows_, 0.0f);
   ParallelRows(rows_, rows_ * cols_ * other.rows_, [&](size_t r0, size_t r1) {

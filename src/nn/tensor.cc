@@ -3,6 +3,8 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "common/profiler.h"
+
 namespace lpce::nn {
 
 namespace {
@@ -251,6 +253,7 @@ Tensor Sum(const Tensor& a) {
 }
 
 void Backward(const Tensor& root) {
+  LPCE_PROFILE_SCOPE("nn.backward");
   LPCE_CHECK_MSG(root->value().rows() == 1 && root->value().cols() == 1,
                  "Backward root must be a 1x1 scalar");
   // Iterative post-order DFS to get a reverse-topological order.

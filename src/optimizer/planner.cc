@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/metrics.h"
+#include "common/profiler.h"
 #include "common/timer.h"
 
 namespace lpce::opt {
@@ -47,6 +48,9 @@ PlanResult Planner::Plan(const qry::Query& query,
 PlanResult Planner::PlanUnits(const qry::Query& query,
                               card::CardinalityEstimator* estimator,
                               const std::vector<PlanUnit>& units) {
+  // Inference below re-labels itself T_I; the search skeleton stays with the
+  // enclosing phase (T_P for the initial plan, T_R during re-optimization).
+  LPCE_PROFILE_SCOPE("planner.plan_units");
   WallTimer total_timer;
   PlanResult result;
 
@@ -75,6 +79,7 @@ PlanResult Planner::PlanUnits(const qry::Query& query,
     const qry::RelSet rels = covered[mask];
     auto it = pool.find(rels);
     if (it != pool.end()) return it->second;
+    LPCE_PROFILE_SCOPE("T_I.estimate");
     WallTimer timer;
     const double card = std::max(0.0, estimator->EstimateSubset(query, rels));
     result.inference_seconds += timer.ElapsedSeconds();

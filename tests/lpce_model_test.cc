@@ -94,9 +94,11 @@ TEST_F(ModelTest, TrainingReducesLoss) {
   TreeModel model(encoder_.get(), SmallConfig());
   TrainOptions options;
   options.epochs = 1;
-  const double first = TrainTreeModel(&model, *database_, train_, options);
+  const double first =
+      TrainTreeModel(&model, *database_, train_, options).final_train_loss();
   options.epochs = 8;
-  const double later = TrainTreeModel(&model, *database_, train_, options);
+  const double later =
+      TrainTreeModel(&model, *database_, train_, options).final_train_loss();
   EXPECT_LT(later, first);
 }
 
@@ -148,7 +150,8 @@ TEST_F(ModelTest, LstmVariantTrainsToo) {
   TreeModel model(encoder_.get(), SmallConfig(/*lstm=*/true));
   TrainOptions options;
   options.epochs = 5;
-  const double loss = TrainTreeModel(&model, *database_, train_, options);
+  const double loss =
+      TrainTreeModel(&model, *database_, train_, options).final_train_loss();
   EXPECT_LT(loss, 0.5);  // normalized-log space: far below random init
 }
 

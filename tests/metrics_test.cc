@@ -92,6 +92,44 @@ TEST(MetricsTest, ToJsonHasStableStructure) {
   EXPECT_NE(json.find("\"test.json.a\":3"), std::string::npos) << json;
 }
 
+TEST(MetricsTest, SnapshotDeltaReportsMovementWithoutReset) {
+  auto& registry = MetricsRegistry::Global();
+  Counter* counter = registry.counter("test.delta.counter");
+  Gauge* gauge = registry.gauge("test.delta.gauge");
+  Histogram* histogram = registry.histogram("test.delta.histogram");
+  counter->Increment(10);
+  histogram->Observe(1e-5);
+  gauge->Set(1.0);
+
+  const MetricsSnapshot before = registry.Snapshot();
+  counter->Increment(5);
+  histogram->Observe(1e-5);
+  histogram->Observe(2.0);
+  gauge->Set(7.5);
+  const MetricsSnapshot after = registry.Snapshot();
+
+  const MetricsSnapshot delta = Delta(before, after);
+  EXPECT_EQ(delta.counters.at("test.delta.counter"), 5u);
+  // Gauges are last-write-wins: the delta carries the `after` value.
+  EXPECT_DOUBLE_EQ(delta.gauges.at("test.delta.gauge"), 7.5);
+  const auto& h = delta.histograms.at("test.delta.histogram");
+  EXPECT_EQ(h.count, 2u);
+  EXPECT_NEAR(h.sum, 2.0 + 1e-5, 1e-9);
+  uint64_t bucket_total = 0;
+  for (uint64_t b : h.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, 2u);
+  // The live instruments kept accumulating — nothing was reset.
+  EXPECT_EQ(counter->value(), 15u);
+
+  // An instrument absent from `before` counts from zero.
+  MetricsSnapshot empty;
+  const MetricsSnapshot from_zero = Delta(empty, after);
+  EXPECT_EQ(from_zero.counters.at("test.delta.counter"), 15u);
+
+  const std::string json = delta.ToJson();
+  EXPECT_NE(json.find("\"test.delta.counter\":5"), std::string::npos) << json;
+}
+
 TEST(MetricsTest, ResetAllZeroesEverything) {
   auto& registry = MetricsRegistry::Global();
   Counter* counter = registry.counter("test.reset.counter");

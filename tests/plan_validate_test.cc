@@ -121,8 +121,15 @@ TEST_F(PlanValidateTest, ValidationSplitTrainingRestoresBestSnapshot) {
   options.epochs = 8;
   options.validation_fraction = 0.2;
   options.patience = 3;
-  const double loss = model::TrainTreeModel(&model, *database_, train, options);
-  EXPECT_TRUE(std::isfinite(loss));
+  const model::TrainStats stats =
+      model::TrainTreeModel(&model, *database_, train, options);
+  EXPECT_TRUE(std::isfinite(stats.final_train_loss()));
+  // The restored-snapshot contract: when early stopping kept an earlier
+  // epoch, the reported loss is that epoch's, not the last one trained.
+  if (stats.best_epoch >= 0) {
+    EXPECT_EQ(stats.final_train_loss(),
+              stats.epochs[stats.best_epoch].train_loss);
+  }
   // The model must produce sane estimates after the snapshot restore.
   auto logical =
       qry::BuildCanonicalTree(train[0].query, train[0].query.AllRels());

@@ -1,0 +1,215 @@
+// Profiler unit tests: scope nesting, self-vs-total accounting, multi-thread
+// merge, off-mode no-op, Reset semantics, JSON/collapsed serialization, and
+// the ValidateProfileJson schema checker.
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/profiler.h"
+
+namespace lpce::common {
+namespace {
+
+/// Each test runs with profiling on and a clean tree, restoring the off
+/// default afterwards so unrelated tests stay unprofiled.
+class ProfilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetProfilerEnabled(true);
+    Profiler::Global().Reset();
+  }
+  void TearDown() override {
+    SetProfilerEnabled(false);
+    Profiler::Global().Reset();
+  }
+};
+
+void SpinFor(std::chrono::microseconds d) {
+  const auto until = std::chrono::steady_clock::now() + d;
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+TEST_F(ProfilerTest, RecordsNestedScopes) {
+  for (int i = 0; i < 3; ++i) {
+    LPCE_PROFILE_SCOPE("outer");
+    SpinFor(std::chrono::microseconds(200));
+    {
+      LPCE_PROFILE_SCOPE("inner");
+      SpinFor(std::chrono::microseconds(100));
+    }
+  }
+  const ProfileNode merged = Profiler::Global().Merged();
+  ASSERT_EQ(merged.children.count("outer"), 1u);
+  const ProfileNode& outer = merged.children.at("outer");
+  EXPECT_EQ(outer.count, 3u);
+  ASSERT_EQ(outer.children.count("inner"), 1u);
+  const ProfileNode& inner = outer.children.at("inner");
+  EXPECT_EQ(inner.count, 3u);
+  // The inner scope's time nests inside the outer total.
+  EXPECT_GE(outer.total_ns, inner.total_ns);
+  EXPECT_GT(inner.total_ns, 0u);
+  EXPECT_LE(inner.min_ns, inner.max_ns);
+}
+
+TEST_F(ProfilerTest, SelfTimeExcludesChildren) {
+  {
+    LPCE_PROFILE_SCOPE("parent");
+    SpinFor(std::chrono::microseconds(300));
+    {
+      LPCE_PROFILE_SCOPE("child");
+      SpinFor(std::chrono::microseconds(300));
+    }
+  }
+  const ProfileNode merged = Profiler::Global().Merged();
+  const ProfileNode& parent = merged.children.at("parent");
+  const ProfileNode& child = parent.children.at("child");
+  EXPECT_EQ(parent.SelfNs(), parent.total_ns - child.total_ns);
+  EXPECT_LT(parent.SelfNs(), parent.total_ns);
+  // Leaf self time is its total.
+  EXPECT_EQ(child.SelfNs(), child.total_ns);
+}
+
+TEST_F(ProfilerTest, SameScopeNameAggregatesAcrossCallSites) {
+  for (int i = 0; i < 5; ++i) {
+    LPCE_PROFILE_SCOPE("repeat");
+  }
+  {
+    // A different call site (different string object, same contents) lands in
+    // the same merged node.
+    LPCE_PROFILE_SCOPE("repeat");
+  }
+  const ProfileNode merged = Profiler::Global().Merged();
+  EXPECT_EQ(merged.children.at("repeat").count, 6u);
+}
+
+TEST_F(ProfilerTest, MergesAcrossThreads) {
+  constexpr int kThreads = 4;
+  constexpr int kIterations = 25;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kIterations; ++i) {
+        LPCE_PROFILE_SCOPE("worker");
+        LPCE_PROFILE_SCOPE("task");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Threads have exited: their trees were folded into the retired tree.
+  const ProfileNode merged = Profiler::Global().Merged();
+  const ProfileNode& worker = merged.children.at("worker");
+  EXPECT_EQ(worker.count, static_cast<uint64_t>(kThreads * kIterations));
+  EXPECT_EQ(worker.children.at("task").count,
+            static_cast<uint64_t>(kThreads * kIterations));
+}
+
+TEST_F(ProfilerTest, MergedIncludesLiveThreads) {
+  // The calling thread never exits during the test; its tree must still show
+  // up in Merged().
+  {
+    LPCE_PROFILE_SCOPE("live_scope");
+  }
+  const ProfileNode merged = Profiler::Global().Merged();
+  EXPECT_EQ(merged.children.count("live_scope"), 1u);
+}
+
+TEST_F(ProfilerTest, DisabledRecordsNothing) {
+  SetProfilerEnabled(false);
+  {
+    LPCE_PROFILE_SCOPE("invisible");
+  }
+  SetProfilerEnabled(true);
+  const ProfileNode merged = Profiler::Global().Merged();
+  EXPECT_EQ(merged.children.count("invisible"), 0u);
+}
+
+TEST_F(ProfilerTest, ResetDropsRecordedData) {
+  {
+    LPCE_PROFILE_SCOPE("before_reset");
+  }
+  Profiler::Global().Reset();
+  EXPECT_TRUE(Profiler::Global().Merged().children.empty());
+  {
+    LPCE_PROFILE_SCOPE("after_reset");
+  }
+  const ProfileNode merged = Profiler::Global().Merged();
+  EXPECT_EQ(merged.children.count("before_reset"), 0u);
+  EXPECT_EQ(merged.children.count("after_reset"), 1u);
+}
+
+TEST_F(ProfilerTest, JsonValidatesAndIsDeterministicInStructure) {
+  {
+    LPCE_PROFILE_SCOPE("b_scope");
+  }
+  {
+    LPCE_PROFILE_SCOPE("a_scope");
+  }
+  const std::string json = Profiler::Global().ToJson();
+  EXPECT_TRUE(ValidateProfileJson(json).ok()) << json;
+  // Children sort by name: a_scope serializes before b_scope.
+  EXPECT_LT(json.find("a_scope"), json.find("b_scope"));
+}
+
+TEST_F(ProfilerTest, CollapsedStacksJoinPathsWithSemicolons) {
+  {
+    LPCE_PROFILE_SCOPE("top");
+    LPCE_PROFILE_SCOPE("mid");
+    LPCE_PROFILE_SCOPE("leaf");
+  }
+  const std::string collapsed = Profiler::Global().ToCollapsed();
+  EXPECT_NE(collapsed.find("top;mid;leaf "), std::string::npos) << collapsed;
+}
+
+TEST_F(ProfilerTest, WriteProfileFilesEmitsBothArtifacts) {
+  {
+    LPCE_PROFILE_SCOPE("artifact");
+  }
+  const std::string dir = ::testing::TempDir() + "/lpce_profiler_test";
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(WriteProfileFiles(dir).ok());
+  std::ifstream json_in(dir + "/profile.json");
+  ASSERT_TRUE(json_in.good());
+  std::ostringstream buf;
+  buf << json_in.rdbuf();
+  EXPECT_TRUE(ValidateProfileJson(buf.str()).ok());
+  EXPECT_TRUE(std::filesystem::exists(dir + "/profile.collapsed"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ProfilerTest, ValidatorRejectsMalformedDocuments) {
+  EXPECT_FALSE(ValidateProfileJson("not json").ok());
+  EXPECT_FALSE(ValidateProfileJson("{}").ok());
+  EXPECT_FALSE(
+      ValidateProfileJson(R"({"schema_version":2,"unit":"ns","roots":[]})")
+          .ok());
+  EXPECT_FALSE(
+      ValidateProfileJson(R"({"schema_version":1,"unit":"ms","roots":[]})")
+          .ok());
+  // self_ns > total_ns.
+  EXPECT_FALSE(ValidateProfileJson(
+                   R"({"schema_version":1,"unit":"ns","roots":[{"name":"x",)"
+                   R"("count":1,"total_ns":5,"self_ns":9,"min_ns":5,)"
+                   R"("max_ns":5,"children":[]}]})")
+                   .ok());
+  // Children out of name order.
+  EXPECT_FALSE(ValidateProfileJson(
+                   R"({"schema_version":1,"unit":"ns","roots":[)"
+                   R"({"name":"b","count":1,"total_ns":1,"self_ns":1,)"
+                   R"("min_ns":1,"max_ns":1,"children":[]},)"
+                   R"({"name":"a","count":1,"total_ns":1,"self_ns":1,)"
+                   R"("min_ns":1,"max_ns":1,"children":[]}]})")
+                   .ok());
+  EXPECT_TRUE(ValidateProfileJson(
+                  R"({"schema_version":1,"unit":"ns","roots":[]})")
+                  .ok());
+}
+
+}  // namespace
+}  // namespace lpce::common

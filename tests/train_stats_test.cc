@@ -1,0 +1,203 @@
+// TrainStats telemetry tests: schema of real training runs (contiguous
+// epochs, populated timing/throughput fields), the early-stopping /
+// best-epoch contract, and the JSONL round-trip through
+// ValidateTrainLogLine.
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lpce/tree_model.h"
+#include "lpce/train_stats.h"
+#include "workload/workload.h"
+
+namespace lpce::model {
+namespace {
+
+class TrainStatsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db::SynthImdbOptions opts;
+    opts.scale = 0.03;
+    database_ = db::BuildSynthImdb(opts);
+    stats_.Build(*database_);
+    encoder_ = std::make_unique<FeatureEncoder>(&database_->catalog(), &stats_);
+    wk::GeneratorOptions gen;
+    gen.seed = 5;
+    gen.require_nonempty = true;
+    wk::QueryGenerator generator(database_.get(), gen);
+    train_ = generator.GenerateLabeled(80, 3, 6);
+  }
+
+  TreeModelConfig SmallConfig() const {
+    TreeModelConfig config;
+    config.feature_dim = encoder_->dim();
+    config.dim = 16;
+    config.embed_hidden = 16;
+    config.out_hidden = 32;
+    return config;
+  }
+
+  std::unique_ptr<db::Database> database_;
+  stats::DatabaseStats stats_;
+  std::unique_ptr<FeatureEncoder> encoder_;
+  std::vector<wk::LabeledQuery> train_;
+};
+
+/// Every line of a report's JSONL serialization must pass the validator.
+void ExpectJsonlValid(const TrainStats& stats) {
+  std::istringstream lines(stats.ToJsonl());
+  std::string line;
+  size_t count = 0;
+  while (std::getline(lines, line)) {
+    ++count;
+    const Status status = ValidateTrainLogLine(line);
+    EXPECT_TRUE(status.ok()) << status.message() << "\nline: " << line;
+  }
+  EXPECT_EQ(count, stats.epochs.size() + 1);  // epochs + summary
+}
+
+TEST_F(TrainStatsTest, TrainingProducesContiguousEpochTelemetry) {
+  TreeModel model(encoder_.get(), SmallConfig());
+  TrainOptions options;
+  options.epochs = 4;
+  options.tag = "unit_train";
+  const TrainStats stats = TrainTreeModel(&model, *database_, train_, options);
+
+  EXPECT_EQ(stats.model_tag, "unit_train");
+  ASSERT_EQ(stats.epochs.size(), 4u);
+  EXPECT_FALSE(stats.early_stopped);
+  EXPECT_EQ(stats.best_epoch, -1);  // no validation split
+  EXPECT_GT(stats.total_seconds, 0.0);
+  double wall_sum = 0.0;
+  for (size_t i = 0; i < stats.epochs.size(); ++i) {
+    const EpochStats& e = stats.epochs[i];
+    EXPECT_EQ(e.epoch, static_cast<int>(i));  // strictly increasing from 0
+    EXPECT_EQ(e.stage, "train");
+    EXPECT_TRUE(std::isfinite(e.train_loss));
+    EXPECT_GT(e.samples, 0);
+    EXPECT_GT(e.wall_seconds, 0.0);
+    EXPECT_GT(e.examples_per_sec, 0.0);
+    EXPECT_GT(e.grad_norm, 0.0);
+    EXPECT_EQ(e.validation_loss, -1.0);
+    EXPECT_FALSE(e.is_best);
+    wall_sum += e.wall_seconds;
+  }
+  EXPECT_LE(wall_sum, stats.total_seconds * 1.01);
+  ExpectJsonlValid(stats);
+}
+
+TEST_F(TrainStatsTest, ValidationRunPopulatesQErrorAndBestEpoch) {
+  TreeModel model(encoder_.get(), SmallConfig());
+  TrainOptions options;
+  options.epochs = 6;
+  options.validation_fraction = 0.25;
+  const TrainStats stats = TrainTreeModel(&model, *database_, train_, options);
+
+  ASSERT_FALSE(stats.epochs.empty());
+  ASSERT_GE(stats.best_epoch, 0);
+  ASSERT_LT(stats.best_epoch, static_cast<int>(stats.epochs.size()));
+  EXPECT_TRUE(stats.epochs[stats.best_epoch].is_best);
+  // final_train_loss reports the restored (best) epoch, not the last one.
+  EXPECT_EQ(stats.final_train_loss(),
+            stats.epochs[stats.best_epoch].train_loss);
+  double best_val = std::numeric_limits<double>::infinity();
+  for (const EpochStats& e : stats.epochs) {
+    EXPECT_GE(e.validation_loss, 0.0);
+    EXPECT_GE(e.val_qerror_mean, 1.0);    // q-error is >= 1 by definition
+    EXPECT_GE(e.val_qerror_median, 1.0);
+    EXPECT_GE(e.val_qerror_p95, e.val_qerror_median);
+    if (e.is_best) EXPECT_LT(e.validation_loss, best_val);
+    best_val = std::min(best_val, e.validation_loss);
+  }
+  ExpectJsonlValid(stats);
+}
+
+TEST_F(TrainStatsTest, EarlyStoppingRespectsPatience) {
+  TreeModel model(encoder_.get(), SmallConfig());
+  TrainOptions options;
+  options.epochs = 40;
+  options.validation_fraction = 0.25;
+  options.patience = 2;
+  const TrainStats stats = TrainTreeModel(&model, *database_, train_, options);
+
+  ASSERT_FALSE(stats.epochs.empty());
+  EXPECT_LE(stats.epochs.size(), 40u);
+  if (stats.early_stopped) {
+    // Stop fires exactly `patience` epochs after the best one.
+    EXPECT_EQ(static_cast<int>(stats.epochs.size()),
+              stats.best_epoch + 1 + options.patience);
+  }
+  ExpectJsonlValid(stats);
+}
+
+TEST_F(TrainStatsTest, DistillationReportsBothStages) {
+  TreeModelConfig teacher_cfg = SmallConfig();
+  teacher_cfg.dim = 32;
+  teacher_cfg.embed_hidden = 32;
+  teacher_cfg.out_hidden = 64;
+  TreeModel teacher(encoder_.get(), teacher_cfg);
+  TrainOptions topt;
+  topt.epochs = 2;
+  TrainTreeModel(&teacher, *database_, train_, topt);
+
+  TreeModel student(encoder_.get(), SmallConfig());
+  DistillOptions distill;
+  distill.hint_epochs = 2;
+  distill.predict_epochs = 3;
+  const TrainStats stats =
+      DistillTreeModel(&student, teacher, *database_, train_, distill);
+
+  ASSERT_EQ(stats.epochs.size(), 5u);
+  EXPECT_EQ(stats.best_epoch, -1);
+  for (size_t i = 0; i < stats.epochs.size(); ++i) {
+    EXPECT_EQ(stats.epochs[i].epoch, static_cast<int>(i));
+    EXPECT_EQ(stats.epochs[i].stage, i < 2 ? "hint" : "predict");
+    EXPECT_GT(stats.epochs[i].wall_seconds, 0.0);
+  }
+  ExpectJsonlValid(stats);
+}
+
+TEST_F(TrainStatsTest, ValidatorRejectsMalformedLines) {
+  EXPECT_FALSE(ValidateTrainLogLine("not json").ok());
+  EXPECT_FALSE(ValidateTrainLogLine("{}").ok());
+  // Wrong schema version.
+  EXPECT_FALSE(
+      ValidateTrainLogLine(
+          R"({"schema_version":2,"model":"m","summary":true,"epochs":1,)"
+          R"("best_epoch":-1,"early_stopped":false,"final_train_loss":0.1,)"
+          R"("total_seconds":1})")
+          .ok());
+  // Unknown stage.
+  EXPECT_FALSE(
+      ValidateTrainLogLine(
+          R"({"schema_version":1,"model":"m","stage":"warmup","epoch":0,)"
+          R"("train_loss":0.1,"samples":10,"wall_seconds":0.5,)"
+          R"("examples_per_sec":20,"grad_norm":1.0,"validation_loss":-1,)"
+          R"("val_qerror_mean":-1,"val_qerror_median":-1,"val_qerror_p95":-1,)"
+          R"("is_best":false})")
+          .ok());
+  // best_epoch out of range.
+  EXPECT_FALSE(
+      ValidateTrainLogLine(
+          R"({"schema_version":1,"model":"m","summary":true,"epochs":3,)"
+          R"("best_epoch":3,"early_stopped":true,"final_train_loss":0.1,)"
+          R"("total_seconds":1})")
+          .ok());
+  // A well-formed epoch line passes.
+  EXPECT_TRUE(
+      ValidateTrainLogLine(
+          R"({"schema_version":1,"model":"m","stage":"refine","epoch":0,)"
+          R"("train_loss":0.1,"samples":10,"wall_seconds":0.5,)"
+          R"("examples_per_sec":20,"grad_norm":1.0,"validation_loss":-1,)"
+          R"("val_qerror_mean":-1,"val_qerror_median":-1,"val_qerror_p95":-1,)"
+          R"("is_best":false})")
+          .ok());
+}
+
+}  // namespace
+}  // namespace lpce::model
