@@ -6,11 +6,24 @@
 //
 // Expected shape: SRU ~1.7x faster than LSTM at equal size; the compressed
 // models another ~1.8x faster (paper Sec. 7.3).
+// PR 4 extension: per-node latency comparison of the three inference paths —
+// the taped autograd Forward (the seed path), the legacy recursive fast walk
+// (tape-free, node-at-a-time), and the level-batched tape-free Infer — plus
+// a multi-tree batch lane. Prints per-node times and speedups, verifies the
+// batched outputs are bit-identical to Forward, and appends one JSON summary
+// line per model to the --metrics_json file.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <vector>
 
 #include "bench_world.h"
+#include "common/logging.h"
+#include "lpce/tree_model.h"
 
 namespace lpce::bench {
 namespace {
@@ -37,6 +50,198 @@ BENCHMARK(BM_LpceT)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_LpceS)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_LpceC)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_LpceI)->Unit(benchmark::kMicrosecond);
+
+// ---- Inference-path comparison (PR 4) ----
+
+/// The join-8 test workload as estimation trees (canonical join order, true
+/// cardinality labels attached), shared by the path lanes below.
+struct TreeSet {
+  std::vector<const qry::Query*> queries;
+  std::vector<std::unique_ptr<model::EstNode>> trees;
+  size_t total_nodes = 0;  // non-injected nodes across all trees
+};
+
+size_t CountNodes(const model::EstNode* n) {
+  if (n == nullptr || n->is_injected()) return 0;
+  return 1 + CountNodes(n->left.get()) + CountNodes(n->right.get());
+}
+
+const TreeSet& GetTreeSet() {
+  static const TreeSet set = [] {
+    TreeSet s;
+    const World& world = GetWorld();
+    for (const auto& labeled : world.test_by_joins.at(8)) {
+      auto logical =
+          qry::BuildCanonicalTree(labeled.query, labeled.query.AllRels());
+      s.trees.push_back(model::MakeEstTree(labeled.query, logical.get(),
+                                           *world.database,
+                                           &labeled.true_cards));
+      s.queries.push_back(&labeled.query);
+      s.total_nodes += CountNodes(s.trees.back().get());
+    }
+    return s;
+  }();
+  return set;
+}
+
+enum class Path { kTaped, kFastWalk, kBatched, kBatchedMultiTree };
+
+/// One state iteration = one tree (or all trees for the multi-tree lane);
+/// items processed = plan nodes, so benchmark's items/s is nodes/s and the
+/// per-node latency is its inverse.
+void PerNodeLane(benchmark::State& state, const model::TreeModel& m,
+                 Path path) {
+  const TreeSet& set = GetTreeSet();
+  model::TreeModel::SetBatchedInferEnabled(path != Path::kFastWalk);
+  std::vector<std::pair<const qry::Query*, const model::EstNode*>> batch;
+  for (size_t t = 0; t < set.trees.size(); ++t) {
+    batch.emplace_back(set.queries[t], set.trees[t].get());
+  }
+  std::vector<std::vector<model::TreeModel::InferNodeOutput>> outs;
+  int64_t items = 0;
+  size_t i = 0;
+  for (auto _ : state) {
+    const size_t t = i % set.trees.size();
+    switch (path) {
+      case Path::kTaped:
+        benchmark::DoNotOptimize(m.Forward(*set.queries[t], set.trees[t].get()));
+        break;
+      case Path::kFastWalk:
+      case Path::kBatched:
+        benchmark::DoNotOptimize(
+            m.PredictCardFast(*set.queries[t], set.trees[t].get()));
+        break;
+      case Path::kBatchedMultiTree:
+        m.InferTrees(batch, &outs);
+        benchmark::DoNotOptimize(outs.data());
+        break;
+    }
+    items += path == Path::kBatchedMultiTree
+                 ? static_cast<int64_t>(set.total_nodes)
+                 : static_cast<int64_t>(set.total_nodes / set.trees.size());
+    ++i;
+  }
+  model::TreeModel::SetBatchedInferEnabled(true);
+  state.SetItemsProcessed(items);
+}
+
+void BM_PerNode_Taped(benchmark::State& s) {
+  PerNodeLane(s, *GetWorld().lpce_s, Path::kTaped);
+}
+void BM_PerNode_FastWalk(benchmark::State& s) {
+  PerNodeLane(s, *GetWorld().lpce_s, Path::kFastWalk);
+}
+void BM_PerNode_Batched(benchmark::State& s) {
+  PerNodeLane(s, *GetWorld().lpce_s, Path::kBatched);
+}
+void BM_PerNode_BatchedMultiTree(benchmark::State& s) {
+  PerNodeLane(s, *GetWorld().lpce_s, Path::kBatchedMultiTree);
+}
+
+BENCHMARK(BM_PerNode_Taped)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_PerNode_FastWalk)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_PerNode_Batched)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_PerNode_BatchedMultiTree)->Unit(benchmark::kMicrosecond);
+
+/// Timed sweep over the whole tree set on one path; returns ns per node.
+/// Takes the MINIMUM over `repeats` sweeps — the sweeps are deterministic, so
+/// the fastest one is the least-perturbed measurement and the minimum is
+/// robust against scheduler preemption on shared machines (mean/total are
+/// not: one preempted sweep would poison the whole lane).
+double TimePath(const model::TreeModel& m, Path path, int repeats) {
+  const TreeSet& set = GetTreeSet();
+  model::TreeModel::SetBatchedInferEnabled(path != Path::kFastWalk);
+  std::vector<std::pair<const qry::Query*, const model::EstNode*>> batch;
+  for (size_t t = 0; t < set.trees.size(); ++t) {
+    batch.emplace_back(set.queries[t], set.trees[t].get());
+  }
+  std::vector<std::vector<model::TreeModel::InferNodeOutput>> outs;
+  double best_ns = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < repeats; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    if (path == Path::kBatchedMultiTree) {
+      m.InferTrees(batch, &outs);
+    } else {
+      for (size_t t = 0; t < set.trees.size(); ++t) {
+        switch (path) {
+          case Path::kTaped:
+            benchmark::DoNotOptimize(
+                m.Forward(*set.queries[t], set.trees[t].get()));
+            break;
+          default:
+            benchmark::DoNotOptimize(
+                m.PredictCardFast(*set.queries[t], set.trees[t].get()));
+            break;
+        }
+      }
+    }
+    const auto end = std::chrono::steady_clock::now();
+    const double ns =
+        std::chrono::duration<double, std::nano>(end - start).count();
+    if (ns < best_ns) best_ns = ns;
+  }
+  model::TreeModel::SetBatchedInferEnabled(true);
+  return best_ns / static_cast<double>(set.total_nodes);
+}
+
+/// Every non-injected node's sigmoid output must carry the same bits on the
+/// taped Forward and the level-batched Infer (the acceptance criterion that
+/// lets the engine switch paths without regenerating goldens).
+bool BatchedOutputsBitIdentical(const model::TreeModel& m) {
+  const TreeSet& set = GetTreeSet();
+  model::TreeModel::SetBatchedInferEnabled(true);
+  std::vector<std::pair<const qry::Query*, const model::EstNode*>> batch;
+  for (size_t t = 0; t < set.trees.size(); ++t) {
+    batch.emplace_back(set.queries[t], set.trees[t].get());
+  }
+  std::vector<std::vector<model::TreeModel::InferNodeOutput>> outs;
+  m.InferTrees(batch, &outs);
+  for (size_t t = 0; t < set.trees.size(); ++t) {
+    const auto fwd = m.Forward(*set.queries[t], set.trees[t].get());
+    if (fwd.size() != outs[t].size()) return false;
+    for (size_t i = 0; i < fwd.size(); ++i) {
+      if (outs[t][i].y != fwd[i].y->value().at(0, 0)) return false;
+    }
+  }
+  return true;
+}
+
+void PrintInferencePathComparison() {
+  const World& world = GetWorld();
+  std::printf("\n=== per-node inference latency by path (join-8 workload, "
+              "%zu nodes) ===\n", GetTreeSet().total_nodes);
+  std::printf("%8s %12s %12s %12s %12s %10s %8s\n", "model", "taped(ns)",
+              "fastwalk(ns)", "batched(ns)", "multi(ns)", "speedup", "exact");
+  std::ofstream json;
+  if (!MetricsJsonPath().empty()) {
+    json.open(MetricsJsonPath(), std::ios::app);
+    LPCE_CHECK_MSG(json.good(), "cannot open --metrics_json file");
+  }
+  const int repeats = 20;
+  const std::pair<const char*, const model::TreeModel*> models[] = {
+      {"lpce_s", world.lpce_s.get()}, {"lpce_t", world.lpce_t.get()}};
+  for (const auto& [tag, m] : models) {
+    const double taped = TimePath(*m, Path::kTaped, repeats);
+    const double walk = TimePath(*m, Path::kFastWalk, repeats);
+    const double batched = TimePath(*m, Path::kBatched, repeats);
+    const double multi = TimePath(*m, Path::kBatchedMultiTree, repeats);
+    const bool exact = BatchedOutputsBitIdentical(*m);
+    std::printf("%8s %12.0f %12.0f %12.0f %12.0f %9.2fx %8s\n", tag, taped,
+                walk, batched, multi, taped / batched, exact ? "yes" : "NO");
+    if (json.is_open()) {
+      json << "{\"bench\":\"fig19_inference_paths\",\"model\":\"" << tag
+           << "\",\"taped_ns_per_node\":" << taped
+           << ",\"fastwalk_ns_per_node\":" << walk
+           << ",\"batched_ns_per_node\":" << batched
+           << ",\"batched_multi_tree_ns_per_node\":" << multi
+           << ",\"speedup_batched_vs_taped\":" << taped / batched
+           << ",\"bit_identical_to_taped\":" << (exact ? "true" : "false")
+           << "}\n";
+    }
+  }
+  std::printf("(speedup = taped / batched; 'exact' = batched outputs "
+              "bit-identical to the taped Forward)\n");
+}
 
 void PrintTrainingSummary() {
   const World& world = GetWorld();
@@ -65,6 +270,7 @@ int main(int argc, char** argv) {
   lpce::bench::ParseBenchFlags(argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  lpce::bench::PrintInferencePathComparison();
   lpce::bench::PrintTrainingSummary();
   return 0;
 }

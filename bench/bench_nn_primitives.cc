@@ -8,6 +8,7 @@
 #include "common/rng.h"
 #include "nn/adam.h"
 #include "nn/cells.h"
+#include "nn/kernels.h"
 
 namespace lpce::nn {
 namespace {
@@ -32,6 +33,45 @@ void BM_MatMul(benchmark::State& state) {
                           dim);
 }
 BENCHMARK(BM_MatMul)->Arg(32)->Arg(96)->Arg(256);
+
+// The zero-skip record (PR 4): the dense MatMul path used to branch on
+// a == 0.0f every inner iteration. These lanes compare the branch-free
+// blocked kernel against the documented zero-skip variant on dense inputs
+// (the model's activations — the case the branch taxed) and on 90%-zero
+// inputs (one-hot-ish encoder rows — the case it was meant to help).
+void GemmKernelLane(benchmark::State& state, double density, bool zero_skip) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  Rng rng(6);
+  Matrix a = RandomMatrix(&rng, dim, dim);
+  Matrix b = RandomMatrix(&rng, dim, dim);
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (rng.UniformDouble() > density) a.data()[i] = 0.0f;
+  }
+  Matrix out(dim, dim);
+  for (auto _ : state) {
+    if (zero_skip) {
+      kernels::GemmZeroSkip(a.data(), dim, dim, b.data(), dim, out.data());
+    } else {
+      kernels::Gemm(a.data(), dim, dim, b.data(), dim, out.data());
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * dim * dim *
+                          dim);
+}
+
+void BM_GemmDenseInput(benchmark::State& s) { GemmKernelLane(s, 1.0, false); }
+void BM_GemmZeroSkipDenseInput(benchmark::State& s) {
+  GemmKernelLane(s, 1.0, true);
+}
+void BM_GemmSparseInput(benchmark::State& s) { GemmKernelLane(s, 0.1, false); }
+void BM_GemmZeroSkipSparseInput(benchmark::State& s) {
+  GemmKernelLane(s, 0.1, true);
+}
+BENCHMARK(BM_GemmDenseInput)->Arg(32)->Arg(96)->Arg(256);
+BENCHMARK(BM_GemmZeroSkipDenseInput)->Arg(32)->Arg(96)->Arg(256);
+BENCHMARK(BM_GemmSparseInput)->Arg(96);
+BENCHMARK(BM_GemmZeroSkipSparseInput)->Arg(96);
 
 void BM_SruStepFast(benchmark::State& state) {
   const size_t dim = static_cast<size_t>(state.range(0));

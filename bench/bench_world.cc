@@ -411,6 +411,8 @@ void ParseBenchFlags(int argc, char** argv) {
   }
 }
 
+const std::string& MetricsJsonPath() { return g_metrics_json_path; }
+
 std::vector<eng::RunStats> RunWorkload(const World& world,
                                        const EstimatorEntry& entry,
                                        const std::vector<wk::LabeledQuery>& queries) {

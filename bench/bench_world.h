@@ -124,6 +124,11 @@ double Percentile(std::vector<double> values, double pct);
 /// Unknown flags print usage and exit(2).
 void ParseBenchFlags(int argc, char** argv);
 
+/// Path given via --metrics_json (empty when the flag is absent). Benches
+/// that don't route through RunWorkload append their own summary JSON lines
+/// to this file.
+const std::string& MetricsJsonPath();
+
 /// Runs every query of a workload end-to-end with the entry's estimator
 /// (+ refiner / re-optimization when the entry enables it), verifying result
 /// counts against the labels. Returns one RunStats per query. With

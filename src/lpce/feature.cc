@@ -1,6 +1,7 @@
 #include "lpce/feature.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/profiler.h"
 
@@ -14,30 +15,41 @@ float FeatureEncoder::NormalizeOperand(db::ColRef col, int64_t value) const {
   return static_cast<float>(std::clamp(norm, 0.0, 1.0));
 }
 
-nn::Matrix FeatureEncoder::EncodeScan(const qry::Query& query, int table_pos) const {
-  LPCE_PROFILE_SCOPE("lpce.encode_scan");
-  nn::Matrix out(1, static_cast<size_t>(dim()), 0.0f);
+void FeatureEncoder::EncodeScanInto(const qry::Query& query, int table_pos,
+                                    float* out) const {
+  std::memset(out, 0, static_cast<size_t>(dim()) * sizeof(float));
   const int cols = catalog_->TotalColumns();
-  out.at(0, 0) = 1.0f;  // function = scan
+  out[0] = 1.0f;  // function = scan
   const auto preds = query.PredicatesOf(table_pos);
   if (!preds.empty()) {
     const qry::Predicate& pred = preds.front();
     const int col_id = catalog_->GlobalColumnId(pred.col);
-    out.at(0, static_cast<size_t>(2 + cols + col_id)) = 1.0f;
-    out.at(0, static_cast<size_t>(2 + 2 * cols + static_cast<int>(pred.op))) = 1.0f;
-    out.at(0, static_cast<size_t>(dim() - 1)) =
-        NormalizeOperand(pred.col, pred.value);
+    out[2 + cols + col_id] = 1.0f;
+    out[2 + 2 * cols + static_cast<int>(pred.op)] = 1.0f;
+    out[dim() - 1] = NormalizeOperand(pred.col, pred.value);
   }
+}
+
+void FeatureEncoder::EncodeJoinInto(const qry::Query& query, int join_idx,
+                                    float* out) const {
+  std::memset(out, 0, static_cast<size_t>(dim()) * sizeof(float));
+  out[1] = 1.0f;  // function = join
+  const qry::Join& join = query.joins[join_idx];
+  out[2 + catalog_->GlobalColumnId(join.left)] = 1.0f;
+  out[2 + catalog_->GlobalColumnId(join.right)] = 1.0f;
+}
+
+nn::Matrix FeatureEncoder::EncodeScan(const qry::Query& query, int table_pos) const {
+  LPCE_PROFILE_SCOPE("lpce.encode_scan");
+  nn::Matrix out(1, static_cast<size_t>(dim()), 0.0f);
+  EncodeScanInto(query, table_pos, out.data());
   return out;
 }
 
 nn::Matrix FeatureEncoder::EncodeJoin(const qry::Query& query, int join_idx) const {
   LPCE_PROFILE_SCOPE("lpce.encode_join");
   nn::Matrix out(1, static_cast<size_t>(dim()), 0.0f);
-  out.at(0, 1) = 1.0f;  // function = join
-  const qry::Join& join = query.joins[join_idx];
-  out.at(0, static_cast<size_t>(2 + catalog_->GlobalColumnId(join.left))) = 1.0f;
-  out.at(0, static_cast<size_t>(2 + catalog_->GlobalColumnId(join.right))) = 1.0f;
+  EncodeJoinInto(query, join_idx, out.data());
   return out;
 }
 

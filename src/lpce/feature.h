@@ -29,6 +29,12 @@ class FeatureEncoder {
   /// Encodes a join node: the two-hot join condition of edge `join_idx`.
   nn::Matrix EncodeJoin(const qry::Query& query, int join_idx) const;
 
+  /// Zero-allocation variants for the batched inference fast path: write
+  /// dim() floats into `out` (zeroed first). Values are identical to the
+  /// Matrix-returning encoders — only stores, no arithmetic.
+  void EncodeScanInto(const qry::Query& query, int table_pos, float* out) const;
+  void EncodeJoinInto(const qry::Query& query, int join_idx, float* out) const;
+
   /// Normalizes an operand into [0,1] using the column's min/max statistics.
   float NormalizeOperand(db::ColRef col, int64_t value) const;
 

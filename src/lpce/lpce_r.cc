@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/profiler.h"
 #include "common/timer.h"
+#include "nn/kernels.h"
 
 namespace lpce::model {
 
@@ -76,15 +77,19 @@ double LpceR::EstimateTree(const qry::Query& query, const EstNode* tree) const {
 
 nn::Matrix LpceR::ConnectFast(const nn::Matrix& c_content,
                               const nn::Matrix& c_card) const {
+  // Kernel-for-kernel mirror of the taped Connect (Eq. 6): Mul / Mul / Add
+  // as three separate rounding passes, so the fast path is bit-identical to
+  // the autograd path (a fused a*b + c*d expression could FMA-contract
+  // differently under -ffast-math).
+  namespace k = nn::kernels;
   nn::Matrix w_a = wa_.Apply(c_content);
   nn::SigmoidInPlace(&w_a);
   nn::Matrix w_b = wb_.Apply(c_card);
   nn::SigmoidInPlace(&w_b);
+  k::MulInPlace(w_a.data(), c_content.data(), w_a.size());
+  k::MulInPlace(w_b.data(), c_card.data(), w_b.size());
   nn::Matrix merged(1, c_content.cols());
-  for (size_t j = 0; j < merged.cols(); ++j) {
-    merged.at(0, j) =
-        w_a.at(0, j) * c_content.at(0, j) + w_b.at(0, j) * c_card.at(0, j);
-  }
+  k::Add(w_a.data(), w_b.data(), merged.data(), merged.size());
   nn::Matrix out = wab_.Apply(merged);
   nn::ReluInPlace(&out);
   return out;

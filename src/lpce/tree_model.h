@@ -14,6 +14,7 @@
 #include "lpce/feature.h"
 #include "lpce/train_stats.h"
 #include "nn/adam.h"
+#include "nn/arena.h"
 #include "nn/cells.h"
 #include "nn/layers.h"
 #include "workload/workload.h"
@@ -84,8 +85,98 @@ class TreeModel {
   /// When `dynamic_child_cards` is set (LPCE-R-Single inference, Table 3),
   /// internal nodes whose children lack a true_card label take the model's
   /// own running estimates as the child-cardinality inputs instead.
+  ///
+  /// `feature_cache` (optional) holds one precomputed base-feature row per
+  /// non-injected node in post-order (BuildFeatureCache); training reuses it
+  /// across epochs instead of re-running the encoder every pass.
   std::vector<NodeOutput> Forward(const qry::Query& query, const EstNode* root,
-                                  bool dynamic_child_cards = false) const;
+                                  bool dynamic_child_cards = false,
+                                  const nn::Matrix* feature_cache = nullptr) const;
+
+  /// Encodes every non-injected node of the tree once: row i holds the base
+  /// encoder features (width feature_dim) of the i-th post-order node.
+  /// Child-cardinality columns are appended per Forward/Infer pass, so one
+  /// cache serves static and dynamic modes and every model configuration.
+  nn::Matrix BuildFeatureCache(const qry::Query& query, const EstNode* root) const;
+
+  // ---- Tape-free, level-batched inference fast path (PR 4). ----
+  //
+  // All plan-tree nodes at the same depth run through embed / cell / output
+  // as single [N x d] matmuls; every intermediate lives in the calling
+  // thread's nn::InferArena, so a query performs zero heap allocations after
+  // warmup. Because the taped Forward and this path funnel through the same
+  // out-of-line kernels (nn/kernels.h) with the same per-node operation
+  // sequence, results are bit-identical to Forward — pinned by
+  // tests/infer_fastpath_test.cc.
+
+  struct InferNodeOutput {
+    const EstNode* node = nullptr;
+    float y = 0.0f;    // sigmoid output, bit-equal to Forward's y
+    double card = 0.0; // YToCard(y)
+  };
+
+  struct InferResult {
+    double root_card = 0.0;
+    /// Root encoding / representation, each `dim` floats. Arena-owned:
+    /// valid until the calling thread's next Infer/PrepareQuery entry.
+    const float* root_c = nullptr;
+    const float* root_h = nullptr;
+  };
+
+  /// Single-tree batched inference. Resets the thread arena on entry. When
+  /// `sink` is given, collects (rels, card) for every non-injected node in
+  /// post-order (PredictAllFast contract).
+  InferResult Infer(const qry::Query& query, const EstNode* root,
+                    bool dynamic_child_cards = false,
+                    std::vector<std::pair<qry::RelSet, double>>* sink = nullptr,
+                    const nn::Matrix* feature_cache = nullptr) const;
+
+  /// Multi-tree batched inference (validation forward): nodes of all trees
+  /// at the same depth share one matmul per layer. outputs->at(t) receives
+  /// tree t's post-order per-node outputs (vectors are reused, not shrunk).
+  /// `caches` (optional, parallel to `trees`) supplies per-tree feature
+  /// caches; null entries fall back to the encoder.
+  void InferTrees(
+      const std::vector<std::pair<const qry::Query*, const EstNode*>>& trees,
+      std::vector<std::vector<InferNodeOutput>>* outputs,
+      bool dynamic_child_cards = false,
+      const std::vector<const nn::Matrix*>* caches = nullptr) const;
+
+  /// Arena-backed incremental state for the batched PrepareQuery path
+  /// (paper Sec. 6.1). Pointers live in the thread arena: valid until the
+  /// thread's next Infer/arena reset.
+  struct RawState {
+    const float* c = nullptr;
+    const float* h = nullptr;
+    double card = 0.0;
+  };
+
+  struct JoinStateRequest {
+    int join_idx = -1;
+    const RawState* left = nullptr;
+    const RawState* right = nullptr;
+  };
+
+  /// Batched LeafStateFast: one state per entry of `positions`, computed as
+  /// a single [N x d] pass. Caller owns the arena lifecycle (reset before
+  /// the first batch of a query, keep alive across popcount levels).
+  void LeafStatesFastBatch(const qry::Query& query,
+                           const std::vector<int>& positions,
+                           std::vector<RawState>* out) const;
+
+  /// Batched JoinStateFast: request i joins `left[i]` and `right[i]` over
+  /// join edge `join_idx[i]`; all requests run as one [N x d] pass.
+  void JoinStatesFastBatch(const qry::Query& query,
+                           const std::vector<JoinStateRequest>& requests,
+                           std::vector<RawState>* out) const;
+
+  /// True when the batched tape-free path is enabled (env LPCE_INFER_BATCH,
+  /// default on; "0" falls back to the legacy recursive fast walk).
+  static bool BatchedInferEnabled();
+
+  /// Process-wide override of the LPCE_INFER_BATCH knob, for benches and
+  /// tests that compare the batched and legacy paths in one process.
+  static void SetBatchedInferEnabled(bool enabled);
 
   /// Cardinality estimate for the root of the tree.
   double PredictCard(const qry::Query& query, const EstNode* root) const;
@@ -141,6 +232,34 @@ class TreeModel {
   int input_dim() const {
     return config_.feature_dim + (config_.with_child_cards ? 2 : 0);
   }
+
+  /// One level's worth of batched embed + cell + output work; defined in
+  /// tree_model.cc.
+  struct LevelBatch;
+  void RunLevelBatch(LevelBatch* batch, nn::InferArena* arena) const;
+
+  /// The three stages RunLevelBatch and the hoisted InferManyImpl path are
+  /// built from (defined in tree_model.cc). CellPre holds the
+  /// child-independent products — embed plus every W.x linear — which the
+  /// hoisted path computes once for all levels so each weight matrix streams
+  /// through cache once per batch instead of once per level.
+  struct CellPre;
+  CellPre RunCellPre(const float* x_in, size_t n, nn::InferArena* arena) const;
+  void RunCellLevel(const CellPre& pre, size_t row0, size_t n,
+                    const float* const* c_left, const float* const* c_right,
+                    const float* const* h_left, const float* const* h_right,
+                    float* c, float* h, nn::InferArena* arena) const;
+  float* RunOutputHead(const float* h, size_t n, nn::InferArena* arena) const;
+
+  /// Shared driver behind Infer/InferTrees: flattens the trees, groups nodes
+  /// by depth, and runs one LevelBatch per depth (deepest first). Any of
+  /// `caches`, `outputs`, `sink`, `root_result` may be null.
+  void InferManyImpl(const qry::Query* const* queries,
+                     const EstNode* const* roots, size_t num_trees,
+                     const nn::Matrix* const* caches, bool dynamic_child_cards,
+                     std::vector<std::vector<InferNodeOutput>>* outputs,
+                     std::vector<std::pair<qry::RelSet, double>>* sink,
+                     InferResult* root_result) const;
 
   const FeatureEncoder* encoder_;
   TreeModelConfig config_;

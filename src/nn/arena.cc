@@ -1,0 +1,96 @@
+#include "nn/arena.h"
+
+#include <cstdint>
+#include <cstring>
+
+namespace lpce::nn {
+
+namespace {
+
+// 16 floats = 64 bytes: one cache line, and wide enough for any vector ISA
+// the -march=native lane may pick.
+constexpr size_t kAlignFloats = 16;
+constexpr size_t kMinBlockFloats = size_t{1} << 16;  // 256 KiB first block
+
+size_t AlignUp(size_t n) {
+  return (n + kAlignFloats - 1) & ~(kAlignFloats - 1);
+}
+
+}  // namespace
+
+InferArena::Block InferArena::MakeBlock(size_t min_floats) {
+  size_t size = kMinBlockFloats;
+  if (!blocks_.empty()) size = blocks_.back().size * 2;
+  if (size < min_floats) size = AlignUp(min_floats);
+  Block b;
+  // new[] default-initializes floats (uninitialized) — callers either
+  // overwrite (Gemm, Copy) or ask for AllocZeroed. new float[] only
+  // guarantees 16-byte alignment, so over-allocate one alignment unit and
+  // round the base up to the documented 64-byte contract.
+  b.data = std::unique_ptr<float[]>(new float[size + kAlignFloats]);
+  const uintptr_t raw = reinterpret_cast<uintptr_t>(b.data.get());
+  const uintptr_t aligned =
+      (raw + kAlignFloats * sizeof(float) - 1) &
+      ~(uintptr_t{kAlignFloats * sizeof(float) - 1});
+  b.base = reinterpret_cast<float*>(aligned);
+  b.size = size;
+  ++heap_allocations_;
+  return b;
+}
+
+float* InferArena::Alloc(size_t n) {
+  n = AlignUp(n == 0 ? 1 : n);
+  while (active_ < blocks_.size()) {
+    Block& b = blocks_[active_];
+    if (b.used + n <= b.size) {
+      float* p = b.base + b.used;
+      b.used += n;
+      return p;
+    }
+    ++active_;
+  }
+  blocks_.push_back(MakeBlock(n));
+  active_ = blocks_.size() - 1;
+  Block& b = blocks_.back();
+  b.used = n;
+  return b.base;
+}
+
+float* InferArena::AllocZeroed(size_t n) {
+  float* p = Alloc(n);
+  std::memset(p, 0, n * sizeof(float));
+  return p;
+}
+
+void InferArena::Reset() {
+  if (blocks_.size() > 1) {
+    // A pass spilled past the first block: replace the chain with one block
+    // big enough for the whole high-water mark (plus slack from alignment),
+    // so the next pass of the same shape never allocates.
+    size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    blocks_.clear();
+    blocks_.push_back(MakeBlock(total));
+  }
+  for (Block& b : blocks_) b.used = 0;
+  active_ = 0;
+}
+
+size_t InferArena::capacity() const {
+  size_t total = 0;
+  for (const Block& b : blocks_) total += b.size;
+  return total;
+}
+
+size_t InferArena::used() const {
+  size_t total = 0;
+  for (const Block& b : blocks_) total += b.used;
+  return total;
+}
+
+InferArena& InferArena::ThreadLocal() {
+  thread_local InferArena arena;
+  return arena;
+}
+
+}  // namespace lpce::nn

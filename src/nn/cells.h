@@ -53,6 +53,11 @@ class TreeSruCell {
 
   size_t dim() const { return dim_; }
 
+  /// Gate layers, exposed for the level-batched tape-free inference path.
+  const Linear& wx() const { return wx_; }
+  const Linear& wf() const { return wf_; }
+  const Linear& wr() const { return wr_; }
+
  private:
   Linear wx_;  // no bias in the paper's x~ = W_x x; we keep the bias at zero init
   Linear wf_;
@@ -82,6 +87,16 @@ class TreeLstmCell {
                          const Matrix* h_right) const;
 
   size_t dim() const { return dim_; }
+
+  /// Gate layers, exposed for the level-batched tape-free inference path.
+  const Linear& wi() const { return wi_; }
+  const Linear& ui() const { return ui_; }
+  const Linear& wf() const { return wf_; }
+  const Linear& uf() const { return uf_; }
+  const Linear& wo() const { return wo_; }
+  const Linear& uo() const { return uo_; }
+  const Linear& wg() const { return wg_; }
+  const Linear& ug() const { return ug_; }
 
  private:
   Linear wi_, ui_;

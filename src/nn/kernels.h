@@ -1,0 +1,62 @@
+// Raw-float kernels shared by every numeric path in the repo.
+//
+// The taped training forward (nn/tensor.cc), the Matrix convenience methods
+// (nn/matrix.cc), and the tape-free batched inference path (lpce/tree_model.cc)
+// all funnel through these single out-of-line definitions. That is a
+// correctness contract, not a style choice: the build uses -ffast-math, so two
+// textually identical loops compiled in different translation units (or
+// inlined into different callers) may vectorize or contract into FMAs
+// differently and produce different bits. One definition per operation means
+// the autograd forward and the arena fast path perform the exact same rounded
+// operations, which is what lets tests assert Infer == Forward bit-exactly.
+//
+// Determinism contract: Gemm accumulates each output element in strictly
+// increasing k order, independent of blocking, unrolling, and the row range a
+// caller parallelizes over — results are bit-identical at every thread count.
+#ifndef LPCE_NN_KERNELS_H_
+#define LPCE_NN_KERNELS_H_
+
+#include <cstddef>
+
+namespace lpce::nn::kernels {
+
+/// out (m x n) = a (m x k) * b (k x n), row-major, overwriting out.
+/// Dense branch-free i-k-j kernel: cache-blocked over k, 4-way unrolled over
+/// k with a single accumulator chain per element (FMA-friendly without
+/// changing the accumulation order), inner j loop vectorizable.
+void Gemm(const float* a, size_t m, size_t k, const float* b, size_t n,
+          float* out);
+
+/// Reference variant of the pre-PR4 dense kernel: skips a == 0.0f rows of the
+/// inner product. The branch defeats autovectorization on dense inputs
+/// (bench_nn_primitives quantifies it), so no model path uses this; it exists
+/// for the kernel equivalence tests and as the sparse baseline in the bench.
+void GemmZeroSkip(const float* a, size_t m, size_t k, const float* b, size_t n,
+                  float* out);
+
+/// x[i][j] += bias[j] for every row of x (m x n).
+void AddBiasRows(float* x, size_t rows, size_t cols, const float* bias);
+
+// Element-wise kernels over n contiguous floats. Each performs exactly one
+// rounded floating-point operation per element (or none, for Copy/Zero), so
+// composing them reproduces the autograd ops' rounding sequence verbatim.
+void Add(const float* a, const float* b, float* out, size_t n);
+void AddInPlace(float* dst, const float* src, size_t n);
+void AddScaledInPlace(float* dst, const float* src, float scale, size_t n);
+void Mul(const float* a, const float* b, float* out, size_t n);
+void MulInPlace(float* dst, const float* src, size_t n);
+void ScaleInPlace(float* x, float s, size_t n);
+void AddScalarInPlace(float* x, float s, size_t n);
+/// out[i] = 1.0f - a[i]. Bit-identical to AddScalar(Scale(a, -1), 1): both
+/// are a single rounding of the exact real 1 - a[i].
+void OneMinus(const float* a, float* out, size_t n);
+void Sigmoid(float* x, size_t n);
+void TanhInPlace(float* x, size_t n);
+void Tanh(const float* a, float* out, size_t n);
+void Relu(float* x, size_t n);
+void Copy(const float* src, float* dst, size_t n);
+void Zero(float* x, size_t n);
+
+}  // namespace lpce::nn::kernels
+
+#endif  // LPCE_NN_KERNELS_H_

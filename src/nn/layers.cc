@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "nn/kernels.h"
+
 namespace lpce::nn {
 
 Tensor ParamStore::GetOrCreate(const std::string& name, size_t rows, size_t cols,
@@ -136,10 +138,7 @@ Tensor Linear::Forward(const Tensor& x) const {
 Matrix Linear::Apply(const Matrix& x) const {
   LPCE_DCHECK(w_ != nullptr);
   Matrix out = x.MatMul(w_->value());
-  const Matrix& bias = b_->value();
-  for (size_t i = 0; i < out.rows(); ++i) {
-    for (size_t j = 0; j < out.cols(); ++j) out.at(i, j) += bias.at(0, j);
-  }
+  kernels::AddBiasRows(out.data(), out.rows(), out.cols(), b_->value().data());
   return out;
 }
 

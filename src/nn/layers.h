@@ -68,6 +68,12 @@ class Linear {
   size_t in_dim() const { return in_; }
   size_t out_dim() const { return out_; }
 
+  /// Raw parameter views for the tape-free batched inference path, which
+  /// runs kernels directly on arena buffers instead of building Matrix
+  /// temporaries.
+  const Matrix& weight() const { return w_->value(); }
+  const Matrix& bias() const { return b_->value(); }
+
  private:
   Tensor w_;
   Tensor b_;
@@ -97,6 +103,10 @@ class Mlp2 {
   Matrix Apply(const Matrix& x, Activation inner = Activation::kRelu,
                Activation outer = Activation::kNone) const;
   Matrix ApplyLogit(const Matrix& x, Activation inner = Activation::kRelu) const;
+
+  /// Layer views for the tape-free batched inference path.
+  const Linear& l1() const { return l1_; }
+  const Linear& l2() const { return l2_; }
 
  private:
   Linear l1_;

@@ -5,6 +5,7 @@
 
 #include "common/profiler.h"
 #include "common/thread_pool.h"
+#include "nn/kernels.h"
 
 namespace lpce::nn {
 
@@ -43,34 +44,24 @@ int MatMulThreads() { return g_matmul_threads.load(std::memory_order_relaxed); }
 
 void Matrix::AddInPlace(const Matrix& other) {
   LPCE_CHECK(SameShape(other));
-  const float* src = other.data();
-  float* dst = data();
-  for (size_t i = 0; i < data_.size(); ++i) dst[i] += src[i];
+  kernels::AddInPlace(data(), other.data(), data_.size());
 }
 
 void Matrix::AddScaledInPlace(const Matrix& other, float scale) {
   LPCE_CHECK(SameShape(other));
-  const float* src = other.data();
-  float* dst = data();
-  for (size_t i = 0; i < data_.size(); ++i) dst[i] += scale * src[i];
+  kernels::AddScaledInPlace(data(), other.data(), scale, data_.size());
 }
 
 Matrix Matrix::MatMul(const Matrix& other) const {
   LPCE_PROFILE_SCOPE("nn.matmul");
   LPCE_CHECK(cols_ == other.rows_);
   Matrix out(rows_, other.cols_, 0.0f);
-  // i-k-j loop order: streams over contiguous rows of `other` and `out`.
+  // Each row block is an independent Gemm call over [r0, r1); the kernel
+  // accumulates every output element in increasing k order, so the split is
+  // invisible in the bits (see nn/kernels.h for the determinism contract).
   ParallelRows(rows_, rows_ * cols_ * other.cols_, [&](size_t r0, size_t r1) {
-    for (size_t i = r0; i < r1; ++i) {
-      const float* a_row = data() + i * cols_;
-      float* out_row = out.data() + i * other.cols_;
-      for (size_t k = 0; k < cols_; ++k) {
-        const float a = a_row[k];
-        if (a == 0.0f) continue;
-        const float* b_row = other.data() + k * other.cols_;
-        for (size_t j = 0; j < other.cols_; ++j) out_row[j] += a * b_row[j];
-      }
-    }
+    kernels::Gemm(data() + r0 * cols_, r1 - r0, cols_, other.data(),
+                  other.cols_, out.data() + r0 * other.cols_);
   });
   return out;
 }
@@ -88,7 +79,6 @@ Matrix Matrix::TransposeMatMul(const Matrix& other) const {
       const float* b_row = other.data() + k * other.cols_;
       for (size_t i = i0; i < i1; ++i) {
         const float a = a_row[i];
-        if (a == 0.0f) continue;
         float* out_row = out.data() + i * other.cols_;
         for (size_t j = 0; j < other.cols_; ++j) out_row[j] += a * b_row[j];
       }
@@ -137,21 +127,10 @@ float Matrix::SumSquares() const {
   return acc;
 }
 
-void SigmoidInPlace(Matrix* m) {
-  float* d = m->data();
-  for (size_t i = 0; i < m->size(); ++i) d[i] = 1.0f / (1.0f + std::exp(-d[i]));
-}
+void SigmoidInPlace(Matrix* m) { kernels::Sigmoid(m->data(), m->size()); }
 
-void TanhInPlace(Matrix* m) {
-  float* d = m->data();
-  for (size_t i = 0; i < m->size(); ++i) d[i] = std::tanh(d[i]);
-}
+void TanhInPlace(Matrix* m) { kernels::TanhInPlace(m->data(), m->size()); }
 
-void ReluInPlace(Matrix* m) {
-  float* d = m->data();
-  for (size_t i = 0; i < m->size(); ++i) {
-    if (d[i] < 0.0f) d[i] = 0.0f;
-  }
-}
+void ReluInPlace(Matrix* m) { kernels::Relu(m->data(), m->size()); }
 
 }  // namespace lpce::nn

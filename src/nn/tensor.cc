@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/profiler.h"
+#include "nn/kernels.h"
 
 namespace lpce::nn {
 
@@ -67,9 +68,7 @@ Tensor AddRowBroadcast(const Tensor& a, const Tensor& bias) {
   const Matrix& bv = bias->value();
   LPCE_CHECK(bv.rows() == 1 && bv.cols() == av.cols());
   Matrix out = av;
-  for (size_t i = 0; i < out.rows(); ++i) {
-    for (size_t j = 0; j < out.cols(); ++j) out.at(i, j) += bv.at(0, j);
-  }
+  kernels::AddBiasRows(out.data(), out.rows(), out.cols(), bv.data());
   return MakeOp(std::move(out), {a, bias}, [](TensorNode* self) {
     const Matrix& g = self->grad();
     Tensor a_in = self->inputs()[0];
@@ -100,7 +99,7 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
 Tensor Mul(const Tensor& a, const Tensor& b) {
   LPCE_CHECK(a->value().SameShape(b->value()));
   Matrix out = a->value();
-  for (size_t i = 0; i < out.size(); ++i) out.data()[i] *= b->value().data()[i];
+  kernels::MulInPlace(out.data(), b->value().data(), out.size());
   return MakeOp(std::move(out), {a, b}, [](TensorNode* self) {
     const Matrix& g = self->grad();
     Tensor a_in = self->inputs()[0];
@@ -122,7 +121,7 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
 
 Tensor Scale(const Tensor& a, float s) {
   Matrix out = a->value();
-  for (size_t i = 0; i < out.size(); ++i) out.data()[i] *= s;
+  kernels::ScaleInPlace(out.data(), s, out.size());
   return MakeOp(std::move(out), {a}, [s](TensorNode* self) {
     Tensor a_in = self->inputs()[0];
     if (a_in->requires_grad()) a_in->grad().AddScaledInPlace(self->grad(), s);
@@ -131,7 +130,7 @@ Tensor Scale(const Tensor& a, float s) {
 
 Tensor AddScalar(const Tensor& a, float s) {
   Matrix out = a->value();
-  for (size_t i = 0; i < out.size(); ++i) out.data()[i] += s;
+  kernels::AddScalarInPlace(out.data(), s, out.size());
   return MakeOp(std::move(out), {a}, [](TensorNode* self) {
     Tensor a_in = self->inputs()[0];
     if (a_in->requires_grad()) a_in->grad().AddInPlace(self->grad());
@@ -140,9 +139,7 @@ Tensor AddScalar(const Tensor& a, float s) {
 
 Tensor Sigmoid(const Tensor& a) {
   Matrix out = a->value();
-  for (size_t i = 0; i < out.size(); ++i) {
-    out.data()[i] = 1.0f / (1.0f + std::exp(-out.data()[i]));
-  }
+  kernels::Sigmoid(out.data(), out.size());
   return MakeOp(std::move(out), {a}, [](TensorNode* self) {
     Tensor a_in = self->inputs()[0];
     if (!a_in->requires_grad()) return;
@@ -158,7 +155,7 @@ Tensor Sigmoid(const Tensor& a) {
 
 Tensor Tanh(const Tensor& a) {
   Matrix out = a->value();
-  for (size_t i = 0; i < out.size(); ++i) out.data()[i] = std::tanh(out.data()[i]);
+  kernels::TanhInPlace(out.data(), out.size());
   return MakeOp(std::move(out), {a}, [](TensorNode* self) {
     Tensor a_in = self->inputs()[0];
     if (!a_in->requires_grad()) return;
@@ -174,9 +171,7 @@ Tensor Tanh(const Tensor& a) {
 
 Tensor Relu(const Tensor& a) {
   Matrix out = a->value();
-  for (size_t i = 0; i < out.size(); ++i) {
-    if (out.data()[i] < 0.0f) out.data()[i] = 0.0f;
-  }
+  kernels::Relu(out.data(), out.size());
   return MakeOp(std::move(out), {a}, [](TensorNode* self) {
     Tensor a_in = self->inputs()[0];
     if (!a_in->requires_grad()) return;
