@@ -254,9 +254,8 @@ void PrintTrainingSummary() {
   std::printf("%8s %8s %10s %12s %12s\n", "model", "epochs", "best", "train(s)",
               "final loss");
   for (const char* tag : {"lpce_t", "lpce_s", "lpce_c", "lpce_i"}) {
-    auto it = world.train_stats.find(tag);
-    if (it == world.train_stats.end()) continue;
-    const model::TrainStats& s = it->second;
+    model::TrainStats s;
+    if (!world.train_stats.Find(tag, &s)) continue;
     std::printf("%8s %8zu %10d %12.2f %12.4f\n", tag, s.epochs.size(),
                 s.best_epoch, s.total_seconds, s.final_train_loss());
   }

@@ -1,0 +1,249 @@
+// Serving-throughput bench: closed-loop clients driving the EngineServer
+// (engine/server.h) at a sweep of worker counts. Reports QPS and p50/p95/p99
+// end-to-end latency per worker count plus the speedup over 1 worker, and
+// verifies every served row count against the workload labels.
+//
+// Self-contained like bench_parallel_scaling: builds its own synthetic
+// database (no GetWorld / no training), so it runs in seconds.
+//
+// Flags:
+//   --workers=1,2,4       worker counts to sweep
+//   --clients=N           closed-loop clients (0 = 2x workers, min 4)
+//   --queries=N           workload size (default 300)
+//   --scale=F             synthetic database scale (default 0.05)
+//   --reopt=0|1           run queries with re-optimization on (default 1)
+//   --trace_json=PATH     append every query's full trace JSON line to PATH
+//   --metrics_json=PATH   append one summary JSON line per worker count
+//                         (QPS, latency percentiles, lpce.serve.* delta)
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_world.h"
+#include "card/histogram_estimator.h"
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "engine/server.h"
+#include "engine/trace.h"
+#include "storage/database.h"
+#include "workload/workload.h"
+
+namespace lpce::bench {
+namespace {
+
+struct Flags {
+  std::vector<int> workers = {1, 2, 4};
+  int clients = 0;  // 0 = max(4, 2 * workers)
+  int queries = 300;
+  double scale = 0.05;
+  bool reopt = true;
+  std::string trace_json;
+  std::string metrics_json;
+};
+
+std::vector<int> ParseIntList(const std::string& csv) {
+  std::vector<int> out;
+  size_t pos = 0;
+  while (pos < csv.size()) {
+    const size_t comma = csv.find(',', pos);
+    const std::string item = csv.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    const int value = std::atoi(item.c_str());
+    if (value > 0) out.push_back(value);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const char* prefix) -> const char* {
+      const size_t len = std::strlen(prefix);
+      return arg.rfind(prefix, 0) == 0 ? arg.c_str() + len : nullptr;
+    };
+    if (const char* v = value_of("--workers=")) {
+      flags.workers = ParseIntList(v);
+    } else if (const char* v = value_of("--clients=")) {
+      flags.clients = std::atoi(v);
+    } else if (const char* v = value_of("--queries=")) {
+      flags.queries = std::atoi(v);
+    } else if (const char* v = value_of("--scale=")) {
+      flags.scale = std::atof(v);
+    } else if (const char* v = value_of("--reopt=")) {
+      flags.reopt = std::atoi(v) != 0;
+    } else if (const char* v = value_of("--trace_json=")) {
+      flags.trace_json = v;
+    } else if (const char* v = value_of("--metrics_json=")) {
+      flags.metrics_json = v;
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag %s\nusage: %s [--workers=1,2,4] "
+                   "[--clients=N] [--queries=N] [--scale=F] [--reopt=0|1] "
+                   "[--trace_json=PATH] [--metrics_json=PATH]\n",
+                   arg.c_str(), argv[0]);
+      std::exit(2);
+    }
+  }
+  if (flags.workers.empty() || flags.queries <= 0) {
+    std::fprintf(stderr, "need at least one worker count and one query\n");
+    std::exit(2);
+  }
+  return flags;
+}
+
+struct SweepResult {
+  int workers = 0;
+  int clients = 0;
+  double wall_seconds = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
+  uint64_t mismatches = 0;
+};
+
+/// One closed-loop run: `clients` threads each submit a query, wait for its
+/// result, then claim the next one, until the workload is drained.
+SweepResult RunSweep(const db::Database& database,
+                     const stats::DatabaseStats& stats,
+                     const std::vector<wk::LabeledQuery>& workload, int workers,
+                     const Flags& flags, std::ofstream* trace_out) {
+  SweepResult result;
+  result.workers = workers;
+  result.clients =
+      flags.clients > 0 ? flags.clients : std::max(4, 2 * workers);
+
+  eng::ServerOptions options;
+  options.num_workers = workers;
+  options.max_queue = workload.size();
+  options.run_config.enable_reopt = flags.reopt;
+  eng::EngineServer server(
+      &database, opt::CostModel{},
+      [&stats](int worker_id) {
+        (void)worker_id;
+        eng::EngineServer::Session session;
+        session.initial = std::make_unique<card::HistogramEstimator>(&stats);
+        return session;
+      },
+      options);
+
+  std::atomic<size_t> next{0};
+  std::atomic<uint64_t> mismatches{0};
+  std::vector<std::vector<double>> latencies(
+      static_cast<size_t>(result.clients));
+  std::mutex trace_mu;
+  WallTimer wall;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < result.clients; ++c) {
+    clients.emplace_back([&, c] {
+      for (;;) {
+        const size_t pick = next.fetch_add(1);
+        if (pick >= workload.size()) return;
+        WallTimer latency;
+        Result<eng::RunStats> run = server.RunSync(workload[pick].query);
+        if (!run.ok() ||
+            run.value().result_count != workload[pick].FinalCard()) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        latencies[static_cast<size_t>(c)].push_back(
+            latency.ElapsedSeconds() * 1e3);
+        if (trace_out != nullptr && trace_out->is_open()) {
+          const std::string line =
+              run.value().trace->ToJson(eng::TraceJsonMode::kFull);
+          std::lock_guard<std::mutex> lock(trace_mu);
+          *trace_out << line << "\n";
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  result.wall_seconds = wall.ElapsedSeconds();
+  server.Shutdown();
+
+  std::vector<double> all;
+  for (const auto& per_client : latencies) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  result.mismatches = mismatches.load();
+  if (!all.empty()) {
+    result.qps = static_cast<double>(all.size()) / result.wall_seconds;
+    result.p50_ms = Percentile(all, 50.0);
+    result.p95_ms = Percentile(all, 95.0);
+    result.p99_ms = Percentile(all, 99.0);
+  }
+  return result;
+}
+
+int Run(int argc, char** argv) {
+  const Flags flags = ParseFlags(argc, argv);
+  common::SetGlobalPoolSize(1);  // cross-query concurrency is the subject
+
+  db::SynthImdbOptions opts;
+  opts.scale = flags.scale;
+  auto database = db::BuildSynthImdb(opts);
+  stats::DatabaseStats stats;
+  stats.Build(*database);
+  wk::GeneratorOptions gen;
+  gen.seed = 404;
+  wk::QueryGenerator generator(database.get(), gen);
+  const auto workload = generator.GenerateLabeled(flags.queries, 2, 5);
+
+  std::ofstream trace_out;
+  if (!flags.trace_json.empty()) {
+    trace_out.open(flags.trace_json, std::ios::app);
+  }
+  std::ofstream metrics_out;
+  if (!flags.metrics_json.empty()) {
+    metrics_out.open(flags.metrics_json, std::ios::app);
+  }
+
+  std::printf("%8s %8s %10s %10s %10s %10s %10s %9s\n", "workers", "clients",
+              "wall(s)", "qps", "p50(ms)", "p95(ms)", "p99(ms)", "speedup");
+  bool ok = true;
+  double base_qps = 0.0;
+  for (int workers : flags.workers) {
+    const common::MetricsSnapshot before =
+        common::MetricsRegistry::Global().Snapshot();
+    const SweepResult r = RunSweep(*database, stats, workload, workers, flags,
+                                   trace_out.is_open() ? &trace_out : nullptr);
+    if (base_qps == 0.0) base_qps = r.qps;
+    if (r.mismatches > 0) {
+      ok = false;
+      std::printf("!! %llu result mismatches at %d workers\n",
+                  static_cast<unsigned long long>(r.mismatches), workers);
+    }
+    std::printf("%8d %8d %10.3f %10.1f %10.3f %10.3f %10.3f %8.2fx\n",
+                r.workers, r.clients, r.wall_seconds, r.qps, r.p50_ms,
+                r.p95_ms, r.p99_ms, base_qps > 0 ? r.qps / base_qps : 0.0);
+    if (metrics_out.is_open()) {
+      const common::MetricsSnapshot delta =
+          common::Delta(before, common::MetricsRegistry::Global().Snapshot());
+      char line[512];
+      std::snprintf(line, sizeof(line),
+                    "{\"bench\":\"serving\",\"workers\":%d,\"clients\":%d,"
+                    "\"queries\":%zu,\"wall_seconds\":%.6f,\"qps\":%.3f,"
+                    "\"p50_ms\":%.4f,\"p95_ms\":%.4f,\"p99_ms\":%.4f,"
+                    "\"speedup_vs_1\":%.4f,\"delta\":",
+                    r.workers, r.clients, workload.size(), r.wall_seconds,
+                    r.qps, r.p50_ms, r.p95_ms, r.p99_ms,
+                    base_qps > 0 ? r.qps / base_qps : 0.0);
+      metrics_out << line << delta.ToJson() << "}\n";
+    }
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace lpce::bench
+
+int main(int argc, char** argv) { return lpce::bench::Run(argc, argv); }

@@ -205,38 +205,44 @@ void BuildModels(World* world) {
   model::TrainOptions node_wise;
   node_wise.epochs = 24;
   node_wise.tag = "lpce_s";
-  world->train_stats["lpce_s"] =
-      model::TrainTreeModel(world->lpce_s.get(), database, train, node_wise);
+  world->train_stats.Record(
+      "lpce_s", model::TrainTreeModel(world->lpce_s.get(), database, train,
+                                      node_wise));
 
   LPCE_LOG(Info) << "training LPCE-T (LSTM large, node-wise)";
   node_wise.tag = "lpce_t";
-  world->train_stats["lpce_t"] =
-      model::TrainTreeModel(world->lpce_t.get(), database, train, node_wise);
+  world->train_stats.Record(
+      "lpce_t", model::TrainTreeModel(world->lpce_t.get(), database, train,
+                                      node_wise));
 
   LPCE_LOG(Info) << "training LPCE-C (SRU small, direct)";
   node_wise.tag = "lpce_c";
-  world->train_stats["lpce_c"] =
-      model::TrainTreeModel(world->lpce_c.get(), database, train, node_wise);
+  world->train_stats.Record(
+      "lpce_c", model::TrainTreeModel(world->lpce_c.get(), database, train,
+                                      node_wise));
 
   LPCE_LOG(Info) << "training LPCE-I (distilled from LPCE-S)";
   model::DistillOptions distill;
   distill.hint_epochs = 8;
   distill.predict_epochs = 60;
   distill.tag = "lpce_i";
-  world->train_stats["lpce_i"] = model::DistillTreeModel(
-      world->lpce_i.get(), *world->lpce_s, database, train, distill);
+  world->train_stats.Record(
+      "lpce_i", model::DistillTreeModel(world->lpce_i.get(), *world->lpce_s,
+                                        database, train, distill));
 
   LPCE_LOG(Info) << "training LPCE-Q (SRU large, query-wise)";
   model::TrainOptions query_wise = node_wise;
   query_wise.node_wise = false;
   query_wise.tag = "lpce_q";
-  world->train_stats["lpce_q"] =
-      model::TrainTreeModel(world->lpce_q.get(), database, train, query_wise);
+  world->train_stats.Record(
+      "lpce_q", model::TrainTreeModel(world->lpce_q.get(), database, train,
+                                      query_wise));
 
   LPCE_LOG(Info) << "training TLSTM (LSTM large, query-wise)";
   query_wise.tag = "tlstm";
-  world->train_stats["tlstm"] =
-      model::TrainTreeModel(world->tlstm.get(), database, train, query_wise);
+  world->train_stats.Record(
+      "tlstm", model::TrainTreeModel(world->tlstm.get(), database, train,
+                                     query_wise));
 
   LPCE_LOG(Info) << "training MSCN";
   card::MscnTrainOptions mscn_opts;
@@ -266,20 +272,23 @@ void BuildModels(World* world) {
   lpce_r_opts.prefixes_per_query = 4;
   lpce_r_opts.pretrained_content = world->lpce_i.get();
   lpce_r_opts.tag = "lpce_r";
-  world->train_stats["lpce_r"] =
-      model::TrainLpceR(world->lpce_r.get(), database, train, lpce_r_opts);
+  world->train_stats.Record(
+      "lpce_r", model::TrainLpceR(world->lpce_r.get(), database, train,
+                                  lpce_r_opts));
 
   LPCE_LOG(Info) << "training LPCE-R-Single (ablation)";
   model::LpceRTrainOptions single_opts = lpce_r_opts;
   single_opts.pretrained_content = nullptr;
   single_opts.tag = "lpce_r_single";
-  world->train_stats["lpce_r_single"] = model::TrainLpceR(
-      world->lpce_r_single.get(), database, train, single_opts);
+  world->train_stats.Record(
+      "lpce_r_single", model::TrainLpceR(world->lpce_r_single.get(), database,
+                                         train, single_opts));
 
   LPCE_LOG(Info) << "training LPCE-R-Two (ablation)";
   single_opts.tag = "lpce_r_two";
-  world->train_stats["lpce_r_two"] =
-      model::TrainLpceR(world->lpce_r_two.get(), database, train, single_opts);
+  world->train_stats.Record(
+      "lpce_r_two", model::TrainLpceR(world->lpce_r_two.get(), database, train,
+                                      single_opts));
 
   LPCE_LOG(Info) << "model training took " << timer.ElapsedSeconds() << "s";
 
@@ -353,6 +362,9 @@ std::vector<EstimatorEntry> MakeEstimatorLineup(const World& world) {
           : sampler("uae-sampler", w.database.get(), w.uae_walks, 104),
             hybrid("UAE*", &sampler, w.hybrid_correction.get()) {}
       std::string name() const override { return "UAE*"; }
+      void PrepareQuery(const qry::Query& q) override {
+        hybrid.PrepareQuery(q);
+      }
       double EstimateSubset(const qry::Query& q, qry::RelSet rels) override {
         return hybrid.EstimateSubset(q, rels);
       }

@@ -72,8 +72,9 @@ struct World {
 
   /// Telemetry of every tree-model/LPCE-R training run keyed by model tag
   /// (lpce_s, lpce_i, ...). Empty when the models came from the disk cache —
-  /// nothing was trained in this process.
-  std::map<std::string, model::TrainStats> train_stats;
+  /// nothing was trained in this process. Thread-safe (TrainStatsCache):
+  /// serving workers may read while a late (re)training records.
+  model::TrainStatsCache train_stats;
 
   /// Walk budgets of the sampling stand-ins (DeepDB*/NeuroCard*/FLAT*/UAE*).
   /// Larger budgets = more accurate and slower, mirroring each baseline's
@@ -87,8 +88,10 @@ struct World {
   model::TreeModelConfig TeacherConfig(bool lstm = false) const;
 };
 
-/// Builds (or loads from cache) the singleton world. Thread-compatible: the
-/// benches are single-threaded.
+/// Builds (or loads from cache) the singleton world. Construction is
+/// thread-safe (magic static); the returned snapshot is immutable afterwards
+/// — serving-layer workers share it read-only (train_stats, the one member
+/// with a mutation path, is internally synchronized).
 const World& GetWorld();
 
 /// One named estimator, optionally with a refiner for re-optimization runs.

@@ -57,7 +57,11 @@ class MscnModel {
   double CardToY(double card) const;
   double YToCard(double y) const;
 
+  /// Mutable access is for training/serialization only. Once trained, the
+  /// parameters are read-only: every inference path (Forward/PredictCard)
+  /// only reads them, so a trained model is safe to share across threads.
   nn::ParamStore& params() { return params_; }
+  const nn::ParamStore& params() const { return params_; }
   const MscnConfig& config() const { return config_; }
 
  private:

@@ -27,9 +27,23 @@ class JoinSampleEstimator : public CardinalityEstimator {
  public:
   JoinSampleEstimator(std::string name, const db::Database* database, int walks,
                       uint64_t seed)
-      : name_(std::move(name)), db_(database), walks_(walks), rng_(seed) {}
+      : name_(std::move(name)), db_(database), walks_(walks), seed_(seed),
+        rng_(seed) {}
 
   std::string name() const override { return name_; }
+
+  /// Reseeds the walk RNG from the base seed, making every query's estimates
+  /// a pure function of (seed, walks, query) — independent of which queries
+  /// ran before. Required by the serving layer's serial-vs-concurrent
+  /// equivalence contract; before this the stream carried across queries, so
+  /// estimates depended on submission order. Within one query the stream is
+  /// still shared across subsets (the planner's enumeration order is
+  /// deterministic).
+  void PrepareQuery(const qry::Query& query) override {
+    (void)query;
+    rng_ = Rng(seed_);
+  }
+
   double EstimateSubset(const qry::Query& query, qry::RelSet rels) override;
 
   int walks() const { return walks_; }
@@ -38,6 +52,9 @@ class JoinSampleEstimator : public CardinalityEstimator {
   std::string name_;
   const db::Database* db_;
   int walks_;
+  uint64_t seed_;
+  // Mutable per-query state: instances must not be shared across concurrent
+  // queries (one per serving session; see engine/server.h).
   Rng rng_;
 };
 
@@ -51,6 +68,10 @@ class HybridSampleEstimator : public CardinalityEstimator {
       : name_(std::move(name)), sampler_(sampler), correction_(correction) {}
 
   std::string name() const override { return name_; }
+  /// Forwards to the sampler so its per-query reseeding contract holds.
+  void PrepareQuery(const qry::Query& query) override {
+    sampler_->PrepareQuery(query);
+  }
   double EstimateSubset(const qry::Query& query, qry::RelSet rels) override;
 
  private:

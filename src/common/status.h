@@ -20,6 +20,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kIoError,
+  kResourceExhausted,
 };
 
 /// Error-or-ok result of an operation that can fail at runtime.
@@ -44,6 +45,11 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  /// A bounded resource (e.g. a serving admission queue) is at capacity;
+  /// the operation may succeed later.
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -70,6 +76,8 @@ class Status {
         return "Internal";
       case StatusCode::kIoError:
         return "IoError";
+      case StatusCode::kResourceExhausted:
+        return "ResourceExhausted";
     }
     return "Unknown";
   }

@@ -28,6 +28,12 @@ struct RunConfig {
   /// and the bench_ablation_trigger study).
   size_t min_trip_rows = 0;
   bool underestimates_only = false;
+  /// Caps this query's intra-query executor parallelism (hash-join build/
+  /// probe, residual scan filters); 0 = the global pool's full size, 1 =
+  /// sequential. Results are bit-identical at every setting. The serving
+  /// layer uses this to trade per-query latency against cross-query
+  /// throughput when many queries share the pool.
+  int exec_threads = 0;
 };
 
 struct RunStats {
@@ -50,6 +56,11 @@ struct RunStats {
   }
 };
 
+/// Thread-compatible: an Engine holds no per-query state (the planner is
+/// stateless over a const database), so distinct Engine instances may run
+/// queries concurrently. The *estimators* passed to RunQuery carry per-query
+/// mutable state and must not be shared across concurrent calls — the
+/// serving layer (engine/server.h) gives each worker its own session.
 class Engine {
  public:
   Engine(const db::Database* database, opt::CostModel cost_model)

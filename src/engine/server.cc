@@ -1,0 +1,184 @@
+#include "engine/server.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "common/metrics.h"
+#include "common/profiler.h"
+
+namespace lpce::eng {
+
+namespace {
+
+// Mirrors the thread pool's guard against typo'd env values: a worker count
+// far beyond any real core count would die in std::thread.
+constexpr int kMaxWorkers = 256;
+
+int EnvWorkers() {
+  const char* value = std::getenv("LPCE_SERVE_WORKERS");
+  if (value == nullptr) return 0;
+  const int parsed = std::atoi(value);
+  return parsed > 0 ? parsed : 0;
+}
+
+struct ServeMetrics {
+  common::Counter* submitted;
+  common::Counter* rejected;
+  common::Counter* completed;
+  common::Gauge* queue_depth;
+  common::Gauge* workers;
+  common::Histogram* wait_seconds;
+  common::Histogram* e2e_seconds;
+};
+
+// Instruments resolved once (name lookup takes the registry mutex).
+const ServeMetrics& Metrics() {
+  static const ServeMetrics metrics = [] {
+    auto& registry = common::MetricsRegistry::Global();
+    ServeMetrics m;
+    m.submitted = registry.counter("lpce.serve.submitted_total");
+    m.rejected = registry.counter("lpce.serve.rejected_total");
+    m.completed = registry.counter("lpce.serve.completed_total");
+    m.queue_depth = registry.gauge("lpce.serve.queue_depth");
+    m.workers = registry.gauge("lpce.serve.workers");
+    m.wait_seconds = registry.histogram("lpce.serve.wait_seconds");
+    m.e2e_seconds = registry.histogram("lpce.serve.e2e_seconds");
+    return m;
+  }();
+  return metrics;
+}
+
+}  // namespace
+
+ServerOptions ServerOptions::FromEnv() {
+  ServerOptions options;
+  options.num_workers = EnvWorkers();
+  return options;
+}
+
+EngineServer::EngineServer(const db::Database* database,
+                           opt::CostModel cost_model,
+                           SessionFactory session_factory,
+                           ServerOptions options)
+    : db_(database),
+      cost_model_(cost_model),
+      session_factory_(std::move(session_factory)),
+      options_(options) {
+  LPCE_CHECK_MSG(session_factory_ != nullptr,
+                 "EngineServer needs a session factory");
+  int workers = options_.num_workers > 0 ? options_.num_workers : EnvWorkers();
+  if (workers <= 0) workers = 1;
+  num_workers_ = std::min(workers, kMaxWorkers);
+  options_.max_queue = std::max<size_t>(options_.max_queue, 1);
+  Metrics().workers->Set(static_cast<double>(num_workers_));
+  workers_.reserve(static_cast<size_t>(num_workers_));
+  for (int i = 0; i < num_workers_; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+EngineServer::~EngineServer() { Shutdown(); }
+
+Result<std::shared_future<RunStats>> EngineServer::Submit(
+    const qry::Query& query) {
+  return Submit(query, options_.run_config);
+}
+
+Result<std::shared_future<RunStats>> EngineServer::Submit(
+    const qry::Query& query, const RunConfig& config) {
+  Job job;
+  job.query = query;
+  job.config = config;
+  std::shared_future<RunStats> future = job.promise.get_future().share();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().rejected->Increment();
+      return Status::FailedPrecondition("EngineServer is shut down");
+    }
+    if (queue_.size() >= options_.max_queue) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().rejected->Increment();
+      return Status::ResourceExhausted(
+          "serving queue full (" + std::to_string(options_.max_queue) + ")");
+    }
+    job.admitted.Restart();
+    queue_.push_back(std::move(job));
+    Metrics().queue_depth->Set(static_cast<double>(queue_.size()));
+    // Counted before the job becomes visible to a worker, so a waiter never
+    // observes completed > submitted (the stress suite asserts exact counts).
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().submitted->Increment();
+  }
+  work_cv_.notify_one();
+  return future;
+}
+
+Result<RunStats> EngineServer::RunSync(const qry::Query& query) {
+  Result<std::shared_future<RunStats>> admitted = Submit(query);
+  if (!admitted.ok()) return admitted.status();
+  return admitted.value().get();
+}
+
+void EngineServer::WorkerLoop(int worker_id) {
+  // The session (and the engine) live for the worker's lifetime: estimator
+  // scratch state never crosses threads, and the models behind it are only
+  // read. Constructed here so any per-session warmup happens on this thread.
+  Session session = session_factory_(worker_id);
+  LPCE_CHECK_MSG(session.initial != nullptr,
+                 "session factory must provide an initial estimator");
+  Engine engine(db_, cost_model_);
+  const ServeMetrics& metrics = Metrics();
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      metrics.queue_depth->Set(static_cast<double>(queue_.size()));
+    }
+    metrics.wait_seconds->Observe(job.admitted.ElapsedSeconds());
+    RunStats stats;
+    {
+      LPCE_PROFILE_SCOPE("serve.query");
+      stats = engine.RunQuery(job.query, session.initial.get(),
+                              session.refiner.get(), job.config);
+    }
+    metrics.e2e_seconds->Observe(job.admitted.ElapsedSeconds());
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    metrics.completed->Increment();
+    // Resolve last: by the time a waiter wakes, every counter above is final
+    // for this query (the stress suite asserts exact counts).
+    job.promise.set_value(std::move(stats));
+  }
+}
+
+void EngineServer::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_ && workers_.empty()) return;
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+  workers_.clear();
+}
+
+size_t EngineServer::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+EngineServer::Counters EngineServer::counters() const {
+  Counters counters;
+  counters.submitted = submitted_.load(std::memory_order_relaxed);
+  counters.rejected = rejected_.load(std::memory_order_relaxed);
+  counters.completed = completed_.load(std::memory_order_relaxed);
+  return counters;
+}
+
+}  // namespace lpce::eng

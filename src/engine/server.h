@@ -1,0 +1,140 @@
+// Concurrent query-serving layer: an EngineServer owns one immutable shared
+// snapshot (database tables/indexes, trained models, statistics) plus a
+// bounded FIFO admission queue and a pool of worker threads that execute up
+// to `num_workers` queries concurrently.
+//
+// Isolation model (see DESIGN.md "Serving layer"):
+//   - Shared, read-only: the Database, DatabaseStats, trained TreeModel /
+//     LpceR / MSCN weights, the cost model, and the global ThreadPool that
+//     parallelizes *inside* a query. None of these are mutated while the
+//     server is running.
+//   - Per worker: one Session (the estimator pair produced by the session
+//     factory) and one Engine. Estimators carry per-query mutable state
+//     (PrepareQuery caches, LPCE-R observation roots), so they must never be
+//     shared between workers.
+//   - Per query: RunStats, QueryTrace, the re-optimization budget, and the
+//     calling worker's thread-local nn::InferArena.
+//
+// Determinism contract: with per-query-deterministic estimators (histogram,
+// tree models, LPCE-R — every estimate depends only on the query, not on
+// which queries ran before), each query's RunStats/trace is bit-identical
+// whether the workload runs serially or through any number of workers.
+// Pinned by tests/serving_equivalence_test.cc.
+#ifndef LPCE_ENGINE_SERVER_H_
+#define LPCE_ENGINE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "card/estimator.h"
+#include "common/status.h"
+#include "common/timer.h"
+#include "engine/engine.h"
+
+namespace lpce::eng {
+
+struct ServerOptions {
+  /// Worker threads executing admitted queries (0 = the LPCE_SERVE_WORKERS
+  /// environment knob, falling back to 1). Each worker owns one session and
+  /// one Engine; intra-query parallelism still goes through the global pool.
+  int num_workers = 0;
+  /// Admission bound: Submit rejects with ResourceExhausted once this many
+  /// admitted queries are waiting (queries already running do not count).
+  size_t max_queue = 256;
+  /// Default per-query engine configuration (Submit can override per query).
+  RunConfig run_config;
+
+  /// num_workers from LPCE_SERVE_WORKERS (absent/invalid = 0, i.e. default).
+  static ServerOptions FromEnv();
+};
+
+class EngineServer {
+ public:
+  /// Per-worker estimator state over the shared model snapshot. `refiner`
+  /// may be null (no LPCE-R refinement; re-planning then reuses `initial`
+  /// plus exact cardinalities of executed sub-plans).
+  struct Session {
+    std::unique_ptr<card::CardinalityEstimator> initial;
+    std::unique_ptr<card::CardinalityEstimator> refiner;
+  };
+  /// Builds one worker's session; invoked once per worker, from that
+  /// worker's thread, before it serves its first query. `worker_id` is in
+  /// [0, num_workers) for deterministic per-worker seeding when wanted.
+  using SessionFactory = std::function<Session(int worker_id)>;
+
+  EngineServer(const db::Database* database, opt::CostModel cost_model,
+               SessionFactory session_factory, ServerOptions options);
+  /// Drains admitted queries, then joins the workers (same as Shutdown).
+  ~EngineServer();
+
+  EngineServer(const EngineServer&) = delete;
+  EngineServer& operator=(const EngineServer&) = delete;
+
+  /// Non-blocking admission with the server's default RunConfig. Returns a
+  /// future resolving to the query's RunStats, or a clean error Status:
+  /// ResourceExhausted when the queue is full, FailedPrecondition after
+  /// Shutdown. The query is copied; the caller's object need not outlive the
+  /// call.
+  Result<std::shared_future<RunStats>> Submit(const qry::Query& query);
+  /// As above with a per-query RunConfig override.
+  Result<std::shared_future<RunStats>> Submit(const qry::Query& query,
+                                              const RunConfig& config);
+
+  /// Blocking convenience: Submit + wait. Propagates admission errors.
+  Result<RunStats> RunSync(const qry::Query& query);
+
+  /// Stops admission, runs every already-admitted query to completion, and
+  /// joins the workers. Idempotent; called by the destructor.
+  void Shutdown();
+
+  int num_workers() const { return num_workers_; }
+  /// Admitted-but-unstarted queries right now (monitoring; racy by nature).
+  size_t queue_depth() const;
+
+  /// Per-instance admission counters (the process-global lpce.serve.*
+  /// metrics aggregate across servers; these are exact for one instance).
+  struct Counters {
+    uint64_t submitted = 0;  // admitted into the queue
+    uint64_t rejected = 0;   // refused: queue full or shut down
+    uint64_t completed = 0;  // finished executing (== submitted after drain)
+  };
+  Counters counters() const;
+
+ private:
+  struct Job {
+    qry::Query query;
+    RunConfig config;
+    std::promise<RunStats> promise;
+    WallTimer admitted;  // queue wait + service time, from admission
+  };
+
+  void WorkerLoop(int worker_id);
+
+  const db::Database* db_;
+  opt::CostModel cost_model_;
+  SessionFactory session_factory_;
+  ServerOptions options_;
+  int num_workers_ = 1;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<Job> queue_;
+  bool shutdown_ = false;
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> completed_{0};
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace lpce::eng
+
+#endif  // LPCE_ENGINE_SERVER_H_

@@ -36,11 +36,17 @@ class LpceR {
 
   RefinerMode mode() const { return mode_; }
 
+  /// Mutable module access is for training/serialization only. Once trained,
+  /// all module parameters are read-only — every estimate path below is
+  /// const — so a trained LpceR is safe to share across serving threads.
   TreeModel& content() { return *content_; }
+  const TreeModel& content() const { return *content_; }
   TreeModel& cardinality() { return *cardinality_; }
+  const TreeModel& cardinality() const { return *cardinality_; }
   TreeModel& refine() { return *refine_; }
   const TreeModel& refine() const { return *refine_; }
   nn::ParamStore& connect_params() { return connect_params_; }
+  const nn::ParamStore& connect_params() const { return connect_params_; }
 
   /// c_AB for an executed sub-plan tree whose child_card_* fields carry the
   /// real cardinalities. The executed modules' outputs are detached unless

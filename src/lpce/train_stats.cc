@@ -225,4 +225,35 @@ void RecordTrainStats(const TrainStats& stats) {
   out << stats.ToJsonl();
 }
 
+void TrainStatsCache::Record(const std::string& tag, TrainStats stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_[tag] = std::move(stats);
+}
+
+bool TrainStatsCache::Find(const std::string& tag, TrainStats* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = stats_.find(tag);
+  if (it == stats_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+bool TrainStatsCache::empty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.empty();
+}
+
+size_t TrainStatsCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.size();
+}
+
+std::vector<std::string> TrainStatsCache::tags() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> tags;
+  tags.reserve(stats_.size());
+  for (const auto& [tag, stats] : stats_) tags.push_back(tag);
+  return tags;  // std::map iteration is already sorted
+}
+
 }  // namespace lpce::model

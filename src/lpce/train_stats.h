@@ -24,6 +24,8 @@
 #ifndef LPCE_LPCE_TRAIN_STATS_H_
 #define LPCE_LPCE_TRAIN_STATS_H_
 
+#include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -68,6 +70,32 @@ struct TrainStats {
   /// JSONL serialization: one line per epoch plus one summary line, each
   /// `\n`-terminated. Every line validates with ValidateTrainLogLine.
   std::string ToJsonl() const;
+};
+
+/// Thread-safe tag -> TrainStats store. The bench world records every
+/// model's training telemetry here; the serving layer's workers (and any
+/// concurrent bench reporter) may look entries up while other threads are
+/// still recording. All access takes an internal mutex and lookups copy out,
+/// so no reference into the guarded map ever escapes. (The predecessor was a
+/// bare std::map on bench::World, mutated without a guard — a latent race
+/// once anything multi-threaded touched the world; see DESIGN.md "Serving
+/// layer".)
+class TrainStatsCache {
+ public:
+  /// Inserts or replaces the entry for `tag`.
+  void Record(const std::string& tag, TrainStats stats);
+
+  /// Copies the entry for `tag` into *out; false when absent.
+  bool Find(const std::string& tag, TrainStats* out) const;
+
+  bool empty() const;
+  size_t size() const;
+  /// All recorded tags, sorted (deterministic reporting order).
+  std::vector<std::string> tags() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, TrainStats> stats_;
 };
 
 /// Validates one JSONL line (epoch or summary) against the schema above.

@@ -63,6 +63,13 @@ struct TreeModelConfig {
   uint64_t seed = 1;
 };
 
+/// Thread-safety: weights are mutated only by the training procedures
+/// (TrainTreeModel/DistillTreeModel/TrainLpceR) and Load(); once those
+/// return, the parameters are read-only — every inference entry point
+/// (Forward/Infer/InferBatch) is const and touches only per-thread scratch
+/// (nn::InferArena::ThreadLocal). A trained TreeModel is therefore shared
+/// read-only across serving workers (engine/server.h). Do not interleave
+/// training with concurrent inference on the same instance.
 class TreeModel {
  public:
   struct NodeOutput {

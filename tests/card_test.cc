@@ -94,6 +94,42 @@ TEST_F(CardTest, JoinSampleDeterministicGivenSeedState) {
                    b.EstimateSubset(labeled_.query, labeled_.query.AllRels()));
 }
 
+TEST_F(CardTest, JoinSampleEstimatesIndependentOfQueryOrder) {
+  // PrepareQuery reseeds the walk RNG, making each query's estimates a pure
+  // function of (seed, walks, query) — the serving layer's equivalence
+  // contract needs this regardless of which queries a worker served before.
+  // Regression: the stream used to carry across queries, so running another
+  // query first changed the estimates.
+  wk::GeneratorOptions gen;
+  gen.seed = 33;
+  wk::QueryGenerator generator(database_.get(), gen);
+  const qry::Query other = generator.Generate(3);
+
+  auto estimate_fresh = [&](const qry::Query& query) {
+    JoinSampleEstimator sampler("s", database_.get(), 300, 17);
+    sampler.PrepareQuery(query);
+    return sampler.EstimateSubset(query, query.AllRels());
+  };
+  const double fresh = estimate_fresh(labeled_.query);
+
+  JoinSampleEstimator sampler("s", database_.get(), 300, 17);
+  sampler.PrepareQuery(other);
+  (void)sampler.EstimateSubset(other, other.AllRels());
+  sampler.PrepareQuery(labeled_.query);
+  EXPECT_DOUBLE_EQ(
+      sampler.EstimateSubset(labeled_.query, labeled_.query.AllRels()), fresh);
+
+  // The hybrid wrapper forwards PrepareQuery, so the same contract holds
+  // through it (its correction input is the sampler's estimate).
+  JoinSampleEstimator inner("s", database_.get(), 300, 17);
+  HybridSampleEstimator hybrid("h", &inner, nullptr);
+  hybrid.PrepareQuery(other);
+  (void)inner.EstimateSubset(other, other.AllRels());
+  hybrid.PrepareQuery(labeled_.query);
+  EXPECT_DOUBLE_EQ(
+      inner.EstimateSubset(labeled_.query, labeled_.query.AllRels()), fresh);
+}
+
 TEST_F(CardTest, HistogramJoinEstimateIsPositiveOnNonEmptyTables) {
   HistogramEstimator histogram(&stats_);
   for (qry::RelSet rels = 1; rels <= labeled_.query.AllRels(); ++rels) {

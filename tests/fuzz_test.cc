@@ -2,16 +2,24 @@
 // never crashes or hangs.
 //  - SQL parser: random garbage, token soup, and mutated valid queries;
 //  - workload deserializer: truncations and bit flips of a valid file;
-//  - parameter loader: truncations of a valid parameter file.
+//  - parameter loader: truncations of a valid parameter file;
+//  - concurrent serving: randomized queries through a 4-worker EngineServer,
+//    every result cross-checked against the exact-cardinality oracle.
 #include <cstdio>
+#include <future>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "card/histogram_estimator.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
+#include "engine/server.h"
 #include "nn/layers.h"
 #include "query/parser.h"
 #include "storage/database.h"
+#include "testing/exact_card.h"
 #include "workload/workload.h"
 
 namespace lpce {
@@ -153,6 +161,67 @@ TEST_F(FuzzTest, WorkloadLoaderSurvivesBitFlips) {
     // never a crash. Loaded data is not used further.
     (void)wk::LoadWorkload(flip_path, &loaded);
   }
+}
+
+TEST_F(FuzzTest, ConcurrentServerMatchesExactOracle) {
+  // Randomized queries through a 4-worker EngineServer, each cross-checked
+  // against the brute-force oracle (tests/testing/exact_card.h) — a third
+  // implementation, independent of both the executor and the labeler. Random
+  // per-query run configs mix plain and re-optimizing executions across the
+  // workers. Oracle cost is exponential, so this uses a smaller database and
+  // 1-3 joins.
+  db::SynthImdbOptions opts;
+  opts.scale = 0.01;
+  auto database = db::BuildSynthImdb(opts);
+  stats::DatabaseStats stats;
+  stats.Build(*database);
+  common::SetGlobalPoolSize(2);
+
+  eng::ServerOptions options;
+  options.num_workers = 4;
+  options.max_queue = 256;
+  eng::EngineServer server(
+      database.get(), opt::CostModel{},
+      [&stats](int worker_id) {
+        (void)worker_id;
+        eng::EngineServer::Session session;
+        session.initial = std::make_unique<card::HistogramEstimator>(&stats);
+        return session;
+      },
+      options);
+
+  Rng rng(9);
+  std::vector<uint64_t> expected;
+  std::vector<std::shared_future<eng::RunStats>> futures;
+  for (int round = 0; round < 4; ++round) {
+    wk::GeneratorOptions gen;
+    gen.seed = 1000 + static_cast<uint64_t>(round);
+    wk::QueryGenerator generator(database.get(), gen);
+    for (int i = 0; i < 15; ++i) {
+      const qry::Query query =
+          generator.Generate(1 + static_cast<int>(rng.Uniform(3)));
+      expected.push_back(
+          testing::ExactCardinality(*database, query, query.AllRels()));
+      eng::RunConfig config;
+      if (rng.Uniform(2) == 0) {
+        config.enable_reopt = true;
+        config.qerror_threshold = 2.0 + rng.UniformDouble(0.0, 20.0);
+      }
+      Result<std::shared_future<eng::RunStats>> admitted =
+          server.Submit(query, config);
+      ASSERT_TRUE(admitted.ok()) << admitted.status().ToString();
+      futures.push_back(admitted.value());
+    }
+  }
+  for (size_t q = 0; q < futures.size(); ++q) {
+    EXPECT_EQ(futures[q].get().result_count, expected[q]) << "query " << q;
+  }
+  server.Shutdown();
+  const eng::EngineServer::Counters counters = server.counters();
+  EXPECT_EQ(counters.submitted, futures.size());
+  EXPECT_EQ(counters.completed, futures.size());
+  EXPECT_EQ(counters.rejected, 0u);
+  common::SetGlobalPoolSize(0);
 }
 
 TEST_F(FuzzTest, ParamLoaderSurvivesTruncation) {
