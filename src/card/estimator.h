@@ -6,6 +6,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "query/fingerprint.h"
 #include "query/query.h"
 
 namespace lpce::card {
@@ -42,6 +43,26 @@ class CardinalityEstimator {
 
   /// True when ObserveActual actually refines subsequent estimates.
   virtual bool SupportsRefinement() const { return false; }
+
+  /// Template-cache support (optimizer/plan_cache.h): what `pred`'s literal
+  /// contributes to this estimator's estimates, beyond the (column, op)
+  /// shape that the fingerprint already covers structurally. Contract: two
+  /// predicates with the same (column, op) and equal `exact` components must
+  /// yield bitwise-identical estimates from this estimator for every subset
+  /// — that equality is what lets the cache serve a stored plan skeleton as
+  /// if it had been planned fresh. The default is the literal value itself
+  /// (conservative: only exact literal repeats hit); estimators that only
+  /// see a literal through its selectivity override this so all equal-
+  /// selectivity variants of a template collide (HistogramEstimator).
+  /// Must not require PrepareQuery and must be const-safe across threads.
+  virtual qry::PredicateSignature FingerprintPredicate(
+      const qry::Query& query, const qry::Predicate& pred) const {
+    (void)query;
+    qry::PredicateSignature sig;
+    sig.exact = qry::Mix64(static_cast<uint64_t>(pred.value));
+    sig.bucket = 0;
+    return sig;
+  }
 };
 
 /// Decorator that pins observed subsets to their exact cardinalities and
@@ -74,6 +95,11 @@ class ObservedOverlay : public CardinalityEstimator {
   }
 
   bool SupportsRefinement() const override { return base_->SupportsRefinement(); }
+
+  qry::PredicateSignature FingerprintPredicate(
+      const qry::Query& query, const qry::Predicate& pred) const override {
+    return base_->FingerprintPredicate(query, pred);
+  }
 
  private:
   CardinalityEstimator* base_;

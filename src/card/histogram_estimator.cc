@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 namespace lpce::card {
 
@@ -28,6 +29,17 @@ double HistogramEstimator::EstimateSubset(const qry::Query& query,
     card /= std::max(1.0, std::max(nd_left, nd_right));
   }
   return std::max(card, 0.0);
+}
+
+qry::PredicateSignature HistogramEstimator::FingerprintPredicate(
+    const qry::Query& query, const qry::Predicate& pred) const {
+  (void)query;
+  const double sel = stats_->column(pred.col).Selectivity(pred.op, pred.value);
+  qry::PredicateSignature sig;
+  static_assert(sizeof(sig.exact) == sizeof(sel));
+  std::memcpy(&sig.exact, &sel, sizeof(sel));  // bitwise, not value, equality
+  sig.bucket = qry::SelectivityBucket(sel);
+  return sig;
 }
 
 }  // namespace lpce::card

@@ -27,6 +27,14 @@ class HistogramEstimator : public CardinalityEstimator {
   /// Estimated output rows of a filtered base-table scan.
   double EstimateScan(const qry::Query& query, int table_pos) const;
 
+  /// A literal only ever reaches this estimator through
+  /// ColumnStats::Selectivity, so its exact signature is the bitwise
+  /// selectivity: any two literals with equal selectivity produce bitwise-
+  /// identical estimates here, and the plan cache may serve them from the
+  /// same entry (the `user_id = ?` template case).
+  qry::PredicateSignature FingerprintPredicate(
+      const qry::Query& query, const qry::Predicate& pred) const override;
+
  private:
   const stats::DatabaseStats* stats_;
 };

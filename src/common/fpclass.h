@@ -1,0 +1,40 @@
+// Floating-point classification that survives -ffast-math.
+//
+// Release builds compile with -ffast-math, under which the compiler assumes
+// NaN/inf never occur and constant-folds std::isnan/std::isinf/std::isfinite
+// to false/false/true — silently disabling any guard written with them. NaNs
+// still arise at runtime (0 * inf from clamped estimates, for one), so code
+// that must sanitize degenerate doubles classifies them by IEEE-754 bit
+// pattern instead: the exponent field being all ones means inf (zero
+// mantissa) or NaN (non-zero mantissa), and no optimizer assumption touches
+// integer compares.
+#ifndef LPCE_COMMON_FPCLASS_H_
+#define LPCE_COMMON_FPCLASS_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace lpce::common {
+
+inline uint64_t DoubleBits(double x) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(x));
+  std::memcpy(&bits, &x, sizeof(bits));
+  return bits;
+}
+
+/// True for NaN or +-inf (exponent field all ones).
+inline bool IsNanOrInf(double x) {
+  return (DoubleBits(x) & 0x7ff0000000000000ull) == 0x7ff0000000000000ull;
+}
+
+inline bool IsNan(double x) {
+  const uint64_t bits = DoubleBits(x) & 0x7fffffffffffffffull;
+  return bits > 0x7ff0000000000000ull;
+}
+
+inline bool IsFinite(double x) { return !IsNanOrInf(x); }
+
+}  // namespace lpce::common
+
+#endif  // LPCE_COMMON_FPCLASS_H_

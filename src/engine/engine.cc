@@ -39,31 +39,82 @@ RunStats Engine::RunQuery(const qry::Query& query,
   initial->ResetObservations();
   if (refiner != nullptr) refiner->ResetObservations();
 
-  {
+  // Plan cache (optimizer/plan_cache.h): on a hit the skeleton below comes
+  // back rebound to this query's literals and both estimator preparation and
+  // DP planning are skipped — T_P becomes the lookup time, T_I and the
+  // estimate count 0. `prepared` defers PrepareQuery to the first
+  // re-optimization (hits that never trip never pay inference at all).
+  qry::TemplateFingerprint fingerprint;
+  uint64_t lookup_epoch = 0;
+  bool cache_hit = false;
+  bool prepared = false;
+  std::unique_ptr<exec::PlanNode> plan;
+  if (plan_cache_ != nullptr) {
+    LPCE_PROFILE_SCOPE("T_P.cache_lookup");
+    WallTimer timer;
+    fingerprint = opt::PlanCache::Fingerprint(query, *initial);
+    opt::PlanCache::LookupOutcome outcome =
+        plan_cache_->Lookup(fingerprint, query);
+    lookup_epoch = outcome.epoch;
+    if (outcome.hit()) {
+      cache_hit = true;
+      plan = std::move(outcome.plan);
+      stats.plan_seconds += timer.ElapsedSeconds();
+    }
+  }
+
+  if (cache_hit) {
+    // Satellite of the time decomposition (paper Fig. 12): a hit still
+    // counts as a planning pass with ~0 seconds and 0 estimates, so
+    // planner.plans_total stays equal to the number of queries planned and
+    // the recorded T_P/T_I are the true (collapsed) costs.
+    static common::Counter* plans_total =
+        common::MetricsRegistry::Global().counter("planner.plans_total");
+    static common::Histogram* search_seconds =
+        common::MetricsRegistry::Global().histogram("planner.search_seconds");
+    plans_total->Increment();
+    search_seconds->Observe(stats.plan_seconds);
+  } else {
     LPCE_PROFILE_SCOPE("T_I.prepare");
     WallTimer timer;
     initial->PrepareQuery(query);
     if (refiner != nullptr) refiner->PrepareQuery(query);
     stats.inference_seconds += timer.ElapsedSeconds();
+    prepared = true;
   }
 
-  opt::PlanResult planned = [&] {
-    LPCE_PROFILE_SCOPE("T_P.plan");
-    return planner_.Plan(query, initial);
-  }();
-  stats.plan_seconds += planned.search_seconds;
-  stats.inference_seconds += planned.inference_seconds;
-  stats.num_estimates += planned.num_estimates;
-  std::unique_ptr<exec::PlanNode> plan = std::move(planned.plan);
+  opt::PlanResult planned;
+  if (!cache_hit) {
+    planned = [&] {
+      LPCE_PROFILE_SCOPE("T_P.plan");
+      return planner_.Plan(query, initial);
+    }();
+    stats.plan_seconds += planned.search_seconds;
+    stats.inference_seconds += planned.inference_seconds;
+    stats.num_estimates += planned.num_estimates;
+    plan = std::move(planned.plan);
+  }
   stats.initial_plan = plan->ToString(db_->catalog(), query);
   {
     TraceEvent event;
     event.kind = TraceEventKind::kPlan;
     event.plan_cost = plan->est_cost;
-    event.num_estimates = planned.num_estimates;
+    event.num_estimates = cache_hit ? 0 : planned.num_estimates;
     event.decision = "initial";
-    event.wall_seconds = planned.search_seconds + planned.inference_seconds;
+    if (plan_cache_ != nullptr) {
+      event.cache_decision = cache_hit ? "hit" : "miss";
+      event.fss_hash = fingerprint.fss_hash;
+    }
+    event.wall_seconds = cache_hit
+                             ? stats.plan_seconds
+                             : planned.search_seconds + planned.inference_seconds;
     trace->AddEvent(std::move(event));
+  }
+  if (plan_cache_ != nullptr && !cache_hit) {
+    // Publish right after planning so concurrent workers benefit before this
+    // query even executes; the epoch guard drops the insert if statistics
+    // were invalidated since the lookup.
+    plan_cache_->Insert(fingerprint, lookup_epoch, *plan, planned.pool);
   }
 
   // The overlay pins executed subsets to their exact cardinalities; the
@@ -99,6 +150,17 @@ RunStats Engine::RunQuery(const qry::Query& query,
     LPCE_PROFILE_SCOPE("T_R.reopt");
     WallTimer reopt_timer;
     ++stats.num_reopts;
+
+    // Deferred estimator preparation (cache-hit path): re-planning needs the
+    // estimators live, and observations must land on prepared state exactly
+    // as they do in an uncached run. Counted in T_R — it is re-optimization
+    // work the cache could not avoid.
+    if (!prepared) {
+      LPCE_PROFILE_SCOPE("T_R.prepare");
+      initial->PrepareQuery(query);
+      if (refiner != nullptr) refiner->PrepareQuery(query);
+      prepared = true;
+    }
 
     // Report every finished operator bottom-up (pseudo scans were already
     // observed in the round that materialized them).

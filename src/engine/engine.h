@@ -13,6 +13,7 @@
 #include "card/estimator.h"
 #include "engine/trace.h"
 #include "exec/executor.h"
+#include "optimizer/plan_cache.h"
 #include "optimizer/planner.h"
 
 namespace lpce::eng {
@@ -73,9 +74,18 @@ class Engine {
   RunStats RunQuery(const qry::Query& query, card::CardinalityEstimator* initial,
                     card::CardinalityEstimator* refiner, const RunConfig& config);
 
+  /// Attaches a template-keyed plan cache (not owned; nullptr disables).
+  /// On a hit, RunQuery skips estimator preparation and DP planning entirely
+  /// — the cached skeleton is rebound to the query's literals and T_P + T_I
+  /// collapse to the lookup. Re-optimization always replans against the live
+  /// estimators, never the cache, so re-opt behavior is identical with the
+  /// cache on or off. The cache may be shared across engines (thread-safe).
+  void set_plan_cache(opt::PlanCache* cache) { plan_cache_ = cache; }
+
  private:
   const db::Database* db_;
   opt::Planner planner_;
+  opt::PlanCache* plan_cache_ = nullptr;
 };
 
 }  // namespace lpce::eng

@@ -22,6 +22,22 @@ int EnvWorkers() {
   return parsed > 0 ? parsed : 0;
 }
 
+// LPCE_PLAN_CACHE turns the shared plan cache on ("1"/non-empty) and
+// LPCE_PLAN_CACHE_CAP overrides its capacity (default 1024 entries).
+size_t EnvPlanCacheCapacity() {
+  const char* enabled = std::getenv("LPCE_PLAN_CACHE");
+  if (enabled == nullptr || enabled[0] == '\0' ||
+      std::string(enabled) == "0") {
+    return 0;
+  }
+  const char* cap = std::getenv("LPCE_PLAN_CACHE_CAP");
+  if (cap != nullptr) {
+    const long parsed = std::atol(cap);
+    if (parsed > 0) return static_cast<size_t>(parsed);
+  }
+  return 1024;
+}
+
 struct ServeMetrics {
   common::Counter* submitted;
   common::Counter* rejected;
@@ -54,6 +70,7 @@ const ServeMetrics& Metrics() {
 ServerOptions ServerOptions::FromEnv() {
   ServerOptions options;
   options.num_workers = EnvWorkers();
+  options.plan_cache_capacity = EnvPlanCacheCapacity();
   return options;
 }
 
@@ -71,6 +88,9 @@ EngineServer::EngineServer(const db::Database* database,
   if (workers <= 0) workers = 1;
   num_workers_ = std::min(workers, kMaxWorkers);
   options_.max_queue = std::max<size_t>(options_.max_queue, 1);
+  if (options_.plan_cache_capacity > 0) {
+    plan_cache_ = std::make_unique<opt::PlanCache>(options_.plan_cache_capacity);
+  }
   Metrics().workers->Set(static_cast<double>(num_workers_));
   workers_.reserve(static_cast<size_t>(num_workers_));
   for (int i = 0; i < num_workers_; ++i) {
@@ -130,6 +150,7 @@ void EngineServer::WorkerLoop(int worker_id) {
   LPCE_CHECK_MSG(session.initial != nullptr,
                  "session factory must provide an initial estimator");
   Engine engine(db_, cost_model_);
+  engine.set_plan_cache(plan_cache_.get());
   const ServeMetrics& metrics = Metrics();
   for (;;) {
     Job job;
@@ -171,6 +192,10 @@ void EngineServer::Shutdown() {
 size_t EngineServer::queue_depth() const {
   std::lock_guard<std::mutex> lock(mu_);
   return queue_.size();
+}
+
+void EngineServer::InvalidatePlanCache() {
+  if (plan_cache_ != nullptr) plan_cache_->Invalidate();
 }
 
 EngineServer::Counters EngineServer::counters() const {

@@ -50,8 +50,13 @@ struct ServerOptions {
   size_t max_queue = 256;
   /// Default per-query engine configuration (Submit can override per query).
   RunConfig run_config;
+  /// Template-keyed plan & estimate cache shared by all workers (see
+  /// optimizer/plan_cache.h): maximum resident templates, 0 = disabled.
+  size_t plan_cache_capacity = 0;
 
-  /// num_workers from LPCE_SERVE_WORKERS (absent/invalid = 0, i.e. default).
+  /// num_workers from LPCE_SERVE_WORKERS and the plan cache from
+  /// LPCE_PLAN_CACHE (on/off) + LPCE_PLAN_CACHE_CAP (capacity, default 1024
+  /// when enabled). Absent/invalid values keep the defaults.
   static ServerOptions FromEnv();
 };
 
@@ -107,6 +112,16 @@ class EngineServer {
   };
   Counters counters() const;
 
+  /// The shared plan cache (nullptr when plan_cache_capacity was 0). All
+  /// workers consult it; thread-safe.
+  opt::PlanCache* plan_cache() { return plan_cache_.get(); }
+
+  /// Invalidates the shared plan cache (statistics rebuild / model version
+  /// bump): the cache empties and its epoch advances, so no query admitted
+  /// after this call — and no in-flight insert staged before it — can
+  /// publish or serve a pre-bump skeleton. No-op without a cache.
+  void InvalidatePlanCache();
+
  private:
   struct Job {
     qry::Query query;
@@ -122,6 +137,7 @@ class EngineServer {
   SessionFactory session_factory_;
   ServerOptions options_;
   int num_workers_ = 1;
+  std::unique_ptr<opt::PlanCache> plan_cache_;  // shared by all workers
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;

@@ -93,6 +93,17 @@ void WriteEvent(JsonWriter* w, const TraceEvent& e, TraceJsonMode mode) {
       w->Value(e.num_estimates);
       w->Key("decision");
       w->Value(e.decision);
+      // Plan-cache outcome rides on the plan event (instead of a separate
+      // event kind) so seq numbering is identical with the cache on or off.
+      if (!e.cache_decision.empty()) {
+        w->Key("cache");
+        w->Value(e.cache_decision);
+        char fss[32];
+        std::snprintf(fss, sizeof(fss), "%016llx",
+                      static_cast<unsigned long long>(e.fss_hash));
+        w->Key("fss");
+        w->Value(std::string(fss));
+      }
       break;
     case TraceEventKind::kCheckpoint:
       w->Key("rels");
@@ -287,6 +298,19 @@ Status ValidateEvent(const JsonValue& event) {
     LPCE_RETURN_IF_ERROR(RequireString(event, "decision", &decision));
     if (decision != "initial") {
       return Status::InvalidArgument("plan event decision must be 'initial'");
+    }
+    // Optional plan-cache fields (present only when a cache was active).
+    const JsonValue* cache = event.Find("cache");
+    if (cache != nullptr) {
+      if (cache->type != JsonValue::Type::kString ||
+          (cache->str != "hit" && cache->str != "miss")) {
+        return Status::InvalidArgument("plan cache outcome must be hit/miss");
+      }
+      std::string fss;
+      LPCE_RETURN_IF_ERROR(RequireString(event, "fss", &fss));
+      if (fss.size() != 16) {
+        return Status::InvalidArgument("plan 'fss' must be a 16-hex-digit hash");
+      }
     }
   } else if (kind == "checkpoint") {
     LPCE_RETURN_IF_ERROR(RequireRels(event));

@@ -78,6 +78,13 @@ struct TraceEvent {
   uint64_t num_estimates = 0;
   std::string decision;  // kPlan: "initial"; kReoptimization: "continue"/"restart"
 
+  // kPlan, only when a plan cache is active: "hit"/"miss" plus the template
+  // group hash. Empty/0 when caching is off, and then omitted from the JSON
+  // so cache-off traces (including all goldens) are byte-identical to
+  // pre-cache ones.
+  std::string cache_decision;
+  uint64_t fss_hash = 0;
+
   // Non-deterministic (kFull only): planning/refinement wall time.
   double wall_seconds = 0.0;
 };

@@ -94,6 +94,10 @@ RowSetPtr Executor::ExecuteNode(PlanNode* node,
     std::vector<db::ColRef> inner_req = SideRequired(required, node->inner->rels);
     AppendUnique(&outer_req, node->outer_key);
     AppendUnique(&inner_req, node->inner_key);
+    for (const auto& [outer_col, inner_col] : node->residual_keys) {
+      AppendUnique(&outer_req, outer_col);
+      AppendUnique(&inner_req, inner_col);
+    }
     WallTimer children_timer;
     RowSetPtr outer = ExecuteNode(node->outer.get(), outer_req, options, result);
     if (result->tripped != nullptr || result->aborted) return nullptr;
@@ -352,10 +356,21 @@ RowSetPtr Executor::ExecuteJoin(const PlanNode& node, const RowSet& outer,
   const auto& okeys = outer.cols[outer_key];
   const auto& ikeys = inner.cols[inner_key];
 
+  // Residual equi-join predicates (multigraph cuts): resolved to column
+  // indexes once; a candidate match survives only when every pair agrees.
+  std::vector<std::pair<int, int>> residual;
+  residual.reserve(node.residual_keys.size());
+  for (const auto& [outer_col, inner_col] : node.residual_keys) {
+    const int oc = outer.ColumnIndex(outer_col);
+    const int ic = inner.ColumnIndex(inner_col);
+    LPCE_CHECK_MSG(oc >= 0 && ic >= 0, "residual key column not materialized");
+    residual.emplace_back(oc, ic);
+  }
+
   if (node.op == PhysOp::kHashJoin && EffectiveThreads(num_threads) > 1 &&
       okeys.size() + ikeys.size() >= kMinParallelRows) {
-    return ParallelHashJoin(outer, inner, outer_key, inner_key, required,
-                            max_rows, overflow, num_threads);
+    return ParallelHashJoin(outer, inner, outer_key, inner_key, residual,
+                            required, max_rows, overflow, num_threads);
   }
 
   // Source (side, column index) for every output column.
@@ -381,6 +396,9 @@ RowSetPtr Executor::ExecuteJoin(const PlanNode& node, const RowSet& outer,
   out->cols.resize(required.size());
 
   auto emit = [&](size_t outer_row, size_t inner_row) {
+    for (const auto& [oc, ic] : residual) {
+      if (outer.cols[oc][outer_row] != inner.cols[ic][inner_row]) return;
+    }
     for (size_t c = 0; c < sources.size(); ++c) {
       const Source& s = sources[c];
       out->cols[c].push_back(s.from_outer ? outer.cols[s.col][outer_row]
@@ -460,11 +478,11 @@ RowSetPtr Executor::ExecuteJoin(const PlanNode& node, const RowSet& outer,
   return out;
 }
 
-RowSetPtr Executor::ParallelHashJoin(const RowSet& outer, const RowSet& inner,
-                                     int outer_key, int inner_key,
-                                     const std::vector<db::ColRef>& required,
-                                     size_t max_rows, bool* overflow,
-                                     int num_threads) {
+RowSetPtr Executor::ParallelHashJoin(
+    const RowSet& outer, const RowSet& inner, int outer_key, int inner_key,
+    const std::vector<std::pair<int, int>>& residual,
+    const std::vector<db::ColRef>& required, size_t max_rows, bool* overflow,
+    int num_threads) {
   const auto& okeys = outer.cols[outer_key];
   const auto& ikeys = inner.cols[inner_key];
   const int workers = EffectiveThreads(num_threads);
@@ -543,18 +561,28 @@ RowSetPtr Executor::ParallelHashJoin(const RowSet& outer, const RowSet& inner,
             const auto& table = build[MixKey(key) % P];
             auto it = table.find(key);
             if (it == table.end()) continue;
+            size_t emits = 0;
             for (uint32_t ir : it->second) {
+              bool pass = true;
+              for (const auto& [oc, ic] : residual) {
+                if (outer.cols[oc][r] != inner.cols[ic][ir]) {
+                  pass = false;
+                  break;
+                }
+              }
+              if (!pass) continue;
               for (size_t s = 0; s < sources.size(); ++s) {
                 local.cols[s].push_back(sources[s].from_outer
                                             ? outer.cols[sources[s].col][r]
                                             : inner.cols[sources[s].col][ir]);
               }
+              ++emits;
             }
-            local.rows += it->second.size();
-            if (max_rows > 0 &&
-                emitted.fetch_add(it->second.size(),
-                                  std::memory_order_relaxed) +
-                        it->second.size() >
+            // Count only rows actually emitted: residual filters can reject
+            // candidates the primary key surfaced.
+            local.rows += emits;
+            if (max_rows > 0 && emits > 0 &&
+                emitted.fetch_add(emits, std::memory_order_relaxed) + emits >
                     max_rows) {
               over.store(true, std::memory_order_relaxed);
               return;
@@ -618,6 +646,19 @@ std::unique_ptr<PlanNode> BuildCanonicalHashPlan(const qry::Query& query) {
     } else {
       plan->outer_key = join.right;
       plan->inner_key = join.left;
+    }
+    // Multigraph cuts: every additional edge crossing this partition rides
+    // along as a residual filter, oriented (outer column, inner column).
+    for (int join_idx :
+         query.JoinsBetween(plan->outer->rels, plan->inner->rels)) {
+      if (join_idx == node->join_idx) continue;
+      const qry::Join& extra = query.joins[join_idx];
+      const int extra_left = query.PositionOf(extra.left.table);
+      if (qry::Contains(plan->outer->rels, extra_left)) {
+        plan->residual_keys.emplace_back(extra.left, extra.right);
+      } else {
+        plan->residual_keys.emplace_back(extra.right, extra.left);
+      }
     }
     return plan;
   };

@@ -89,8 +89,12 @@ class Executor {
   RowSetPtr ExecuteJoin(const PlanNode& node, const RowSet& outer, const RowSet& inner,
                         const std::vector<db::ColRef>& required, size_t max_rows,
                         bool* overflow, int num_threads);
+  /// `residual` pairs resolved column indexes (outer, inner) of the extra
+  /// equi-join predicates; a candidate match is emitted only when every pair
+  /// agrees.
   RowSetPtr ParallelHashJoin(const RowSet& outer, const RowSet& inner,
                              int outer_key, int inner_key,
+                             const std::vector<std::pair<int, int>>& residual,
                              const std::vector<db::ColRef>& required,
                              size_t max_rows, bool* overflow, int num_threads);
 

@@ -33,6 +33,7 @@ std::unique_ptr<PlanNode> PlanNode::Clone() const {
   copy->pseudo = pseudo;
   copy->outer_key = outer_key;
   copy->inner_key = inner_key;
+  copy->residual_keys = residual_keys;
   copy->est_card = est_card;
   copy->est_cost = est_cost;
   if (outer != nullptr) copy->outer = outer->Clone();
@@ -56,6 +57,10 @@ std::string PlanNode::ToString(const db::Catalog& catalog, const qry::Query& que
   } else {
     os << " (" << catalog.ColumnName(outer_key) << " = "
        << catalog.ColumnName(inner_key) << ")";
+    for (const auto& [outer_col, inner_col] : residual_keys) {
+      os << " [" << catalog.ColumnName(outer_col) << " = "
+         << catalog.ColumnName(inner_col) << "]";
+    }
   }
   os << "  est=" << static_cast<int64_t>(est_card);
   if (executed) {
@@ -87,24 +92,52 @@ Status ValidatePlan(const PlanNode& root, const qry::Query& query) {
         return Status::Internal("join children do not partition the node set");
       }
       const auto joins = query.JoinsBetween(node->outer->rels, node->inner->rels);
-      if (joins.size() != 1) {
-        return Status::Internal("join cut must cross exactly one query edge");
+      if (joins.empty()) {
+        return Status::Internal("join cut crosses no query edge");
       }
-      const qry::Join& join = query.joins[joins[0]];
-      const bool straight = join.left == node->outer_key &&
-                            join.right == node->inner_key;
-      const bool flipped = join.right == node->outer_key &&
-                           join.left == node->inner_key;
-      if (!straight && !flipped) {
-        return Status::Internal("join keys do not match the cut edge");
+      if (node->residual_keys.size() + 1 != joins.size()) {
+        return Status::Internal(
+            "join must carry every cut edge: one primary key pair plus one "
+            "residual pair per additional edge");
       }
-      const int outer_pos = query.PositionOf(node->outer_key.table);
-      if (outer_pos < 0 || !qry::Contains(node->outer->rels, outer_pos)) {
-        return Status::Internal("outer key column not provided by outer side");
+      // The primary pair and every residual pair must each match a distinct
+      // cut edge (either orientation), with the outer column provided by the
+      // outer side and the inner column by the inner side.
+      std::vector<bool> used(joins.size(), false);
+      auto match_pair = [&](const db::ColRef& outer_col,
+                            const db::ColRef& inner_col) {
+        for (size_t j = 0; j < joins.size(); ++j) {
+          if (used[j]) continue;
+          const qry::Join& join = query.joins[joins[j]];
+          const bool straight = join.left == outer_col && join.right == inner_col;
+          const bool flipped = join.right == outer_col && join.left == inner_col;
+          if (straight || flipped) {
+            used[j] = true;
+            return true;
+          }
+        }
+        return false;
+      };
+      auto sides_ok = [&](const db::ColRef& outer_col,
+                          const db::ColRef& inner_col) {
+        const int outer_pos = query.PositionOf(outer_col.table);
+        const int inner_pos = query.PositionOf(inner_col.table);
+        return outer_pos >= 0 && qry::Contains(node->outer->rels, outer_pos) &&
+               inner_pos >= 0 && qry::Contains(node->inner->rels, inner_pos);
+      };
+      if (!match_pair(node->outer_key, node->inner_key)) {
+        return Status::Internal("join keys do not match a cut edge");
       }
-      const int inner_pos = query.PositionOf(node->inner_key.table);
-      if (inner_pos < 0 || !qry::Contains(node->inner->rels, inner_pos)) {
-        return Status::Internal("inner key column not provided by inner side");
+      if (!sides_ok(node->outer_key, node->inner_key)) {
+        return Status::Internal("join key column not provided by its side");
+      }
+      for (const auto& [outer_col, inner_col] : node->residual_keys) {
+        if (!match_pair(outer_col, inner_col)) {
+          return Status::Internal("residual keys do not match a cut edge");
+        }
+        if (!sides_ok(outer_col, inner_col)) {
+          return Status::Internal("residual key column not provided by its side");
+        }
       }
     } else if (node->op == PhysOp::kPseudoScan) {
       if (node->pseudo == nullptr) {

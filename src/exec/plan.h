@@ -46,6 +46,11 @@ struct PlanNode {
   std::unique_ptr<PlanNode> inner;
   db::ColRef outer_key;
   db::ColRef inner_key;
+  /// Extra equi-join predicates crossing the same cut (a multigraph query can
+  /// connect two subtrees with several edges). The first edge drives the join
+  /// algorithm via outer_key/inner_key; these are evaluated as residual
+  /// filters on every candidate match, oriented (outer column, inner column).
+  std::vector<std::pair<db::ColRef, db::ColRef>> residual_keys;
 
   // Optimizer annotations.
   double est_card = 0.0;

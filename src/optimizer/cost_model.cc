@@ -3,39 +3,72 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/fpclass.h"
+
 namespace lpce::opt {
 
 namespace {
+
 double Log2Clamped(double x) { return std::log2(std::max(2.0, x)); }
+
+/// Degenerate-cardinality guard. Estimators clamp to >= 0, but a 0-row input
+/// multiplied by an infinite one (NL's outer*inner term) yields NaN, and NaN
+/// poisons DP entry comparison: `cost < best.cost` is false both ways, so
+/// whichever entry lands first wins arbitrarily. Sanitize rows before any
+/// arithmetic: NaN/negative -> 0, +inf -> a huge finite row count. Bit-level
+/// classification (common/fpclass.h): -ffast-math folds std::isnan/isinf.
+double SanitizeRows(double rows) {
+  if (common::IsNan(rows) || rows < 0.0) return 0.0;
+  if (common::IsNanOrInf(rows)) return 1e30;
+  return rows;
+}
+
+/// Costs must stay totally ordered under `<`. Any residual non-finite cost
+/// becomes a huge finite sentinel so it loses to every real plan but still
+/// compares deterministically against other degenerate entries.
+double FiniteCost(double cost) {
+  if (common::IsNanOrInf(cost) || cost < 0.0) return 1e300;
+  return cost;
+}
+
 }  // namespace
 
 double CostModel::SeqScanCost(double table_rows, int num_preds) const {
-  return table_rows * (params_.seq_tuple + params_.pred * num_preds);
+  return FiniteCost(SanitizeRows(table_rows) *
+                    (params_.seq_tuple + params_.pred * num_preds));
 }
 
 double CostModel::IndexScanCost(double matching_rows,
                                 int num_residual_preds) const {
-  return params_.index_lookup +
-         matching_rows * (params_.index_tuple + params_.pred * num_residual_preds);
+  return FiniteCost(params_.index_lookup +
+                    SanitizeRows(matching_rows) *
+                        (params_.index_tuple + params_.pred * num_residual_preds));
 }
 
 double CostModel::PseudoScanCost(double rows) const {
-  return rows * params_.pseudo_tuple;
+  return FiniteCost(SanitizeRows(rows) * params_.pseudo_tuple);
 }
 
 double CostModel::JoinCost(exec::PhysOp op, double outer_rows, double inner_rows,
-                           double output_rows) const {
-  const double out = std::max(0.0, output_rows) * params_.out_tuple;
+                           double output_rows, int num_residual_preds) const {
+  const double outer = SanitizeRows(outer_rows);
+  const double inner = SanitizeRows(inner_rows);
+  const double out = SanitizeRows(output_rows) * params_.out_tuple;
+  // Residual equi-join predicates (beyond the primary key pair) are evaluated
+  // on every candidate match the primary key surfaces; charge them against
+  // the larger input as a proxy for the candidate stream.
+  const double residual =
+      params_.pred * num_residual_preds * std::max(outer, inner);
   switch (op) {
     case exec::PhysOp::kHashJoin:
-      return inner_rows * params_.hash_build + outer_rows * params_.hash_probe + out;
+      return FiniteCost(inner * params_.hash_build + outer * params_.hash_probe +
+                        residual + out);
     case exec::PhysOp::kMergeJoin:
-      return params_.sort *
-                 (outer_rows * Log2Clamped(outer_rows) +
-                  inner_rows * Log2Clamped(inner_rows)) +
-             params_.merge * (outer_rows + inner_rows) + out;
+      return FiniteCost(params_.sort * (outer * Log2Clamped(outer) +
+                                        inner * Log2Clamped(inner)) +
+                        params_.merge * (outer + inner) + residual + out);
     case exec::PhysOp::kNestLoopJoin:
-      return params_.nl_pair * outer_rows * inner_rows + out;
+      return FiniteCost(params_.nl_pair * outer * inner + residual + out);
     default:
       LPCE_CHECK_MSG(false, "not a join operator");
   }

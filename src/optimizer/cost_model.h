@@ -38,8 +38,16 @@ class CostModel {
   double PseudoScanCost(double rows) const;
 
   /// Join cost given the two input cardinalities and the output cardinality.
+  /// `num_residual_preds` counts extra equi-join predicates (beyond the
+  /// primary key pair) evaluated as residual filters on candidate matches.
+  ///
+  /// All costs are sanitized: degenerate inputs (0 rows, NaN, infinity —
+  /// e.g. a clamped estimate flowing into NL's outer*inner product) can
+  /// never yield a NaN/-inf cost, so DP entry comparison stays a total
+  /// order (a NaN cost makes `<` false both ways and the winning entry
+  /// arbitrary).
   double JoinCost(exec::PhysOp op, double outer_rows, double inner_rows,
-                  double output_rows) const;
+                  double output_rows, int num_residual_preds = 0) const;
 
  private:
   CostParams params_;

@@ -1,10 +1,12 @@
 #include "optimizer/planner.h"
 
 #include <algorithm>
+#include <cmath>
 #include <functional>
 #include <limits>
 #include <unordered_map>
 
+#include "common/fpclass.h"
 #include "common/metrics.h"
 #include "common/profiler.h"
 #include "common/timer.h"
@@ -68,8 +70,9 @@ PlanResult Planner::PlanUnits(const qry::Query& query,
     LPCE_CHECK_MSG(all == query.AllRels(), "units must cover the whole query");
   }
 
-  // Estimation pool: one inference per unique table subset (Sec. 6.1).
-  std::unordered_map<qry::RelSet, double> pool;
+  // Estimation pool: one inference per unique table subset (Sec. 6.1). Built
+  // into the result so the plan cache can reuse it on template hits.
+  std::unordered_map<qry::RelSet, double>& pool = result.pool;
   auto estimate = [&](uint32_t mask) -> double {
     // Exactly-one-pseudo-unit masks have exactly known cardinality.
     if ((mask & (mask - 1)) == 0) {
@@ -81,7 +84,11 @@ PlanResult Planner::PlanUnits(const qry::Query& query,
     if (it != pool.end()) return it->second;
     LPCE_PROFILE_SCOPE("T_I.estimate");
     WallTimer timer;
-    const double card = std::max(0.0, estimator->EstimateSubset(query, rels));
+    double card = estimator->EstimateSubset(query, rels);
+    // Explicit degenerate-estimate guard: NaN and negative estimates clamp
+    // to 0 rows (the cost model additionally sanitizes on its side, so a
+    // 0-row input can never produce a NaN cost that corrupts DP comparison).
+    if (common::IsNan(card) || card < 0.0) card = 0.0;
     result.inference_seconds += timer.ElapsedSeconds();
     ++result.num_estimates;
     pool.emplace(rels, card);
@@ -133,11 +140,15 @@ PlanResult Planner::PlanUnits(const qry::Query& query,
       if (out_card < 0.0) out_card = estimate(mask);
       const double outer_rows = best[sub].card;
       const double inner_rows = best[other].card;
+      // Multigraph cuts: the first edge drives the join, the rest are
+      // residual filters charged to the cost (and attached during build).
+      const int num_residual = static_cast<int>(joins.size()) - 1;
       for (exec::PhysOp op : {exec::PhysOp::kHashJoin, exec::PhysOp::kMergeJoin,
                               exec::PhysOp::kNestLoopJoin}) {
         const double cost =
             best[sub].cost + best[other].cost +
-            cost_model_.JoinCost(op, outer_rows, inner_rows, out_card);
+            cost_model_.JoinCost(op, outer_rows, inner_rows, out_card,
+                                 num_residual);
         if (cost < entry.cost) {
           entry.cost = cost;
           entry.card = out_card;
@@ -189,6 +200,19 @@ PlanResult Planner::PlanUnits(const qry::Query& query,
     } else {
       node->outer_key = join.right;
       node->inner_key = join.left;
+    }
+    // Every additional edge crossing this cut becomes a residual filter so
+    // no equi-join predicate is silently dropped (multigraph queries).
+    for (int join_idx :
+         query.JoinsBetween(node->outer->rels, node->inner->rels)) {
+      if (join_idx == entry.join_idx) continue;
+      const qry::Join& extra = query.joins[join_idx];
+      const int extra_left = query.PositionOf(extra.left.table);
+      if (qry::Contains(node->outer->rels, extra_left)) {
+        node->residual_keys.emplace_back(extra.left, extra.right);
+      } else {
+        node->residual_keys.emplace_back(extra.right, extra.left);
+      }
     }
     return node;
   };

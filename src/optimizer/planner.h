@@ -11,6 +11,7 @@
 #define LPCE_OPTIMIZER_PLANNER_H_
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "card/estimator.h"
@@ -33,6 +34,10 @@ struct PlanResult {
   double search_seconds = 0.0;     // T_P: DP enumeration time
   double inference_seconds = 0.0;  // T_I: estimator time (unique subsets)
   size_t num_estimates = 0;        // unique cardinality estimations performed
+  /// The estimation pool (subset -> estimate) built during enumeration. The
+  /// plan cache stores it alongside the skeleton so a hit can reuse every
+  /// estimate without touching the estimator.
+  std::unordered_map<qry::RelSet, double> pool;
 };
 
 class Planner {

@@ -1,0 +1,107 @@
+#include "query/fingerprint.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace lpce::qry {
+
+namespace {
+
+/// Fixed-width little-endian append — the canonical key is an exact binary
+/// encoding, not a hash, so distinct templates can never collide.
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendI32(std::string* out, int32_t v) {
+  AppendU64(out, static_cast<uint64_t>(static_cast<uint32_t>(v)));
+}
+
+}  // namespace
+
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashCombine(uint64_t seed, uint64_t v) { return Mix64(seed ^ Mix64(v)); }
+
+int32_t SelectivityBucket(double selectivity) {
+  if (!(selectivity > 0.0)) return -12;  // 0, negative, NaN: the bottom bucket
+  const double decade = std::floor(std::log10(selectivity));
+  return static_cast<int32_t>(std::clamp(decade, -12.0, 0.0));
+}
+
+TemplateFingerprint ComputeTemplateFingerprint(
+    const Query& query, const std::string& estimator_tag,
+    const std::vector<PredicateSignature>& signatures) {
+  LPCE_CHECK_MSG(signatures.size() == query.predicates.size(),
+                 "one predicate signature per predicate, in vector order");
+  TemplateFingerprint fp;
+  uint64_t h = 0x1bce0cac8e5eedull;  // fixed seed: content-only hashing
+  std::string& key = fp.canonical;
+  key.reserve(64 + 16 * (query.tables.size() + query.joins.size() +
+                         query.predicates.size()));
+
+  // Join graph: the ordered table list (RelSet positions are order-
+  // dependent, so a reordered FROM list is a different template) plus every
+  // join edge's column pair in stored order.
+  AppendU64(&key, query.tables.size());
+  h = HashCombine(h, query.tables.size());
+  for (int32_t table : query.tables) {
+    AppendI32(&key, table);
+    h = HashCombine(h, static_cast<uint32_t>(table));
+  }
+  AppendU64(&key, query.joins.size());
+  h = HashCombine(h, query.joins.size());
+  for (const Join& join : query.joins) {
+    AppendI32(&key, join.left.table);
+    AppendI32(&key, join.left.column);
+    AppendI32(&key, join.right.table);
+    AppendI32(&key, join.right.column);
+    h = HashCombine(h, (static_cast<uint64_t>(static_cast<uint32_t>(join.left.table))
+                        << 32) |
+                           static_cast<uint32_t>(join.left.column));
+    h = HashCombine(h, (static_cast<uint64_t>(static_cast<uint32_t>(join.right.table))
+                        << 32) |
+                           static_cast<uint32_t>(join.right.column));
+  }
+
+  // Predicate clause set: (column, op) shapes the template; the literal
+  // contributes only its selectivity bucket to the group hash and its
+  // estimator-exact signature to the canonical key.
+  AppendU64(&key, query.predicates.size());
+  h = HashCombine(h, query.predicates.size());
+  for (size_t i = 0; i < query.predicates.size(); ++i) {
+    const Predicate& pred = query.predicates[i];
+    const PredicateSignature& sig = signatures[i];
+    AppendI32(&key, pred.col.table);
+    AppendI32(&key, pred.col.column);
+    AppendI32(&key, static_cast<int32_t>(pred.op));
+    AppendU64(&key, sig.exact);
+    h = HashCombine(h, (static_cast<uint64_t>(static_cast<uint32_t>(pred.col.table))
+                        << 32) |
+                           static_cast<uint32_t>(pred.col.column));
+    h = HashCombine(h, static_cast<uint64_t>(pred.op));
+    h = HashCombine(h, static_cast<uint64_t>(static_cast<uint32_t>(sig.bucket)));
+  }
+
+  // The estimator (and implicitly its model snapshot) the plan was built
+  // against: a cache shared across estimator kinds must never cross-serve.
+  AppendU64(&key, estimator_tag.size());
+  key.append(estimator_tag);
+  for (char c : estimator_tag) {
+    h = HashCombine(h, static_cast<uint8_t>(c));
+  }
+
+  fp.fss_hash = h;
+  return fp;
+}
+
+}  // namespace lpce::qry

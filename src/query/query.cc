@@ -135,7 +135,11 @@ std::unique_ptr<LogicalNode> BuildJoinNode(const Query& query,
                                            std::unique_ptr<LogicalNode> left,
                                            std::unique_ptr<LogicalNode> right) {
   auto joins = query.JoinsBetween(left->rels, right->rels);
-  LPCE_CHECK_MSG(joins.size() == 1, "join tree partition must cut exactly one edge");
+  // Spanning-tree queries (everything the parser admits) cut exactly one
+  // edge per partition; multigraph queries may cut several — the first edge
+  // drives the join and the physical layer applies the rest as residual
+  // filters (exec::PlanNode::residual_keys).
+  LPCE_CHECK_MSG(!joins.empty(), "join tree partition must cut at least one edge");
   auto node = std::make_unique<LogicalNode>();
   node->rels = left->rels | right->rels;
   node->join_idx = joins[0];

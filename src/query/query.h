@@ -40,13 +40,16 @@ inline int PopCount(RelSet s) { return __builtin_popcount(s); }
 inline RelSet Bit(int pos) { return RelSet{1} << pos; }
 inline bool Contains(RelSet s, int pos) { return (s >> pos) & 1u; }
 
-/// A COUNT(*) select-project-equijoin query. The joins always form a spanning
-/// tree over `tables` (a query generated from the schema's FK graph), so any
-/// partition of a connected table set into two connected halves is linked by
-/// exactly one join edge.
+/// A COUNT(*) select-project-equijoin query. Generated/parsed queries form a
+/// spanning tree over `tables` (the schema's FK graph), where any partition
+/// of a connected table set into two connected halves is linked by exactly
+/// one join edge. Hand-built queries may be multigraphs (several edges
+/// between the same table pair); the planner then drives each join with one
+/// edge and applies the extra cut edges as residual filters
+/// (exec::PlanNode::residual_keys).
 struct Query {
   std::vector<int32_t> tables;       // catalog table ids; each appears once
-  std::vector<Join> joins;           // tables.size() - 1 edges
+  std::vector<Join> joins;           // >= tables.size() - 1 edges
   std::vector<Predicate> predicates; // at most one per table
 
   int num_tables() const { return static_cast<int>(tables.size()); }

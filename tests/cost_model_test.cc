@@ -1,8 +1,12 @@
 // Cost model tests: the decision boundaries that drive the paper's
 // plan-quality phenomena (nested loop only for tiny outers, index scans only
 // for selective predicates, costs monotone in input sizes).
+#include <cmath>
+#include <limits>
+
 #include <gtest/gtest.h>
 
+#include "common/fpclass.h"
 #include "optimizer/cost_model.h"
 
 namespace lpce::opt {
@@ -76,6 +80,63 @@ TEST(CostModelTest, OutputCardinalityMattersForAllJoins) {
                   exec::PhysOp::kNestLoopJoin}) {
     EXPECT_GT(cost.JoinCost(op, 1000, 1000, 1e6),
               cost.JoinCost(op, 1000, 1000, 10))
+        << exec::PhysOpName(op);
+  }
+}
+
+TEST(CostModelTest, DegenerateCardinalitiesNeverProduceNonFiniteCosts) {
+  // A clamped-to-zero estimate meeting an infinite one produces inf * 0 =
+  // NaN in NL's outer*inner product; a NaN cost breaks DP entry comparison
+  // (cost < best is false both ways, so the winner is arbitrary). Every cost
+  // must come back finite and non-negative for every degenerate input.
+  // common::IsFinite (bit-level) rather than std::isfinite: Release builds
+  // use -ffast-math, which folds std::isfinite to `true`.
+  CostModel cost;
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double degenerate[] = {0.0, -5.0, inf, -inf, nan, 1000.0};
+  for (auto op : {exec::PhysOp::kHashJoin, exec::PhysOp::kMergeJoin,
+                  exec::PhysOp::kNestLoopJoin}) {
+    for (double outer : degenerate) {
+      for (double inner : degenerate) {
+        for (double out : degenerate) {
+          const double c = cost.JoinCost(op, outer, inner, out);
+          EXPECT_TRUE(common::IsFinite(c) && c >= 0.0)
+              << exec::PhysOpName(op) << " outer=" << outer
+              << " inner=" << inner << " out=" << out << " -> " << c;
+        }
+      }
+    }
+  }
+  for (double rows : degenerate) {
+    EXPECT_TRUE(common::IsFinite(cost.SeqScanCost(rows, 2)));
+    EXPECT_TRUE(common::IsFinite(cost.IndexScanCost(rows, 1)));
+    EXPECT_TRUE(common::IsFinite(cost.PseudoScanCost(rows)));
+  }
+}
+
+TEST(CostModelTest, ZeroRowJoinsStayComparable) {
+  // Zero-row inputs are legitimate (empty scans); their costs must still be
+  // totally ordered so the DP can deterministically pick the cheaper entry.
+  CostModel cost;
+  const double zero_nl = cost.JoinCost(exec::PhysOp::kNestLoopJoin, 0.0, 0.0, 0.0);
+  const double zero_hash = cost.JoinCost(exec::PhysOp::kHashJoin, 0.0, 0.0, 0.0);
+  EXPECT_TRUE(common::IsFinite(zero_nl));
+  EXPECT_TRUE(common::IsFinite(zero_hash));
+  // And a real plan always beats the sanitized infinite sentinel.
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_LT(cost.JoinCost(exec::PhysOp::kHashJoin, 100.0, 100.0, 100.0),
+            cost.JoinCost(exec::PhysOp::kNestLoopJoin, inf, inf, inf));
+}
+
+TEST(CostModelTest, ResidualPredicatesAddCost) {
+  // Extra cut edges (multigraph queries) are evaluated as residual filters
+  // on candidate matches: more residuals must cost strictly more.
+  CostModel cost;
+  for (auto op : {exec::PhysOp::kHashJoin, exec::PhysOp::kMergeJoin,
+                  exec::PhysOp::kNestLoopJoin}) {
+    EXPECT_GT(cost.JoinCost(op, 1000, 1000, 100, 2),
+              cost.JoinCost(op, 1000, 1000, 100, 0))
         << exec::PhysOpName(op);
   }
 }

@@ -1,0 +1,413 @@
+// The plan cache's equivalence contract (optimizer/plan_cache.h): a
+// template-skewed workload produces bit-identical results, plans, and
+// re-optimization decisions with the cache on or off — the only permitted
+// differences are the kPlan event's cache bookkeeping (cache/fss fields,
+// num_estimates dropping to 0 on a hit) and the wall-clock the cache exists
+// to save. Also pinned: the serial hit/miss sequence is deterministic, hit
+// and miss counts are exact under concurrent EngineServer workers, and a
+// mid-workload invalidation never serves a stale skeleton.
+#include <future>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "card/histogram_estimator.h"
+#include "common/thread_pool.h"
+#include "engine/engine.h"
+#include "engine/server.h"
+#include "engine/trace.h"
+#include "optimizer/plan_cache.h"
+#include "storage/database.h"
+#include "workload/workload.h"
+
+namespace lpce::eng {
+namespace {
+
+/// Everything the contract pins for one query.
+struct Outcome {
+  uint64_t result_count = 0;
+  int num_reopts = 0;
+  std::string initial_plan;
+  std::string final_plan;
+  std::shared_ptr<QueryTrace> trace;
+};
+
+std::string StripPlanTimes(const std::string& plan) {
+  std::string out;
+  out.reserve(plan.size());
+  size_t pos = 0;
+  while (pos < plan.size()) {
+    const size_t hit = plan.find(" time=", pos);
+    if (hit == std::string::npos) {
+      out.append(plan, pos, plan.size() - pos);
+      break;
+    }
+    out.append(plan, pos, hit - pos);
+    size_t end = hit + 6;
+    while (end < plan.size() && plan[end] != '\n' && plan[end] != ' ') ++end;
+    pos = end;
+  }
+  return out;
+}
+
+Outcome Summarize(const RunStats& stats) {
+  Outcome outcome;
+  outcome.result_count = stats.result_count;
+  outcome.num_reopts = stats.num_reopts;
+  outcome.initial_plan = StripPlanTimes(stats.initial_plan);
+  outcome.final_plan = StripPlanTimes(stats.final_plan);
+  outcome.trace = stats.trace;
+  return outcome;
+}
+
+/// Bit-identity modulo the cache's own bookkeeping: spans compare fully;
+/// events compare fully except the kPlan event's num_estimates (0 on a hit)
+/// and cache/fss fields. Everything else — every checkpoint q-error, every
+/// re-opt decision and cost, every span cardinality — must match exactly.
+void ExpectEquivalentModuloCache(const Outcome& off, const Outcome& on,
+                                 const std::string& context) {
+  EXPECT_EQ(on.result_count, off.result_count) << context;
+  EXPECT_EQ(on.num_reopts, off.num_reopts) << context;
+  EXPECT_EQ(on.initial_plan, off.initial_plan) << context;
+  EXPECT_EQ(on.final_plan, off.final_plan) << context;
+
+  const auto& spans_off = off.trace->spans();
+  const auto& spans_on = on.trace->spans();
+  ASSERT_EQ(spans_on.size(), spans_off.size()) << context;
+  for (size_t i = 0; i < spans_off.size(); ++i) {
+    const TraceSpan& a = spans_off[i];
+    const TraceSpan& b = spans_on[i];
+    const std::string at = context + " span " + std::to_string(i);
+    EXPECT_EQ(b.id, a.id) << at;
+    EXPECT_EQ(b.round, a.round) << at;
+    EXPECT_EQ(b.seq, a.seq) << at;
+    EXPECT_EQ(b.op, a.op) << at;
+    EXPECT_EQ(b.rels, a.rels) << at;
+    EXPECT_EQ(b.est_card, a.est_card) << at;
+    EXPECT_EQ(b.actual_card, a.actual_card) << at;
+    EXPECT_EQ(b.qerror, a.qerror) << at;
+    EXPECT_EQ(b.outer_span, a.outer_span) << at;
+    EXPECT_EQ(b.inner_span, a.inner_span) << at;
+    EXPECT_EQ(b.outer_rows, a.outer_rows) << at;
+    EXPECT_EQ(b.inner_rows, a.inner_rows) << at;
+  }
+
+  const auto& events_off = off.trace->events();
+  const auto& events_on = on.trace->events();
+  ASSERT_EQ(events_on.size(), events_off.size()) << context;
+  for (size_t i = 0; i < events_off.size(); ++i) {
+    const TraceEvent& a = events_off[i];
+    const TraceEvent& b = events_on[i];
+    const std::string at = context + " event " + std::to_string(i);
+    EXPECT_EQ(b.kind, a.kind) << at;
+    EXPECT_EQ(b.round, a.round) << at;
+    EXPECT_EQ(b.seq, a.seq) << at;
+    EXPECT_EQ(b.rels, a.rels) << at;
+    EXPECT_EQ(b.est_card, a.est_card) << at;
+    EXPECT_EQ(b.actual_card, a.actual_card) << at;
+    EXPECT_EQ(b.qerror, a.qerror) << at;
+    EXPECT_EQ(b.threshold, a.threshold) << at;
+    EXPECT_EQ(b.policy_allows, a.policy_allows) << at;
+    EXPECT_EQ(b.tripped, a.tripped) << at;
+    EXPECT_EQ(b.plan_cost, a.plan_cost) << at;
+    EXPECT_EQ(b.before_cost, a.before_cost) << at;
+    EXPECT_EQ(b.decision, a.decision) << at;
+    if (a.kind != TraceEventKind::kPlan) {
+      EXPECT_EQ(b.num_estimates, a.num_estimates) << at;
+    }
+  }
+}
+
+/// The kPlan event's cache outcome ("hit"/"miss"; "" when caching is off).
+std::string CacheDecision(const Outcome& outcome) {
+  if (outcome.trace->events().empty()) return "";
+  const TraceEvent& plan = outcome.trace->events().front();
+  EXPECT_EQ(plan.kind, TraceEventKind::kPlan);
+  return plan.cache_decision;
+}
+
+/// Adversarial estimator (same shape as serving_equivalence_test.cc):
+/// underestimates joins so checkpoints trip and the cache's interaction with
+/// re-optimization — lazy estimator preparation on a hit, re-planning always
+/// against live estimators — is actually exercised.
+class UnderEstimator : public card::CardinalityEstimator {
+ public:
+  explicit UnderEstimator(const stats::DatabaseStats* stats)
+      : histogram_(stats) {}
+  std::string name() const override { return "under"; }
+  void PrepareQuery(const qry::Query& query) override {
+    histogram_.PrepareQuery(query);
+  }
+  double EstimateSubset(const qry::Query& query, qry::RelSet rels) override {
+    const double base = histogram_.EstimateSubset(query, rels);
+    return qry::PopCount(rels) > 1 ? std::max(1.0, base / 1e4) : base;
+  }
+
+ private:
+  card::HistogramEstimator histogram_;
+};
+
+constexpr int kNumTemplates = 20;
+constexpr int kWorkloadSize = 200;
+
+class PlanCacheEquivalenceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    common::SetGlobalPoolSize(4);
+    db::SynthImdbOptions opts;
+    opts.scale = 0.02;
+    database_ = db::BuildSynthImdb(opts).release();
+    stats_ = new stats::DatabaseStats();
+    stats_->Build(*database_);
+
+    // Template pool: 20 distinct generated queries. The serving workload
+    // draws 200 queries from the pool with Zipf-style skew (weight 1/rank) —
+    // the template-heavy regime the cache targets. Exact repeats are the
+    // honest model for the default fingerprint (identical literals); the
+    // cross-literal case is covered by plan_cache_test.cc.
+    wk::GeneratorOptions gen;
+    gen.seed = 1207;
+    wk::QueryGenerator generator(database_, gen);
+    pool_ = new std::vector<wk::LabeledQuery>(
+        generator.GenerateLabeled(kNumTemplates, 2, 5));
+
+    sequence_ = new std::vector<int>();
+    std::mt19937 rng(4242);
+    std::vector<double> weights;
+    for (int i = 0; i < kNumTemplates; ++i) weights.push_back(1.0 / (i + 1));
+    std::discrete_distribution<int> dist(weights.begin(), weights.end());
+    for (int i = 0; i < kWorkloadSize; ++i) sequence_->push_back(dist(rng));
+  }
+
+  static void TearDownTestSuite() {
+    delete sequence_;
+    sequence_ = nullptr;
+    delete pool_;
+    pool_ = nullptr;
+    delete stats_;
+    stats_ = nullptr;
+    delete database_;
+    database_ = nullptr;
+    common::SetGlobalPoolSize(0);
+  }
+
+  static RunConfig Config() {
+    RunConfig config;
+    config.enable_reopt = true;
+    config.qerror_threshold = 10.0;
+    return config;
+  }
+
+  /// The cache-off serial baseline, one Outcome per workload position.
+  static std::vector<Outcome> Baseline() {
+    std::vector<Outcome> outcomes;
+    UnderEstimator under(stats_);
+    Engine engine(database_, opt::CostModel{});
+    for (int idx : *sequence_) {
+      const auto& labeled = (*pool_)[idx];
+      outcomes.push_back(
+          Summarize(engine.RunQuery(labeled.query, &under, nullptr, Config())));
+      EXPECT_EQ(outcomes.back().result_count, labeled.FinalCard());
+    }
+    return outcomes;
+  }
+
+  static EngineServer::SessionFactory Factory() {
+    return [](int worker_id) {
+      (void)worker_id;
+      EngineServer::Session session;
+      session.initial = std::make_unique<UnderEstimator>(stats_);
+      return session;
+    };
+  }
+
+  /// Expected serial decisions: a template misses on first use, hits after.
+  static std::vector<std::string> ExpectedDecisions() {
+    std::vector<std::string> expected;
+    std::set<int> seen;
+    for (int idx : *sequence_) {
+      expected.push_back(seen.insert(idx).second ? "miss" : "hit");
+    }
+    return expected;
+  }
+
+  static size_t NumDistinctUsed() {
+    return std::set<int>(sequence_->begin(), sequence_->end()).size();
+  }
+
+  static db::Database* database_;
+  static stats::DatabaseStats* stats_;
+  static std::vector<wk::LabeledQuery>* pool_;
+  static std::vector<int>* sequence_;
+};
+
+db::Database* PlanCacheEquivalenceTest::database_ = nullptr;
+stats::DatabaseStats* PlanCacheEquivalenceTest::stats_ = nullptr;
+std::vector<wk::LabeledQuery>* PlanCacheEquivalenceTest::pool_ = nullptr;
+std::vector<int>* PlanCacheEquivalenceTest::sequence_ = nullptr;
+
+TEST_F(PlanCacheEquivalenceTest, SerialCacheOnMatchesCacheOffBitIdentically) {
+  const std::vector<Outcome> baseline = Baseline();
+
+  opt::PlanCache cache(64);
+  UnderEstimator under(stats_);
+  Engine engine(database_, opt::CostModel{});
+  engine.set_plan_cache(&cache);
+  const std::vector<std::string> expected_decisions = ExpectedDecisions();
+  for (size_t q = 0; q < sequence_->size(); ++q) {
+    const auto& labeled = (*pool_)[(*sequence_)[q]];
+    const Outcome on =
+        Summarize(engine.RunQuery(labeled.query, &under, nullptr, Config()));
+    ExpectEquivalentModuloCache(baseline[q], on, "query " + std::to_string(q));
+    // The serial hit/miss sequence is fully determined by the workload.
+    EXPECT_EQ(CacheDecision(on), expected_decisions[q])
+        << "query " << q << " template " << (*sequence_)[q];
+    // The cache-off baseline carries no cache fields at all.
+    EXPECT_EQ(CacheDecision(baseline[q]), "");
+  }
+
+  const auto counters = cache.counters();
+  EXPECT_EQ(counters.misses, NumDistinctUsed());
+  EXPECT_EQ(counters.hits, sequence_->size() - NumDistinctUsed());
+  EXPECT_EQ(counters.inserts, NumDistinctUsed());
+  EXPECT_EQ(counters.evictions, 0u);
+  EXPECT_EQ(counters.size, NumDistinctUsed());
+}
+
+TEST_F(PlanCacheEquivalenceTest, ServedCacheOnMatchesBaselineAtAllWorkerCounts) {
+  const std::vector<Outcome> baseline = Baseline();
+
+  for (int workers : {1, 2, 4}) {
+    ServerOptions options;
+    options.num_workers = workers;
+    options.max_queue = sequence_->size();
+    options.run_config = Config();
+    options.plan_cache_capacity = 64;
+    EngineServer server(database_, opt::CostModel{}, Factory(), options);
+    ASSERT_NE(server.plan_cache(), nullptr);
+
+    std::vector<std::shared_future<RunStats>> futures;
+    for (int idx : *sequence_) {
+      auto admitted = server.Submit((*pool_)[idx].query);
+      ASSERT_TRUE(admitted.ok()) << admitted.status().ToString();
+      futures.push_back(admitted.value());
+    }
+    for (size_t q = 0; q < futures.size(); ++q) {
+      const Outcome on = Summarize(futures[q].get());
+      ExpectEquivalentModuloCache(
+          baseline[q], on,
+          "query " + std::to_string(q) + " at " + std::to_string(workers) +
+              " workers");
+      EXPECT_FALSE(CacheDecision(on).empty());
+    }
+
+    // Exact accounting under any interleaving: every query either hit or
+    // missed; two workers may race-miss the same template but only the first
+    // insert lands, so resident entries == distinct templates, no evictions.
+    const auto counters = server.plan_cache()->counters();
+    EXPECT_EQ(counters.hits + counters.misses, sequence_->size());
+    EXPECT_EQ(counters.inserts, NumDistinctUsed());
+    EXPECT_GE(counters.misses, NumDistinctUsed());
+    EXPECT_EQ(counters.evictions, 0u);
+    EXPECT_EQ(counters.size, NumDistinctUsed());
+  }
+}
+
+TEST_F(PlanCacheEquivalenceTest, WarmedCacheGivesExactHitCountsConcurrently) {
+  // After deterministically warming every template, the 200-query skewed
+  // workload over 4 workers is all hits — exactly 200, no race can miss.
+  ServerOptions options;
+  options.num_workers = 4;
+  options.max_queue = sequence_->size() + kNumTemplates;
+  options.run_config = Config();
+  options.plan_cache_capacity = 64;
+  EngineServer server(database_, opt::CostModel{}, Factory(), options);
+
+  for (int t = 0; t < kNumTemplates; ++t) {
+    auto warm = server.RunSync((*pool_)[t].query);
+    ASSERT_TRUE(warm.ok());
+  }
+  const auto warmed = server.plan_cache()->counters();
+  EXPECT_EQ(warmed.misses, static_cast<uint64_t>(kNumTemplates));
+  EXPECT_EQ(warmed.hits, 0u);
+
+  std::vector<std::shared_future<RunStats>> futures;
+  for (int idx : *sequence_) {
+    auto admitted = server.Submit((*pool_)[idx].query);
+    ASSERT_TRUE(admitted.ok());
+    futures.push_back(admitted.value());
+  }
+  for (size_t q = 0; q < futures.size(); ++q) {
+    const Outcome on = Summarize(futures[q].get());
+    EXPECT_EQ(on.result_count, (*pool_)[(*sequence_)[q]].FinalCard());
+    EXPECT_EQ(CacheDecision(on), "hit") << "query " << q;
+  }
+
+  const auto counters = server.plan_cache()->counters();
+  EXPECT_EQ(counters.hits, sequence_->size());
+  EXPECT_EQ(counters.misses, static_cast<uint64_t>(kNumTemplates));
+}
+
+TEST_F(PlanCacheEquivalenceTest, MidWorkloadInvalidationNeverServesStale) {
+  // A statistics-epoch bump halfway through the workload: the cache empties,
+  // every template misses again on next use, and — the actual point — every
+  // post-bump query still matches the cache-off baseline bit-for-bit, so no
+  // stale skeleton was ever served.
+  const std::vector<Outcome> baseline = Baseline();
+
+  ServerOptions options;
+  options.num_workers = 1;  // deterministic decision sequence
+  options.run_config = Config();
+  options.plan_cache_capacity = 64;
+  EngineServer server(database_, opt::CostModel{}, Factory(), options);
+
+  const size_t half = sequence_->size() / 2;
+  std::set<int> seen;
+  for (size_t q = 0; q < sequence_->size(); ++q) {
+    if (q == half) {
+      server.InvalidatePlanCache();
+      seen.clear();  // every template must miss again after the bump
+    }
+    const int idx = (*sequence_)[q];
+    auto result = server.RunSync((*pool_)[idx].query);
+    ASSERT_TRUE(result.ok());
+    const Outcome on = Summarize(result.value());
+    ExpectEquivalentModuloCache(baseline[q], on, "query " + std::to_string(q));
+    EXPECT_EQ(CacheDecision(on), seen.insert(idx).second ? "miss" : "hit")
+        << "query " << q;
+  }
+
+  const auto counters = server.plan_cache()->counters();
+  EXPECT_EQ(counters.invalidations, 1u);
+  EXPECT_EQ(counters.hits + counters.misses, sequence_->size());
+}
+
+TEST(PlanCacheEnvTest, CapacityResolvesFromEnvKnobs) {
+  // The deployment path: LPCE_PLAN_CACHE turns the shared cache on (default
+  // capacity 1024), LPCE_PLAN_CACHE_CAP overrides the capacity, "0"/unset
+  // leaves it off. Same setenv idiom as serving_stress_test's worker knob.
+  unsetenv("LPCE_PLAN_CACHE");
+  unsetenv("LPCE_PLAN_CACHE_CAP");
+  EXPECT_EQ(ServerOptions::FromEnv().plan_cache_capacity, 0u);
+
+  setenv("LPCE_PLAN_CACHE", "1", 1);
+  EXPECT_EQ(ServerOptions::FromEnv().plan_cache_capacity, 1024u);
+
+  setenv("LPCE_PLAN_CACHE_CAP", "77", 1);
+  EXPECT_EQ(ServerOptions::FromEnv().plan_cache_capacity, 77u);
+
+  setenv("LPCE_PLAN_CACHE_CAP", "garbage", 1);
+  EXPECT_EQ(ServerOptions::FromEnv().plan_cache_capacity, 1024u);
+
+  setenv("LPCE_PLAN_CACHE", "0", 1);
+  EXPECT_EQ(ServerOptions::FromEnv().plan_cache_capacity, 0u);
+
+  unsetenv("LPCE_PLAN_CACHE");
+  unsetenv("LPCE_PLAN_CACHE_CAP");
+}
+
+}  // namespace
+}  // namespace lpce::eng
