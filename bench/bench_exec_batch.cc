@@ -1,0 +1,239 @@
+// Vectorized-executor bench: T_E on a join-heavy scan+filter+join workload,
+// row-at-a-time (Volcano-style oracle) vs the batch path (exec/vectorized.h),
+// plus the bit-identity pin the speedup is only allowed to ride on: every
+// finished operator's rowset in batch mode, at pool sizes {1, 2, 4}, must
+// equal the row path's single-thread output bit for bit.
+//
+// Self-contained like bench_plancache: builds its own synthetic database,
+// runs in seconds.
+//
+// Flags:
+//   --scale=F             synthetic database scale (default 0.2)
+//   --queries=N           generated queries (default 8)
+//   --joins=N             joins per query (default 8 — the Join-eight shape)
+//   --batch=N             batch size for the vectorized path (default 1024)
+//   --repeats=N           timing repeats per query; min is kept (default 5)
+//   --min_speedup=F       fail (exit 1) if batch-path T_E speedup over the
+//                         row path is below this (default 2; 0 disables)
+//   --metrics_json=PATH   append one summary JSON line
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "exec/executor.h"
+#include "storage/database.h"
+#include "workload/workload.h"
+
+namespace lpce::bench {
+namespace {
+
+struct Flags {
+  double scale = 0.2;
+  int queries = 8;
+  int joins = 8;
+  int batch = 1024;
+  int repeats = 5;
+  double min_speedup = 2.0;
+  std::string metrics_json;
+};
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const char* prefix) -> const char* {
+      const size_t len = std::strlen(prefix);
+      return arg.rfind(prefix, 0) == 0 ? arg.c_str() + len : nullptr;
+    };
+    if (const char* v = value_of("--scale=")) {
+      flags.scale = std::atof(v);
+    } else if (const char* v = value_of("--queries=")) {
+      flags.queries = std::atoi(v);
+    } else if (const char* v = value_of("--joins=")) {
+      flags.joins = std::atoi(v);
+    } else if (const char* v = value_of("--batch=")) {
+      flags.batch = std::atoi(v);
+    } else if (const char* v = value_of("--repeats=")) {
+      flags.repeats = std::atoi(v);
+    } else if (const char* v = value_of("--min_speedup=")) {
+      flags.min_speedup = std::atof(v);
+    } else if (const char* v = value_of("--metrics_json=")) {
+      flags.metrics_json = v;
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag %s\nusage: %s [--scale=F] [--queries=N] "
+                   "[--joins=N] [--batch=N] [--repeats=N] [--min_speedup=F] "
+                   "[--metrics_json=PATH]\n",
+                   arg.c_str(), argv[0]);
+      std::exit(2);
+    }
+  }
+  if (flags.queries <= 0 || flags.joins <= 0 || flags.batch <= 0 ||
+      flags.repeats <= 0) {
+    std::fprintf(stderr, "need positive --queries/--joins/--batch/--repeats\n");
+    std::exit(2);
+  }
+  return flags;
+}
+
+/// Post-order finished rowsets + root count of one executor run.
+struct Outcome {
+  std::vector<exec::RowSetPtr> rowsets;
+  uint64_t result_rows = 0;
+  double exec_seconds = 0.0;
+};
+
+Outcome RunOnce(const db::Database& database, const qry::Query& query,
+                int batch_size) {
+  Outcome outcome;
+  auto plan = exec::BuildCanonicalHashPlan(query);
+  exec::Executor executor(&database, &query);
+  exec::Executor::Options options;
+  options.batch_size = batch_size;
+  WallTimer timer;
+  exec::Executor::RunResult result = executor.Run(plan.get(), options);
+  outcome.exec_seconds = timer.ElapsedSeconds();
+  std::vector<exec::PlanNode*> nodes;
+  exec::PostOrderPlan(plan.get(), &nodes);
+  for (exec::PlanNode* node : nodes) {
+    auto it = result.finished.find(node);
+    outcome.rowsets.push_back(it != result.finished.end() ? it->second
+                                                          : nullptr);
+  }
+  if (std::getenv("LPCE_BENCH_PER_NODE") != nullptr) {
+    for (exec::PlanNode* node : nodes) {
+      std::printf("  [batch=%d] %-12s card=%-10llu %.3fms\n", batch_size,
+                  exec::PhysOpName(node->op),
+                  static_cast<unsigned long long>(node->actual_card),
+                  node->exec_seconds * 1e3);
+    }
+  }
+  outcome.result_rows =
+      result.result != nullptr ? result.result->num_rows() : 0;
+  return outcome;
+}
+
+bool BitIdentical(const Outcome& a, const Outcome& b) {
+  if (a.result_rows != b.result_rows) return false;
+  if (a.rowsets.size() != b.rowsets.size()) return false;
+  for (size_t i = 0; i < a.rowsets.size(); ++i) {
+    if (a.rowsets[i] == nullptr || b.rowsets[i] == nullptr) {
+      return a.rowsets[i] == b.rowsets[i];
+    }
+    if (!(a.rowsets[i]->schema == b.rowsets[i]->schema)) return false;
+    if (a.rowsets[i]->row_count != b.rowsets[i]->row_count) return false;
+    if (a.rowsets[i]->cols != b.rowsets[i]->cols) return false;
+  }
+  return true;
+}
+
+int Run(int argc, char** argv) {
+  const Flags flags = ParseFlags(argc, argv);
+
+  db::SynthImdbOptions opts;
+  opts.scale = flags.scale;
+  auto database = db::BuildSynthImdb(opts);
+  wk::GeneratorOptions gen;
+  gen.seed = 811;
+  wk::QueryGenerator generator(database.get(), gen);
+  std::vector<qry::Query> queries;
+  for (int i = 0; i < flags.queries; ++i) {
+    queries.push_back(generator.Generate(flags.joins));
+  }
+
+  const common::MetricsSnapshot before =
+      common::MetricsRegistry::Global().Snapshot();
+
+  // Timing: single-thread T_E, min of repeats, both paths over the same
+  // canonical hash plans. Single-thread is the honest comparison — the pool
+  // speeds both paths up by the same chunking.
+  common::SetGlobalPoolSize(1);
+  double row_seconds = 0.0, batch_seconds = 0.0;
+  uint64_t total_rows = 0;
+  for (const qry::Query& query : queries) {
+    double row_min = 0.0, batch_min = 0.0;
+    for (int r = 0; r < flags.repeats; ++r) {
+      const Outcome row = RunOnce(*database, query, /*batch_size=*/0);
+      if (r == 0 || row.exec_seconds < row_min) row_min = row.exec_seconds;
+      const Outcome batch = RunOnce(*database, query, flags.batch);
+      if (r == 0 || batch.exec_seconds < batch_min) {
+        batch_min = batch.exec_seconds;
+      }
+      if (r == 0) total_rows += row.result_rows;
+    }
+    row_seconds += row_min;
+    batch_seconds += batch_min;
+  }
+  const double speedup =
+      batch_seconds > 0.0 ? row_seconds / batch_seconds : 0.0;
+
+  // Bit-identity pin: the batch path at pool sizes {1, 2, 4} against the row
+  // path's single-thread output, every finished operator compared.
+  uint64_t mismatches = 0;
+  for (const qry::Query& query : queries) {
+    common::SetGlobalPoolSize(1);
+    const Outcome oracle = RunOnce(*database, query, /*batch_size=*/0);
+    for (int pool : {1, 2, 4}) {
+      common::SetGlobalPoolSize(pool);
+      const Outcome got = RunOnce(*database, query, flags.batch);
+      if (!BitIdentical(oracle, got)) {
+        ++mismatches;
+        std::printf("!! bit-identity mismatch: batch=%d pool=%d\n",
+                    flags.batch, pool);
+      }
+    }
+  }
+  common::SetGlobalPoolSize(0);
+
+  std::printf("exec batch bench: %d queries x %d joins, scale %.2f, "
+              "batch %d, %llu result rows\n",
+              flags.queries, flags.joins, flags.scale, flags.batch,
+              static_cast<unsigned long long>(total_rows));
+  std::printf("%-28s %10.1fms\n", "row-at-a-time T_E",
+              row_seconds * 1e3);
+  std::printf("%-28s %10.1fms\n", "vectorized T_E", batch_seconds * 1e3);
+  std::printf("batch-path speedup: %.2fx\n", speedup);
+
+  bool ok = true;
+  if (mismatches > 0) {
+    ok = false;
+    std::printf("!! %llu bit-identity mismatches\n",
+                static_cast<unsigned long long>(mismatches));
+  }
+  if (flags.min_speedup > 0.0 && speedup < flags.min_speedup) {
+    ok = false;
+    std::printf("!! batch speedup %.2fx below required %.2fx\n", speedup,
+                flags.min_speedup);
+  }
+
+  if (!flags.metrics_json.empty()) {
+    std::ofstream metrics_out(flags.metrics_json, std::ios::app);
+    const common::MetricsSnapshot delta =
+        common::Delta(before, common::MetricsRegistry::Global().Snapshot());
+    char line[512];
+    std::snprintf(
+        line, sizeof(line),
+        "{\"bench\":\"exec_batch\",\"queries\":%d,\"joins\":%d,"
+        "\"scale\":%.3f,\"batch\":%d,\"repeats\":%d,\"row_te_ms\":%.3f,"
+        "\"batch_te_ms\":%.3f,\"speedup\":%.3f,\"result_rows\":%llu,"
+        "\"mismatches\":%llu,\"delta\":",
+        flags.queries, flags.joins, flags.scale, flags.batch, flags.repeats,
+        row_seconds * 1e3, batch_seconds * 1e3, speedup,
+        static_cast<unsigned long long>(total_rows),
+        static_cast<unsigned long long>(mismatches));
+    metrics_out << line << delta.ToJson() << "}\n";
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace lpce::bench
+
+int main(int argc, char** argv) { return lpce::bench::Run(argc, argv); }

@@ -35,6 +35,10 @@ struct RunConfig {
   /// layer uses this to trade per-query latency against cross-query
   /// throughput when many queries share the pool.
   int exec_threads = 0;
+  /// Executor batch size: -1 = follow the LPCE_EXEC_BATCH environment knob,
+  /// 0 = row-at-a-time operators, > 0 = vectorized batches of this many rows
+  /// (see exec/vectorized.h). Bit-identical results at every setting.
+  int exec_batch_size = -1;
 };
 
 struct RunStats {

@@ -7,6 +7,7 @@
 #include "common/profiler.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "exec/vectorized.h"
 #include <functional>
 #include <limits>
 #include <unordered_map>
@@ -40,16 +41,6 @@ int EffectiveThreads(int num_threads) {
   return workers;
 }
 
-// splitmix64 finalizer — spreads join keys across build partitions even when
-// they are small consecutive integers.
-inline uint64_t MixKey(int64_t key) {
-  uint64_t x = static_cast<uint64_t>(key);
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
-
 }  // namespace
 
 std::vector<db::ColRef> Executor::SideRequired(
@@ -72,6 +63,9 @@ RowSetPtr Executor::Execute(PlanNode* root) {
 Executor::RunResult Executor::Run(PlanNode* root, const Options& options) {
   peak_bytes_ = 0;
   live_bytes_ = 0;
+  // Resolved once per run: -1 defers to the LPCE_EXEC_BATCH environment knob
+  // so whole suites can be re-run in batch mode without code changes.
+  batch_size_ = options.batch_size >= 0 ? options.batch_size : BatchSizeFromEnv();
   RunResult result;
   RowSetPtr out = ExecuteNode(root, {}, options, &result);
   if (result.tripped == nullptr) result.result = out;
@@ -253,6 +247,17 @@ RowSetPtr Executor::ExecuteScan(const PlanNode& node,
     if (!empty_range) rows = index.RangeLookup(lo, hi);
   } else {
     residual = node.filters;
+  }
+  // A dense scan visits the whole table in storage order; only the row path
+  // materializes the identity row list for it (the batch path iterates
+  // positions directly).
+  const bool dense = node.op != PhysOp::kIndexScan;
+
+  if (batch_size_ > 0) {
+    return BatchScan(table, table_id, dense ? nullptr : &rows, residual,
+                     required, batch_size_, num_threads);
+  }
+  if (dense) {
     rows.resize(table.num_rows());
     for (size_t i = 0; i < rows.size(); ++i) rows[i] = static_cast<uint32_t>(i);
   }
@@ -367,6 +372,14 @@ RowSetPtr Executor::ExecuteJoin(const PlanNode& node, const RowSet& outer,
     residual.emplace_back(oc, ic);
   }
 
+  // Vectorized hash join (merge and nested-loop joins always run the row
+  // kernels — they exist as deliberately mispriced alternatives, not hot
+  // paths).
+  if (node.op == PhysOp::kHashJoin && batch_size_ > 0) {
+    return BatchHashJoin(outer, inner, outer_key, inner_key, residual,
+                         required, max_rows, overflow, batch_size_,
+                         num_threads);
+  }
   if (node.op == PhysOp::kHashJoin && EffectiveThreads(num_threads) > 1 &&
       okeys.size() + ikeys.size() >= kMinParallelRows) {
     return ParallelHashJoin(outer, inner, outer_key, inner_key, residual,
@@ -518,7 +531,7 @@ RowSetPtr Executor::ParallelHashJoin(
       [&](size_t b, size_t e) {
         LPCE_PROFILE_SCOPE("exec.worker.partition");
         for (size_t r = b; r < e; ++r) {
-          part[r] = static_cast<uint8_t>(MixKey(ikeys[r]) % P);
+          part[r] = static_cast<uint8_t>(MixJoinKey(ikeys[r]) % P);
         }
       },
       workers);
@@ -558,7 +571,7 @@ RowSetPtr Executor::ParallelHashJoin(
           for (size_t r = chunks[c].first; r < chunks[c].second; ++r) {
             if (over.load(std::memory_order_relaxed)) return;
             const int64_t key = okeys[r];
-            const auto& table = build[MixKey(key) % P];
+            const auto& table = build[MixJoinKey(key) % P];
             auto it = table.find(key);
             if (it == table.end()) continue;
             size_t emits = 0;

@@ -6,6 +6,13 @@
 // its estimate by more than a q-error threshold (paper Sec. 6.2); execution
 // stops with all finished intermediates retained so the re-optimization
 // controller can re-plan the remainder.
+//
+// Two operator implementations share this control loop: the row-at-a-time
+// kernels below (the differential oracle) and the vectorized batch kernels
+// (exec/vectorized.h, selected by Options::batch_size / LPCE_EXEC_BATCH),
+// which stream scans and hash joins in column-oriented batches with
+// branch-free selection vectors. Both produce bit-identical rowsets and
+// byte-identical deterministic traces at every batch and pool size.
 #ifndef LPCE_EXEC_EXECUTOR_H_
 #define LPCE_EXEC_EXECUTOR_H_
 
@@ -45,6 +52,12 @@ class Executor {
     /// scan filtering (0 = the global pool's full size, 1 = sequential).
     /// Output row order is deterministic — identical at every setting.
     int num_threads = 0;
+    /// Executor batch size: -1 = follow the LPCE_EXEC_BATCH environment knob
+    /// (see exec/vectorized.h), 0 = row-at-a-time operators, > 0 = the
+    /// vectorized batch path with this many rows per batch. Results, actual
+    /// cardinalities, and traces are bit-identical at every setting — the
+    /// row path is the batch path's differential oracle.
+    int batch_size = -1;
     /// When set, every finished operator appends a span and every checkpoint
     /// evaluation appends an event (see engine/trace.h). Not owned.
     eng::QueryTrace* trace = nullptr;
@@ -106,6 +119,9 @@ class Executor {
   const qry::Query* query_;
   size_t peak_bytes_ = 0;
   size_t live_bytes_ = 0;
+  /// Effective batch size of the current run (Options::batch_size with -1
+  /// resolved against LPCE_EXEC_BATCH); 0 = row-at-a-time.
+  int batch_size_ = 0;
 };
 
 /// Builds an all-hash-join plan following the canonical left-deep tree for

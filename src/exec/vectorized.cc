@@ -1,0 +1,468 @@
+#include "exec/vectorized.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+#include "common/check.h"
+#include "common/metrics.h"
+#include "common/profiler.h"
+#include "common/selvec.h"
+#include "common/thread_pool.h"
+
+namespace lpce::exec {
+
+namespace {
+
+// Inputs below this many rows run the sequential paths — same threshold as
+// the row-at-a-time operators (exec/executor.cc), so flipping batch mode
+// never changes *when* the pool is engaged, only what each worker runs.
+constexpr size_t kMinParallelRows = 4096;
+
+int EffectiveThreads(int num_threads) {
+  int workers = common::GlobalPool().size();
+  if (num_threads > 0) workers = std::min(workers, num_threads);
+  return workers;
+}
+
+/// Refines the selection vector `sel` (global row ids, length n) in place
+/// against `col[r] op lit`, one branch-free pass per predicate. The switch
+/// is hoisted out of the loop so each comparison compiles to a flag-setting
+/// compare feeding the cursor increment, with no per-row branch.
+size_t RefineCmp(const std::vector<int64_t>& col, qry::CmpOp op, int64_t lit,
+                 uint32_t* sel, size_t n) {
+  switch (op) {
+    case qry::CmpOp::kLt:
+      return common::RefineSelection(sel, n, sel,
+                                     [&](uint32_t r) { return col[r] < lit; });
+    case qry::CmpOp::kLe:
+      return common::RefineSelection(sel, n, sel,
+                                     [&](uint32_t r) { return col[r] <= lit; });
+    case qry::CmpOp::kEq:
+      return common::RefineSelection(sel, n, sel,
+                                     [&](uint32_t r) { return col[r] == lit; });
+    case qry::CmpOp::kGe:
+      return common::RefineSelection(sel, n, sel,
+                                     [&](uint32_t r) { return col[r] >= lit; });
+    case qry::CmpOp::kGt:
+      return common::RefineSelection(sel, n, sel,
+                                     [&](uint32_t r) { return col[r] > lit; });
+    case qry::CmpOp::kNe:
+      return common::RefineSelection(sel, n, sel,
+                                     [&](uint32_t r) { return col[r] != lit; });
+  }
+  return n;
+}
+
+/// Source (side, column index) for every join output column.
+struct Source {
+  bool from_outer;
+  int col;
+};
+
+std::vector<Source> ResolveSources(const RowSet& outer, const RowSet& inner,
+                                   const std::vector<db::ColRef>& required) {
+  std::vector<Source> sources;
+  sources.reserve(required.size());
+  for (const auto& ref : required) {
+    int idx = outer.ColumnIndex(ref);
+    if (idx >= 0) {
+      sources.push_back({true, idx});
+    } else {
+      idx = inner.ColumnIndex(ref);
+      LPCE_CHECK_MSG(idx >= 0, "join output column not found in either side");
+      sources.push_back({false, idx});
+    }
+  }
+  return sources;
+}
+
+common::Counter* BatchesCounter() {
+  static common::Counter* batches =
+      common::MetricsRegistry::Global().counter("executor.batches_total");
+  return batches;
+}
+
+}  // namespace
+
+int BatchSizeFromEnv() {
+  const char* env = std::getenv("LPCE_EXEC_BATCH");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  const long value = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || value <= 0) return 0;
+  // "1" means "enabled, default size"; anything larger is a literal size,
+  // clamped so a typo can't demand a gigarow selection buffer.
+  if (value == 1) return kDefaultBatchSize;
+  return static_cast<int>(std::min<long>(value, 1 << 20));
+}
+
+RowSetPtr BatchScan(const db::Table& table, int32_t table_id,
+                    const std::vector<uint32_t>* index_rows,
+                    const std::vector<qry::Predicate>& residual,
+                    const std::vector<db::ColRef>& required, int batch_size,
+                    int num_threads) {
+  LPCE_PROFILE_SCOPE("exec.batch_scan");
+  LPCE_CHECK(batch_size > 0);
+  const size_t B = static_cast<size_t>(batch_size);
+  const size_t n = index_rows != nullptr ? index_rows->size() : table.num_rows();
+  auto out = std::make_shared<RowSet>();
+  out->schema = required;
+  out->cols.resize(required.size());
+
+  // A dense scan with no predicates is a straight column copy — no
+  // selection vector, no gather.
+  if (index_rows == nullptr && residual.empty()) {
+    out->row_count = n;
+    for (size_t c = 0; c < required.size(); ++c) {
+      LPCE_CHECK(required[c].table == table_id);
+      out->cols[c] = table.column(required[c].column);
+    }
+    return out;
+  }
+
+  // Filter batch-at-a-time: batch k always covers candidates
+  // [k*B, min((k+1)*B, n)) — fixed global boundaries, so any chunking of
+  // whole batches across workers concatenates back to the input order and
+  // the surviving rows are bit-identical at every pool size.
+  const size_t num_batches = (n + B - 1) / B;
+  auto filter_batches = [&](size_t batch_lo, size_t batch_hi,
+                            std::vector<uint32_t>* kept) {
+    std::vector<uint32_t> sel(B);
+    for (size_t batch = batch_lo; batch < batch_hi; ++batch) {
+      const size_t lo = batch * B;
+      const size_t count = std::min(B, n - lo);
+      if (index_rows != nullptr) {
+        // Candidates are the driving index's row list.
+        std::copy(index_rows->data() + lo, index_rows->data() + lo + count,
+                  sel.data());
+      } else {
+        for (size_t i = 0; i < count; ++i) {
+          sel[i] = static_cast<uint32_t>(lo + i);
+        }
+      }
+      size_t live = count;
+      for (const auto& f : residual) {
+        if (live == 0) break;
+        live = RefineCmp(table.column(f.col.column), f.op, f.value, sel.data(),
+                         live);
+      }
+      kept->insert(kept->end(), sel.data(), sel.data() + live);
+    }
+  };
+
+  const int workers = EffectiveThreads(num_threads);
+  std::vector<uint32_t> rows;
+  if (workers > 1 && n >= kMinParallelRows && num_batches > 1) {
+    const auto chunks =
+        common::ThreadPool::Partition(0, num_batches, 1, workers);
+    std::vector<std::vector<uint32_t>> kept(chunks.size());
+    common::GlobalPool().ParallelFor(
+        0, chunks.size(), 1,
+        [&](size_t c0, size_t c1) {
+          LPCE_PROFILE_SCOPE("exec.worker.batch_filter");
+          for (size_t c = c0; c < c1; ++c) {
+            kept[c].reserve((chunks[c].second - chunks[c].first) * B);
+            filter_batches(chunks[c].first, chunks[c].second, &kept[c]);
+          }
+        },
+        workers);
+    size_t total = 0;
+    for (const auto& k : kept) total += k.size();
+    rows.reserve(total);
+    for (const auto& k : kept) rows.insert(rows.end(), k.begin(), k.end());
+  } else {
+    rows.reserve(n);
+    filter_batches(0, num_batches, &rows);
+  }
+  BatchesCounter()->Increment(num_batches);
+
+  out->row_count = rows.size();
+  for (size_t c = 0; c < required.size(); ++c) {
+    LPCE_CHECK(required[c].table == table_id);
+    const auto& src = table.column(required[c].column);
+    auto& dst = out->cols[c];
+    dst.resize(rows.size());
+    if (workers > 1 && rows.size() >= kMinParallelRows) {
+      common::GlobalPool().ParallelFor(
+          0, rows.size(), kMinParallelRows / 4,
+          [&](size_t b, size_t e) {
+            LPCE_PROFILE_SCOPE("exec.worker.gather");
+            common::GatherSelected(src.data(), rows.data() + b, e - b,
+                                   dst.data() + b);
+          },
+          workers);
+    } else {
+      common::GatherSelected(src.data(), rows.data(), rows.size(), dst.data());
+    }
+  }
+  return out;
+}
+
+RowSetPtr BatchHashJoin(const RowSet& outer, const RowSet& inner,
+                        int outer_key, int inner_key,
+                        const std::vector<std::pair<int, int>>& residual,
+                        const std::vector<db::ColRef>& required,
+                        size_t max_rows, bool* overflow, int batch_size,
+                        int num_threads) {
+  LPCE_PROFILE_SCOPE("exec.batch_hash_join");
+  LPCE_CHECK(batch_size > 0);
+  const auto& okeys = outer.cols[outer_key];
+  const auto& ikeys = inner.cols[inner_key];
+  const size_t B = static_cast<size_t>(batch_size);
+  const int workers = EffectiveThreads(num_threads);
+  common::ThreadPool& pool = common::GlobalPool();
+  const std::vector<Source> sources = ResolveSources(outer, inner, required);
+
+  auto out = std::make_shared<RowSet>();
+  out->schema = required;
+  out->cols.resize(required.size());
+
+  // ---- Build: flattened bucket-segment table over the inner keys. ---------
+  // Counting sort by bucket: every bucket's (key, row) pairs land in one
+  // contiguous segment of flat_keys/flat_rows, written in ascending inner-row
+  // order, so a probe scans a cache-resident segment instead of chasing
+  // chain pointers and a key's matches enumerate exactly like the row path's
+  // per-key insertion-order vector. The hash only places rows into buckets —
+  // key equality is re-checked per entry — so the bucket count and hash
+  // function are invisible in the output.
+  const size_t n_inner = ikeys.size();
+  size_t nbuckets = 16;
+  while (nbuckets < 2 * n_inner) nbuckets <<= 1;
+  const uint64_t mask = nbuckets - 1;
+  std::vector<uint32_t> bucket(n_inner);
+  if (workers > 1 && n_inner >= kMinParallelRows) {
+    pool.ParallelFor(
+        0, n_inner, 4096,
+        [&](size_t b, size_t e) {
+          LPCE_PROFILE_SCOPE("exec.worker.batch_hash");
+          for (size_t r = b; r < e; ++r) {
+            bucket[r] = static_cast<uint32_t>(MixJoinKey(ikeys[r]) & mask);
+          }
+        },
+        workers);
+  } else {
+    for (size_t r = 0; r < n_inner; ++r) {
+      bucket[r] = static_cast<uint32_t>(MixJoinKey(ikeys[r]) & mask);
+    }
+  }
+  std::vector<uint32_t> off(nbuckets + 1, 0);
+  for (size_t r = 0; r < n_inner; ++r) ++off[bucket[r] + 1];
+  for (size_t b = 0; b < nbuckets; ++b) off[b + 1] += off[b];
+  std::vector<int64_t> flat_keys(n_inner);
+  std::vector<uint32_t> flat_rows(n_inner);
+  {
+    std::vector<uint32_t> cursor(off.begin(), off.end() - 1);
+    for (size_t r = 0; r < n_inner; ++r) {
+      const uint32_t p = cursor[bucket[r]]++;
+      flat_keys[p] = ikeys[r];
+      flat_rows[p] = static_cast<uint32_t>(r);
+    }
+  }
+
+  // ---- Probe: batches of outer rows. --------------------------------------
+  // Each batch collects candidate (outer row, inner row) match pairs, then
+  // refines them branch-free against the residual equi-join keys, then
+  // gathers the survivors column-at-a-time. Batch boundaries are fixed
+  // globally (batch k covers [k*B, (k+1)*B)), so chunking whole batches
+  // across workers and concatenating in chunk order reproduces the
+  // sequential output exactly.
+  const size_t n_outer = okeys.size();
+  const size_t num_batches = (n_outer + B - 1) / B;
+  std::atomic<size_t> emitted{0};
+  std::atomic<bool> over{false};
+
+  struct ChunkOut {
+    std::vector<std::vector<int64_t>> cols;
+    size_t rows = 0;
+  };
+
+  // Probe modes, all sharing the branch-free segment scan (every entry is
+  // stored/summed unconditionally, the cursor advances by the key-equality
+  // result):
+  //  - count-only (no residuals, no output columns — a root join): each
+  //    batch is a pure sum of key-equality hits, nothing materialized;
+  //  - expand (no residuals): only inner row ids are collected, plus a
+  //    per-outer-row match count; outer columns are emitted by run-length
+  //    fill (one load per outer row) and inner columns by gather;
+  //  - pairs (residual keys): full (outer, inner) candidate pairs, refined
+  //    branch-free per residual key, then gathered per side.
+  const bool count_only = residual.empty() && sources.empty();
+  const bool expand = residual.empty() && !sources.empty();
+  // Expand mode only materializes inner row ids when an inner column is
+  // actually emitted; a join whose output draws on the outer side alone gets
+  // by on the per-row match counts.
+  bool need_inner_rows = !expand;
+  for (const Source& s : sources) need_inner_rows |= !s.from_outer;
+
+  auto probe_batches = [&](size_t batch_lo, size_t batch_hi, ChunkOut* local) {
+    local->cols.resize(sources.size());
+    std::vector<uint32_t> m_outer(expand || count_only ? 0 : B), m_inner(B);
+    std::vector<uint32_t> counts(expand ? B : 0);
+    std::vector<uint32_t> buckets(B);
+    for (size_t batch = batch_lo; batch < batch_hi; ++batch) {
+      if (over.load(std::memory_order_relaxed)) return;
+      const size_t lo = batch * B;
+      const size_t hi = std::min(lo + B, n_outer);
+      // Hashing is hoisted into its own pass: the multiply/xor chains of
+      // consecutive rows pipeline back to back with no branchy segment scan
+      // between them.
+      for (size_t r = lo; r < hi; ++r) {
+        buckets[r - lo] = static_cast<uint32_t>(MixJoinKey(okeys[r]) & mask);
+      }
+      if (count_only) {
+        size_t hits = 0;
+        for (size_t r = lo; r < hi; ++r) {
+          const int64_t key = okeys[r];
+          const uint64_t b = buckets[r - lo];
+          const uint32_t seg_end = off[b + 1];
+          for (uint32_t i = off[b]; i < seg_end; ++i) {
+            hits += static_cast<size_t>(flat_keys[i] == key);
+          }
+        }
+        local->rows += hits;
+        if (max_rows > 0 && hits > 0 &&
+            emitted.fetch_add(hits, std::memory_order_relaxed) + hits >
+                max_rows) {
+          over.store(true, std::memory_order_relaxed);
+          return;
+        }
+        continue;
+      }
+      // Candidate collection. Capacity is grown ahead of each row's segment
+      // so the scan carries no bounds check.
+      size_t m = 0;
+      for (size_t r = lo; r < hi; ++r) {
+        const int64_t key = okeys[r];
+        const uint64_t b = buckets[r - lo];
+        const uint32_t seg_begin = off[b];
+        const uint32_t seg_end = off[b + 1];
+        if (need_inner_rows && m + (seg_end - seg_begin) > m_inner.size()) {
+          const size_t grown =
+              std::max(m_inner.size() * 2, m + (seg_end - seg_begin));
+          m_inner.resize(grown);
+          if (!expand) m_outer.resize(grown);
+        }
+        if (expand && !need_inner_rows) {
+          size_t hits = 0;
+          for (uint32_t i = seg_begin; i < seg_end; ++i) {
+            hits += static_cast<size_t>(flat_keys[i] == key);
+          }
+          counts[r - lo] = static_cast<uint32_t>(hits);
+          m += hits;
+        } else if (expand) {
+          const size_t before = m;
+          for (uint32_t i = seg_begin; i < seg_end; ++i) {
+            m_inner[m] = flat_rows[i];
+            m += static_cast<size_t>(flat_keys[i] == key);
+          }
+          counts[r - lo] = static_cast<uint32_t>(m - before);
+        } else {
+          for (uint32_t i = seg_begin; i < seg_end; ++i) {
+            m_outer[m] = static_cast<uint32_t>(r);
+            m_inner[m] = flat_rows[i];
+            m += static_cast<size_t>(flat_keys[i] == key);
+          }
+        }
+      }
+      for (const auto& [oc, ic] : residual) {
+        const auto& ocol = outer.cols[oc];
+        const auto& icol = inner.cols[ic];
+        size_t k = 0;
+        for (size_t j = 0; j < m; ++j) {
+          const uint32_t orow = m_outer[j];
+          const uint32_t irow = m_inner[j];
+          m_outer[k] = orow;
+          m_inner[k] = irow;
+          k += static_cast<size_t>(ocol[orow] == icol[irow]);
+        }
+        m = k;
+      }
+      for (size_t s = 0; s < sources.size(); ++s) {
+        auto& dst = local->cols[s];
+        const auto& src = sources[s].from_outer ? outer.cols[sources[s].col]
+                                                : inner.cols[sources[s].col];
+        // Appends go through insert (fill / iterator-range overloads) rather
+        // than resize + overwrite: insert writes each new element exactly
+        // once, where resize would value-initialize the tail first — a whole
+        // extra pass over every emitted column.
+        if (sources[s].from_outer && expand) {
+          // Run-length emit: each outer row's value repeats once per match,
+          // in match order — identical to gathering through explicit
+          // (outer, inner) pairs, without materializing them.
+          for (size_t r = lo; r < hi; ++r) {
+            const uint32_t cnt = counts[r - lo];
+            if (cnt > 0) dst.insert(dst.end(), cnt, src[r]);
+          }
+        } else {
+          const uint32_t* sel =
+              sources[s].from_outer ? m_outer.data() : m_inner.data();
+          dst.insert(dst.end(), common::GatherIterator(src.data(), sel, 0),
+                     common::GatherIterator(src.data(), sel, m));
+        }
+      }
+      local->rows += m;
+      // Count only rows actually emitted: residual keys can reject
+      // candidates the primary key surfaced. Same trip condition as the row
+      // paths — overflow fires iff the total would exceed max_rows.
+      if (max_rows > 0 && m > 0 &&
+          emitted.fetch_add(m, std::memory_order_relaxed) + m > max_rows) {
+        over.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  BatchesCounter()->Increment(num_batches);
+  if (workers > 1 && n_outer + n_inner >= kMinParallelRows &&
+      num_batches > 1) {
+    const auto chunks =
+        common::ThreadPool::Partition(0, num_batches, 1, workers);
+    std::vector<ChunkOut> partials(chunks.size());
+    pool.ParallelFor(
+        0, chunks.size(), 1,
+        [&](size_t c0, size_t c1) {
+          LPCE_PROFILE_SCOPE("exec.worker.batch_probe");
+          for (size_t c = c0; c < c1; ++c) {
+            probe_batches(chunks[c].first, chunks[c].second, &partials[c]);
+          }
+        },
+        workers);
+    if (over.load()) {
+      // The run is abandoned; the partial output is discarded upstream.
+      *overflow = true;
+      return out;
+    }
+    size_t total = 0;
+    for (const auto& p : partials) total += p.rows;
+    out->row_count = total;
+    pool.ParallelFor(
+        0, sources.size(), 1,
+        [&](size_t s0, size_t s1) {
+          LPCE_PROFILE_SCOPE("exec.worker.concat");
+          for (size_t s = s0; s < s1; ++s) {
+            auto& dst = out->cols[s];
+            dst.reserve(total);
+            for (const auto& p : partials) {
+              dst.insert(dst.end(), p.cols[s].begin(), p.cols[s].end());
+            }
+          }
+        },
+        workers);
+    return out;
+  }
+
+  ChunkOut all;
+  probe_batches(0, num_batches, &all);
+  if (over.load()) {
+    *overflow = true;
+    return out;
+  }
+  out->row_count = all.rows;
+  for (size_t s = 0; s < sources.size(); ++s) {
+    out->cols[s] = std::move(all.cols[s]);
+  }
+  return out;
+}
+
+}  // namespace lpce::exec

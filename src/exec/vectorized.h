@@ -1,0 +1,73 @@
+// Vectorized (batch-at-a-time) operator kernels — the LPCE_EXEC_BATCH fast
+// path of the executor.
+//
+// Each kernel streams its input in fixed-size column-oriented batches
+// (default 1024 rows): scans drive every filter predicate through a
+// branch-free selection vector (common/selvec.h), and the hash join builds a
+// flat open-addressing chain table probed batch-at-a-time. Outputs are the
+// same fully-materialized RowSets the row-at-a-time kernels produce, in
+// bit-identical row order at every batch size and thread-pool size — the
+// row path stays available as the differential oracle (see DESIGN.md
+// "Vectorized execution" for the determinism argument).
+#ifndef LPCE_EXEC_VECTORIZED_H_
+#define LPCE_EXEC_VECTORIZED_H_
+
+#include <utility>
+#include <vector>
+
+#include "exec/rowset.h"
+#include "query/query.h"
+#include "storage/table.h"
+
+namespace lpce::exec {
+
+/// Rows per batch when LPCE_EXEC_BATCH enables the path without naming a
+/// size: large enough to amortize per-batch dispatch, small enough that one
+/// batch's selection vector and gathered columns stay cache-resident.
+inline constexpr int kDefaultBatchSize = 1024;
+
+/// Resolves the LPCE_EXEC_BATCH environment knob to an executor batch size:
+/// unset/"0"/invalid = 0 (row-at-a-time path), "1" = kDefaultBatchSize,
+/// N >= 2 = N rows per batch. Parsed on every call (once per query), so
+/// tests may flip the knob at runtime.
+int BatchSizeFromEnv();
+
+/// splitmix64 finalizer — spreads join keys across hash buckets / build
+/// partitions even when they are small consecutive integers. Shared by the
+/// row path's partitioned build and the batch path's chain table.
+inline uint64_t MixJoinKey(int64_t key) {
+  uint64_t x = static_cast<uint64_t>(key);
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Batch scan: drives the table (or, for index scans, the row list the
+/// driving index produced) through `residual` predicates batch-at-a-time
+/// with selection vectors, then gathers `required` into the output.
+/// `index_rows == nullptr` scans the whole table in storage order.
+/// Bit-identical to the row-at-a-time scan path.
+RowSetPtr BatchScan(const db::Table& table, int32_t table_id,
+                    const std::vector<uint32_t>* index_rows,
+                    const std::vector<qry::Predicate>& residual,
+                    const std::vector<db::ColRef>& required, int batch_size,
+                    int num_threads);
+
+/// Batch hash join: flat chain-table build over the inner keys (per-key
+/// match lists traverse in ascending inner-row order, matching the row
+/// path's insertion order), then a batched probe of the outer side with
+/// branch-free residual-key refinement of the candidate matches.
+/// `residual` pairs resolved column indexes (outer, inner) of the extra
+/// equi-join predicates. Sets *overflow and returns an empty result when
+/// more than `max_rows` rows would be emitted (0 = unlimited).
+RowSetPtr BatchHashJoin(const RowSet& outer, const RowSet& inner,
+                        int outer_key, int inner_key,
+                        const std::vector<std::pair<int, int>>& residual,
+                        const std::vector<db::ColRef>& required,
+                        size_t max_rows, bool* overflow, int batch_size,
+                        int num_threads);
+
+}  // namespace lpce::exec
+
+#endif  // LPCE_EXEC_VECTORIZED_H_

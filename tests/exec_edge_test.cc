@@ -1,11 +1,18 @@
 // Executor edge cases: empty inputs, all-filtered scans, duplicate-heavy
-// merge joins, row-limit aborts, and peak-memory accounting.
+// merge joins, row-limit aborts, peak-memory accounting, and the vectorized
+// path's selection-vector corners (empty batches, all-rows-pass filters,
+// single-row tail batches, batch boundaries straddling join partition
+// chunks, and the LPCE_EXEC_BATCH knob).
+#include <cstdlib>
+#include <functional>
 #include <limits>
 #include <utility>
 
 #include <gtest/gtest.h>
 
+#include "common/thread_pool.h"
 #include "exec/executor.h"
+#include "exec/vectorized.h"
 #include "storage/database.h"
 
 namespace lpce::exec {
@@ -40,6 +47,58 @@ class ExecEdgeTest : public ::testing::Test {
     node->outer_key = {a_, 0};
     node->inner_key = {b_, 0};
     return node;
+  }
+
+  /// Runs `make_plan()` row-at-a-time (the oracle) and at every requested
+  /// (batch size x pool size), requiring every finished node's rowset to be
+  /// bit-identical to the oracle's.
+  void ExpectBatchMatchesRow(
+      const std::function<std::unique_ptr<PlanNode>()>& make_plan,
+      std::initializer_list<int> batches,
+      std::initializer_list<int> pools = {1}) {
+    struct Outcome {
+      std::vector<RowSetPtr> rowsets;  // post-order
+      std::vector<uint64_t> actuals;
+    };
+    auto run = [&](int batch, int pool) {
+      common::SetGlobalPoolSize(pool);
+      auto plan = make_plan();
+      Executor executor(&database_, &query_);
+      Executor::Options options;
+      options.batch_size = batch;
+      Executor::RunResult result = executor.Run(plan.get(), options);
+      common::SetGlobalPoolSize(0);
+      Outcome out;
+      std::vector<PlanNode*> nodes;
+      PostOrderPlan(plan.get(), &nodes);
+      for (PlanNode* node : nodes) {
+        auto it = result.finished.find(node);
+        out.rowsets.push_back(it != result.finished.end() ? it->second
+                                                          : nullptr);
+        out.actuals.push_back(node->actual_card);
+      }
+      return out;
+    };
+    const Outcome oracle = run(/*batch=*/0, /*pool=*/1);
+    for (int batch : batches) {
+      for (int pool : pools) {
+        SCOPED_TRACE("batch=" + std::to_string(batch) +
+                     " pool=" + std::to_string(pool));
+        const Outcome got = run(batch, pool);
+        ASSERT_EQ(got.rowsets.size(), oracle.rowsets.size());
+        for (size_t i = 0; i < oracle.rowsets.size(); ++i) {
+          EXPECT_EQ(got.actuals[i], oracle.actuals[i]) << "node " << i;
+          ASSERT_NE(got.rowsets[i], nullptr) << "node " << i;
+          ASSERT_NE(oracle.rowsets[i], nullptr) << "node " << i;
+          EXPECT_TRUE(got.rowsets[i]->schema == oracle.rowsets[i]->schema)
+              << "node " << i;
+          EXPECT_EQ(got.rowsets[i]->row_count, oracle.rowsets[i]->row_count)
+              << "node " << i;
+          EXPECT_TRUE(got.rowsets[i]->cols == oracle.rowsets[i]->cols)
+              << "node " << i;
+        }
+      }
+    }
   }
 
   db::Database database_;
@@ -220,6 +279,158 @@ TEST_F(ExecEdgeTest, NeFilterIsResidualOnIndexScan) {
   // a rows with k < 10 and v != 0: k in {1,2,3,5,6,7,9} -> 7 rows, each
   // joining exactly one b row.
   EXPECT_EQ(executor.Execute(plan.get())->num_rows(), 7u);
+}
+
+TEST_F(ExecEdgeTest, BatchEmptyTablesBitIdentical) {
+  // Zero input rows -> zero batches; the batch path must still produce the
+  // same (empty) rowsets and cardinalities as the row path.
+  database_.BuildAllIndexes();
+  ExpectBatchMatchesRow(
+      [&] { return Join(PhysOp::kHashJoin, Scan(0), Scan(1)); }, {1, 3, 1024});
+}
+
+TEST_F(ExecEdgeTest, BatchAllRowsPassFilterBitIdentical) {
+  // A filter every row passes exercises the full-selection path (the
+  // selection vector is the identity), distinct from the dense no-filter
+  // column-copy fast path — both must match the row path bit for bit.
+  for (int64_t i = 0; i < 10; ++i) {
+    database_.table(a_).AppendRow({i, i});
+    database_.table(b_).AppendRow({i, i});
+  }
+  database_.BuildAllIndexes();
+  qry::Predicate all_pass{{a_, 1}, qry::CmpOp::kGe, 0};
+  ExpectBatchMatchesRow(
+      [&] { return Join(PhysOp::kHashJoin, Scan(0, {all_pass}), Scan(1)); },
+      {1, 3, 1024});
+  ExpectBatchMatchesRow(
+      [&] { return Join(PhysOp::kHashJoin, Scan(0), Scan(1)); }, {1, 3, 1024});
+}
+
+TEST_F(ExecEdgeTest, BatchSingleRowTailBatchBitIdentical) {
+  // 1025 rows: batch 1024 leaves a single-row tail batch; batch 4 leaves a
+  // one-row tail too (1025 = 4*256 + 1); 1024 rows exactly fills the last
+  // batch (no tail). Both shapes must be invisible in the output.
+  for (int64_t i = 0; i < 1025; ++i) {
+    database_.table(a_).AppendRow({i % 50, i});
+    database_.table(b_).AppendRow({i % 50, i});
+  }
+  database_.BuildAllIndexes();
+  qry::Predicate keep_most{{a_, 1}, qry::CmpOp::kNe, 500};
+  ExpectBatchMatchesRow(
+      [&] { return Join(PhysOp::kHashJoin, Scan(0, {keep_most}), Scan(1)); },
+      {4, 1024, 1025, 2048});
+}
+
+TEST_F(ExecEdgeTest, BatchBoundariesStraddleJoinPartitionChunks) {
+  // Enough rows to engage the pool (>= 4096) with duplicate-key groups of 7
+  // that never align with the 1024-row batch boundaries or the pool's chunk
+  // boundaries: match groups straddle both, and the output must still
+  // concatenate back to the sequential row order at every pool size.
+  for (int64_t i = 0; i < 6000; ++i) {
+    database_.table(a_).AppendRow({i / 7, i});
+    database_.table(b_).AppendRow({i / 7, i + 100000});
+  }
+  database_.BuildAllIndexes();
+  ExpectBatchMatchesRow(
+      [&] { return Join(PhysOp::kHashJoin, Scan(0), Scan(1)); }, {3, 1024},
+      {1, 2, 4});
+}
+
+TEST_F(ExecEdgeTest, BatchIndexScanNeResidualBitIdentical) {
+  // Index-driven scan with a kNe residual: the batch path seeds its
+  // selection vector from the index row list (not the identity) and refines
+  // it branch-free; must match the row path at every batch size.
+  for (int64_t i = 0; i < 200; ++i) database_.table(a_).AppendRow({i, i % 4});
+  for (int64_t i = 0; i < 200; ++i) database_.table(b_).AppendRow({i, 0});
+  database_.BuildAllIndexes();
+  qry::Predicate range{{a_, 0}, qry::CmpOp::kLt, 100};
+  qry::Predicate ne{{a_, 1}, qry::CmpOp::kNe, 0};
+  ExpectBatchMatchesRow(
+      [&] {
+        auto scan = Scan(0, {range, ne});
+        scan->op = PhysOp::kIndexScan;
+        scan->index_col = {a_, 0};
+        return Join(PhysOp::kHashJoin, std::move(scan), Scan(1));
+      },
+      {1, 3, 7, 1024});
+}
+
+TEST_F(ExecEdgeTest, BatchRowLimitAbortsLikeRowPath) {
+  // The overflow contract is part of bit-identity: the batch path must trip
+  // the row limit on exactly the same plans as the row path, at every batch
+  // and pool size.
+  for (int i = 0; i < 100; ++i) {
+    database_.table(a_).AppendRow({5, i});
+    database_.table(b_).AppendRow({5, i});
+  }
+  database_.BuildAllIndexes();
+  for (int batch : {1, 3, 1024}) {
+    for (int pool : {1, 4}) {
+      common::SetGlobalPoolSize(pool);
+      auto plan = Join(PhysOp::kHashJoin, Scan(0), Scan(1));
+      Executor executor(&database_, &query_);
+      Executor::Options options;
+      options.batch_size = batch;
+      options.max_node_rows = 1000;
+      Executor::RunResult run = executor.Run(plan.get(), options);
+      EXPECT_TRUE(run.aborted) << "batch=" << batch << " pool=" << pool;
+      EXPECT_EQ(run.result, nullptr) << "batch=" << batch << " pool=" << pool;
+      // Just below the limit: must NOT abort (the trip condition is
+      // strictly-greater, same as the row kernels).
+      auto plan_ok = Join(PhysOp::kHashJoin, Scan(0), Scan(1));
+      options.max_node_rows = 10000;
+      Executor::RunResult ok = executor.Run(plan_ok.get(), options);
+      EXPECT_FALSE(ok.aborted) << "batch=" << batch << " pool=" << pool;
+      ASSERT_NE(ok.result, nullptr);
+      EXPECT_EQ(ok.result->num_rows(), 10000u);
+    }
+  }
+  common::SetGlobalPoolSize(0);
+}
+
+TEST_F(ExecEdgeTest, BatchSizeEnvKnobParses) {
+  // unset/"0"/garbage/negative = off; "1" = default size; N >= 2 literal,
+  // clamped at 1M rows.
+  unsetenv("LPCE_EXEC_BATCH");
+  EXPECT_EQ(BatchSizeFromEnv(), 0);
+  setenv("LPCE_EXEC_BATCH", "", 1);
+  EXPECT_EQ(BatchSizeFromEnv(), 0);
+  setenv("LPCE_EXEC_BATCH", "0", 1);
+  EXPECT_EQ(BatchSizeFromEnv(), 0);
+  setenv("LPCE_EXEC_BATCH", "bogus", 1);
+  EXPECT_EQ(BatchSizeFromEnv(), 0);
+  setenv("LPCE_EXEC_BATCH", "3x", 1);
+  EXPECT_EQ(BatchSizeFromEnv(), 0);
+  setenv("LPCE_EXEC_BATCH", "-4", 1);
+  EXPECT_EQ(BatchSizeFromEnv(), 0);
+  setenv("LPCE_EXEC_BATCH", "1", 1);
+  EXPECT_EQ(BatchSizeFromEnv(), kDefaultBatchSize);
+  setenv("LPCE_EXEC_BATCH", "3", 1);
+  EXPECT_EQ(BatchSizeFromEnv(), 3);
+  setenv("LPCE_EXEC_BATCH", "999999999", 1);
+  EXPECT_EQ(BatchSizeFromEnv(), 1 << 20);
+  unsetenv("LPCE_EXEC_BATCH");
+}
+
+TEST_F(ExecEdgeTest, BatchSizeEnvKnobDrivesExecution) {
+  // Options::batch_size = -1 (the default) must defer to the env knob, and
+  // an explicit 0 must override it back to the row path.
+  for (int64_t i = 0; i < 10; ++i) {
+    database_.table(a_).AppendRow({i, i});
+    database_.table(b_).AppendRow({i, i});
+  }
+  database_.BuildAllIndexes();
+  setenv("LPCE_EXEC_BATCH", "3", 1);
+  auto plan = Join(PhysOp::kHashJoin, Scan(0), Scan(1));
+  Executor executor(&database_, &query_);
+  EXPECT_EQ(executor.Execute(plan.get())->num_rows(), 10u);
+  auto plan_row = Join(PhysOp::kHashJoin, Scan(0), Scan(1));
+  Executor::Options options;
+  options.batch_size = 0;
+  Executor::RunResult row_run = executor.Run(plan_row.get(), options);
+  unsetenv("LPCE_EXEC_BATCH");
+  ASSERT_NE(row_run.result, nullptr);
+  EXPECT_EQ(row_run.result->num_rows(), 10u);
 }
 
 }  // namespace

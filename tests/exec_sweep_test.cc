@@ -3,6 +3,8 @@
 // the canonical hash plan on randomly generated queries.
 #include <gtest/gtest.h>
 
+#include "common/thread_pool.h"
+#include "engine/trace.h"
 #include "exec/executor.h"
 #include "workload/workload.h"
 
@@ -61,6 +63,97 @@ TEST_P(ExecSweepTest, MatchesCanonicalCount) {
         << PhysOpName(param.join_op) << " index=" << param.index_scans
         << " joins=" << joins << " seed=" << param.seed;
   }
+}
+
+// Differential harness for the vectorized path: at every (batch size x pool
+// size) combination, every finished operator's rowset and actual cardinality
+// and the deterministic trace must match the row-at-a-time single-thread
+// run bit for bit. Checkpoints are enabled with a threshold no synthetic
+// cardinality can reach (1e300 rather than infinity — the Release build uses
+// -ffast-math), so checkpoint events are evaluated and traced at every node
+// without ever tripping.
+TEST_P(ExecSweepTest, BatchMatchesVolcanoBitIdentically) {
+  const SweepParam param = GetParam();
+  wk::GeneratorOptions gen;
+  gen.seed = param.seed;
+  wk::QueryGenerator generator(database_, gen);
+  for (int joins : {2, 4}) {
+    wk::LabeledQuery labeled;
+    labeled.query = generator.Generate(joins);
+
+    auto make_plan = [&]() {
+      auto plan = BuildCanonicalHashPlan(labeled.query);
+      std::vector<PlanNode*> nodes;
+      PostOrderPlan(plan.get(), &nodes);
+      for (PlanNode* node : nodes) {
+        if (node->is_join()) {
+          node->op = param.join_op;
+        } else if (param.index_scans && !node->filters.empty() &&
+                   node->filters.front().op != qry::CmpOp::kNe) {
+          node->op = PhysOp::kIndexScan;
+          node->index_col = node->filters.front().col;
+        }
+      }
+      return plan;
+    };
+
+    struct Outcome {
+      std::vector<RowSetPtr> rowsets;  // post-order
+      std::vector<uint64_t> actuals;
+      std::string trace_json;
+    };
+    auto run = [&](int batch, int pool) {
+      common::SetGlobalPoolSize(pool);
+      auto plan = make_plan();
+      eng::QueryTrace trace;
+      Executor::Options options;
+      options.batch_size = batch;
+      options.enable_checkpoints = true;
+      options.qerror_threshold = 1e300;
+      options.trace = &trace;
+      Executor executor(database_, &labeled.query);
+      Executor::RunResult result = executor.Run(plan.get(), options);
+      EXPECT_EQ(result.tripped, nullptr);
+      EXPECT_FALSE(result.aborted);
+      Outcome out;
+      std::vector<PlanNode*> nodes;
+      PostOrderPlan(plan.get(), &nodes);
+      for (PlanNode* node : nodes) {
+        auto it = result.finished.find(node);
+        EXPECT_NE(it, result.finished.end());
+        out.rowsets.push_back(it != result.finished.end() ? it->second
+                                                          : nullptr);
+        out.actuals.push_back(node->actual_card);
+      }
+      out.trace_json = trace.ToJson(eng::TraceJsonMode::kDeterministic);
+      return out;
+    };
+
+    const Outcome oracle = run(/*batch=*/0, /*pool=*/1);
+    for (int batch : {1, 3, 1024}) {
+      for (int pool : {1, 2, 4}) {
+        SCOPED_TRACE("joins=" + std::to_string(joins) +
+                     " batch=" + std::to_string(batch) +
+                     " pool=" + std::to_string(pool) +
+                     " seed=" + std::to_string(param.seed));
+        const Outcome got = run(batch, pool);
+        ASSERT_EQ(got.rowsets.size(), oracle.rowsets.size());
+        for (size_t i = 0; i < oracle.rowsets.size(); ++i) {
+          EXPECT_EQ(got.actuals[i], oracle.actuals[i]) << "node " << i;
+          ASSERT_NE(got.rowsets[i], nullptr);
+          ASSERT_NE(oracle.rowsets[i], nullptr);
+          EXPECT_TRUE(got.rowsets[i]->schema == oracle.rowsets[i]->schema)
+              << "node " << i;
+          EXPECT_EQ(got.rowsets[i]->row_count, oracle.rowsets[i]->row_count)
+              << "node " << i;
+          EXPECT_TRUE(got.rowsets[i]->cols == oracle.rowsets[i]->cols)
+              << "node " << i;
+        }
+        EXPECT_EQ(got.trace_json, oracle.trace_json);
+      }
+    }
+  }
+  common::SetGlobalPoolSize(0);
 }
 
 INSTANTIATE_TEST_SUITE_P(

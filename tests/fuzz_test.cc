@@ -4,7 +4,10 @@
 //  - workload deserializer: truncations and bit flips of a valid file;
 //  - parameter loader: truncations of a valid parameter file;
 //  - concurrent serving: randomized queries through a 4-worker EngineServer,
-//    every result cross-checked against the exact-cardinality oracle.
+//    every result cross-checked against the exact-cardinality oracle;
+//  - batch execution: randomized queries (plus hand-built multigraph /
+//    residual-key shapes) through the vectorized executor at randomized
+//    batch sizes, cross-checked against the same oracle.
 #include <cstdio>
 #include <future>
 #include <string>
@@ -15,6 +18,7 @@
 #include "card/histogram_estimator.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "engine/engine.h"
 #include "engine/server.h"
 #include "nn/layers.h"
 #include "query/parser.h"
@@ -221,6 +225,77 @@ TEST_F(FuzzTest, ConcurrentServerMatchesExactOracle) {
   EXPECT_EQ(counters.submitted, futures.size());
   EXPECT_EQ(counters.completed, futures.size());
   EXPECT_EQ(counters.rejected, 0u);
+  common::SetGlobalPoolSize(0);
+}
+
+TEST_F(FuzzTest, BatchExecutorMatchesExactOracle) {
+  // Batch-mode lane of the oracle fuzz: randomized queries through the
+  // engine with the vectorized executor at randomized batch sizes, each
+  // result cross-checked against the brute-force exact-cardinality oracle.
+  // Mixes plain and re-optimizing configs so checkpoint-interrupted batch
+  // runs are covered too.
+  db::SynthImdbOptions opts;
+  opts.scale = 0.01;
+  auto database = db::BuildSynthImdb(opts);
+  stats::DatabaseStats stats;
+  stats.Build(*database);
+  common::SetGlobalPoolSize(2);
+
+  eng::Engine engine(database.get(), opt::CostModel{});
+  card::HistogramEstimator estimator(&stats);
+  const int batch_sizes[] = {1, 3, 7, 1024};
+  Rng rng(21);
+  wk::GeneratorOptions gen;
+  gen.seed = 2100;
+  wk::QueryGenerator generator(database.get(), gen);
+  for (int i = 0; i < 40; ++i) {
+    const qry::Query query =
+        generator.Generate(1 + static_cast<int>(rng.Uniform(3)));
+    const uint64_t expected =
+        testing::ExactCardinality(*database, query, query.AllRels());
+    eng::RunConfig config;
+    config.exec_batch_size = batch_sizes[rng.Uniform(4)];
+    if (rng.Uniform(2) == 0) {
+      config.enable_reopt = true;
+      config.qerror_threshold = 2.0 + rng.UniformDouble(0.0, 20.0);
+    }
+    const eng::RunStats stats_out = engine.RunQuery(query, &estimator,
+                                                    nullptr, config);
+    EXPECT_EQ(stats_out.result_count, expected)
+        << "query " << i << " batch=" << config.exec_batch_size
+        << " reopt=" << config.enable_reopt;
+  }
+
+  // Multigraph / residual-key shapes (PR 6): hand-built queries whose join
+  // cuts carry residual equi-join edges, run in batch mode at several batch
+  // sizes against the oracle.
+  const int32_t mi = database->catalog().FindTable("movie_info");
+  const int32_t midx = database->catalog().FindTable("movie_info_idx");
+  const int32_t title = database->catalog().FindTable("title");
+  ASSERT_GE(mi, 0);
+  ASSERT_GE(midx, 0);
+  ASSERT_GE(title, 0);
+  qry::Query pair;
+  pair.tables = {mi, midx};
+  pair.joins.push_back({{mi, 1}, {midx, 1}});   // movie_id
+  pair.joins.push_back({{mi, 2}, {midx, 2}});   // info_type_id
+  qry::Query triangle;
+  triangle.tables = {title, mi, midx};
+  triangle.joins.push_back({{mi, 1}, {title, 0}});
+  triangle.joins.push_back({{midx, 1}, {title, 0}});
+  triangle.joins.push_back({{mi, 2}, {midx, 2}});
+  for (const qry::Query& query : {pair, triangle}) {
+    const uint64_t expected =
+        testing::ExactCardinality(*database, query, query.AllRels());
+    for (int batch : {1, 3, 1024}) {
+      eng::RunConfig config;
+      config.exec_batch_size = batch;
+      const eng::RunStats stats_out = engine.RunQuery(query, &estimator,
+                                                      nullptr, config);
+      EXPECT_EQ(stats_out.result_count, expected)
+          << "multigraph batch=" << batch;
+    }
+  }
   common::SetGlobalPoolSize(0);
 }
 

@@ -153,7 +153,12 @@ class UnderEstimator : public card::CardinalityEstimator {
 constexpr int kNumTemplates = 20;
 constexpr int kWorkloadSize = 200;
 
-class PlanCacheEquivalenceTest : public ::testing::Test {
+/// Parameterized over the executor batch size (0 = row-at-a-time Volcano
+/// oracle, 1024 = vectorized batches): the cache's equivalence contract must
+/// hold in both execution modes — in particular a cache hit must rebind the
+/// skeleton's scan filters to the query's literals before the batch path's
+/// selection vectors consume them.
+class PlanCacheEquivalenceTest : public ::testing::TestWithParam<int> {
  protected:
   static void SetUpTestSuite() {
     common::SetGlobalPoolSize(4);
@@ -194,22 +199,23 @@ class PlanCacheEquivalenceTest : public ::testing::Test {
     common::SetGlobalPoolSize(0);
   }
 
-  static RunConfig Config() {
+  static RunConfig Config(int exec_batch) {
     RunConfig config;
     config.enable_reopt = true;
     config.qerror_threshold = 10.0;
+    config.exec_batch_size = exec_batch;
     return config;
   }
 
   /// The cache-off serial baseline, one Outcome per workload position.
-  static std::vector<Outcome> Baseline() {
+  static std::vector<Outcome> Baseline(int exec_batch) {
     std::vector<Outcome> outcomes;
     UnderEstimator under(stats_);
     Engine engine(database_, opt::CostModel{});
     for (int idx : *sequence_) {
       const auto& labeled = (*pool_)[idx];
-      outcomes.push_back(
-          Summarize(engine.RunQuery(labeled.query, &under, nullptr, Config())));
+      outcomes.push_back(Summarize(
+          engine.RunQuery(labeled.query, &under, nullptr, Config(exec_batch))));
       EXPECT_EQ(outcomes.back().result_count, labeled.FinalCard());
     }
     return outcomes;
@@ -249,8 +255,8 @@ stats::DatabaseStats* PlanCacheEquivalenceTest::stats_ = nullptr;
 std::vector<wk::LabeledQuery>* PlanCacheEquivalenceTest::pool_ = nullptr;
 std::vector<int>* PlanCacheEquivalenceTest::sequence_ = nullptr;
 
-TEST_F(PlanCacheEquivalenceTest, SerialCacheOnMatchesCacheOffBitIdentically) {
-  const std::vector<Outcome> baseline = Baseline();
+TEST_P(PlanCacheEquivalenceTest, SerialCacheOnMatchesCacheOffBitIdentically) {
+  const std::vector<Outcome> baseline = Baseline(GetParam());
 
   opt::PlanCache cache(64);
   UnderEstimator under(stats_);
@@ -259,8 +265,8 @@ TEST_F(PlanCacheEquivalenceTest, SerialCacheOnMatchesCacheOffBitIdentically) {
   const std::vector<std::string> expected_decisions = ExpectedDecisions();
   for (size_t q = 0; q < sequence_->size(); ++q) {
     const auto& labeled = (*pool_)[(*sequence_)[q]];
-    const Outcome on =
-        Summarize(engine.RunQuery(labeled.query, &under, nullptr, Config()));
+    const Outcome on = Summarize(
+        engine.RunQuery(labeled.query, &under, nullptr, Config(GetParam())));
     ExpectEquivalentModuloCache(baseline[q], on, "query " + std::to_string(q));
     // The serial hit/miss sequence is fully determined by the workload.
     EXPECT_EQ(CacheDecision(on), expected_decisions[q])
@@ -277,14 +283,14 @@ TEST_F(PlanCacheEquivalenceTest, SerialCacheOnMatchesCacheOffBitIdentically) {
   EXPECT_EQ(counters.size, NumDistinctUsed());
 }
 
-TEST_F(PlanCacheEquivalenceTest, ServedCacheOnMatchesBaselineAtAllWorkerCounts) {
-  const std::vector<Outcome> baseline = Baseline();
+TEST_P(PlanCacheEquivalenceTest, ServedCacheOnMatchesBaselineAtAllWorkerCounts) {
+  const std::vector<Outcome> baseline = Baseline(GetParam());
 
   for (int workers : {1, 2, 4}) {
     ServerOptions options;
     options.num_workers = workers;
     options.max_queue = sequence_->size();
-    options.run_config = Config();
+    options.run_config = Config(GetParam());
     options.plan_cache_capacity = 64;
     EngineServer server(database_, opt::CostModel{}, Factory(), options);
     ASSERT_NE(server.plan_cache(), nullptr);
@@ -316,13 +322,13 @@ TEST_F(PlanCacheEquivalenceTest, ServedCacheOnMatchesBaselineAtAllWorkerCounts) 
   }
 }
 
-TEST_F(PlanCacheEquivalenceTest, WarmedCacheGivesExactHitCountsConcurrently) {
+TEST_P(PlanCacheEquivalenceTest, WarmedCacheGivesExactHitCountsConcurrently) {
   // After deterministically warming every template, the 200-query skewed
   // workload over 4 workers is all hits — exactly 200, no race can miss.
   ServerOptions options;
   options.num_workers = 4;
   options.max_queue = sequence_->size() + kNumTemplates;
-  options.run_config = Config();
+  options.run_config = Config(GetParam());
   options.plan_cache_capacity = 64;
   EngineServer server(database_, opt::CostModel{}, Factory(), options);
 
@@ -351,16 +357,16 @@ TEST_F(PlanCacheEquivalenceTest, WarmedCacheGivesExactHitCountsConcurrently) {
   EXPECT_EQ(counters.misses, static_cast<uint64_t>(kNumTemplates));
 }
 
-TEST_F(PlanCacheEquivalenceTest, MidWorkloadInvalidationNeverServesStale) {
+TEST_P(PlanCacheEquivalenceTest, MidWorkloadInvalidationNeverServesStale) {
   // A statistics-epoch bump halfway through the workload: the cache empties,
   // every template misses again on next use, and — the actual point — every
   // post-bump query still matches the cache-off baseline bit-for-bit, so no
   // stale skeleton was ever served.
-  const std::vector<Outcome> baseline = Baseline();
+  const std::vector<Outcome> baseline = Baseline(GetParam());
 
   ServerOptions options;
   options.num_workers = 1;  // deterministic decision sequence
-  options.run_config = Config();
+  options.run_config = Config(GetParam());
   options.plan_cache_capacity = 64;
   EngineServer server(database_, opt::CostModel{}, Factory(), options);
 
@@ -384,6 +390,14 @@ TEST_F(PlanCacheEquivalenceTest, MidWorkloadInvalidationNeverServesStale) {
   EXPECT_EQ(counters.invalidations, 1u);
   EXPECT_EQ(counters.hits + counters.misses, sequence_->size());
 }
+
+INSTANTIATE_TEST_SUITE_P(ExecMode, PlanCacheEquivalenceTest,
+                         ::testing::Values(0, 1024),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return info.param == 0
+                                      ? std::string("Volcano")
+                                      : "Batch" + std::to_string(info.param);
+                         });
 
 TEST(PlanCacheEnvTest, CapacityResolvesFromEnvKnobs) {
   // The deployment path: LPCE_PLAN_CACHE turns the shared cache on (default
