@@ -1,0 +1,264 @@
+// Validates a Prometheus text-exposition file (the output of
+// EngineServer::PrometheusText() / LPCE_TELEMETRY_PROM periodic export)
+// against the subset of the format this repo emits. CI runs it over the
+// exposition the telemetry jobs produce; exits non-zero on the first
+// violation.
+//
+//   validate_prom [--require=FAMILY ...] METRICS.prom [more.prom ...]
+//
+// Checks, per file:
+//   - every line is a `# HELP`/`# TYPE` comment or a `name{labels} value`
+//     sample with a parseable finite value;
+//   - metric and label names match [a-zA-Z_:][a-zA-Z0-9_:]*;
+//   - every sample's family was declared by a preceding `# TYPE` line, and
+//     the declared type is counter, gauge, histogram, or summary;
+//   - histogram `_bucket` series carry an `le` label, are cumulative
+//     (non-decreasing within one label set), end at `le="+Inf"`, and agree
+//     with the family's `_count`;
+//   - counters and histogram/summary counts are non-negative.
+// Each `--require=FAMILY` additionally demands at least one sample of that
+// family, so CI fails if a family silently disappears from the exposition.
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Context {
+  const char* file = nullptr;
+  size_t lineno = 0;
+};
+
+bool Fail(const Context& ctx, const std::string& what) {
+  std::fprintf(stderr, "%s:%zu: %s\n", ctx.file, ctx.lineno, what.c_str());
+  return false;
+}
+
+bool ValidName(const std::string& name) {
+  if (name.empty()) return false;
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = std::isalpha(static_cast<unsigned char>(c)) != 0;
+    const bool digit = std::isdigit(static_cast<unsigned char>(c)) != 0;
+    if (!(alpha || c == '_' || c == ':' || (digit && i > 0))) return false;
+  }
+  return true;
+}
+
+/// One parsed sample line: name, raw label text (sorted key=value pairs),
+/// the `le` label if present, and the value.
+struct Sample {
+  std::string name;
+  std::string labels;  // canonical "k=v,k=v" with le stripped, for grouping
+  std::string le;
+  double value = 0.0;
+};
+
+bool ParseSample(const Context& ctx, const std::string& line, Sample* out) {
+  size_t pos = 0;
+  while (pos < line.size() && line[pos] != '{' && line[pos] != ' ') ++pos;
+  out->name = line.substr(0, pos);
+  if (!ValidName(out->name)) {
+    return Fail(ctx, "bad metric name '" + out->name + "'");
+  }
+  if (pos < line.size() && line[pos] == '{') {
+    const size_t close = line.find('}', pos);
+    if (close == std::string::npos) return Fail(ctx, "unterminated label set");
+    std::string body = line.substr(pos + 1, close - pos - 1);
+    // Split on commas; our emitter never quotes a comma inside a value.
+    size_t start = 0;
+    std::vector<std::string> pairs;
+    while (start <= body.size()) {
+      size_t comma = body.find(',', start);
+      if (comma == std::string::npos) comma = body.size();
+      if (comma > start) pairs.push_back(body.substr(start, comma - start));
+      start = comma + 1;
+    }
+    for (const std::string& pair : pairs) {
+      const size_t eq = pair.find('=');
+      if (eq == std::string::npos) return Fail(ctx, "label missing '='");
+      const std::string key = pair.substr(0, eq);
+      std::string value = pair.substr(eq + 1);
+      if (!ValidName(key)) return Fail(ctx, "bad label name '" + key + "'");
+      if (value.size() < 2 || value.front() != '"' || value.back() != '"') {
+        return Fail(ctx, "label value not quoted: " + pair);
+      }
+      value = value.substr(1, value.size() - 2);
+      if (key == "le") {
+        out->le = value;
+      } else {
+        if (!out->labels.empty()) out->labels += ',';
+        out->labels += key + "=" + value;
+      }
+    }
+    pos = close + 1;
+  }
+  if (pos >= line.size() || line[pos] != ' ') {
+    return Fail(ctx, "expected ' ' before value");
+  }
+  const std::string value_text = line.substr(pos + 1);
+  if (value_text == "+Inf") {
+    out->value = HUGE_VAL;
+    return true;
+  }
+  char* end = nullptr;
+  out->value = std::strtod(value_text.c_str(), &end);
+  if (end == value_text.c_str() || *end != '\0') {
+    return Fail(ctx, "unparseable value '" + value_text + "'");
+  }
+  if (std::isnan(out->value)) return Fail(ctx, "NaN sample value");
+  return true;
+}
+
+/// Strips a histogram/summary suffix to recover the declared family name.
+std::string FamilyOf(const std::string& name) {
+  for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+    const size_t len = std::strlen(suffix);
+    if (name.size() > len &&
+        name.compare(name.size() - len, len, suffix) == 0) {
+      return name.substr(0, name.size() - len);
+    }
+  }
+  return name;
+}
+
+struct BucketSeries {
+  double last_cumulative = -1.0;
+  bool saw_inf = false;
+  double inf_count = 0.0;
+};
+
+bool ValidateFile(const char* path,
+                  std::map<std::string, size_t>* family_samples) {
+  std::ifstream in(path);
+  Context ctx;
+  ctx.file = path;
+  if (!in.good()) {
+    std::fprintf(stderr, "%s: cannot open\n", path);
+    return false;
+  }
+  std::map<std::string, std::string> declared_type;  // family -> type
+  // (family, labels) -> bucket cumulative state / counts for cross-checks.
+  std::map<std::string, BucketSeries> buckets;
+  std::map<std::string, double> counts;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++ctx.lineno;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // "# TYPE <name> <type>" or "# HELP <name> <text>".
+      if (line.rfind("# TYPE ", 0) == 0) {
+        const std::string rest = line.substr(7);
+        const size_t space = rest.find(' ');
+        if (space == std::string::npos) {
+          return Fail(ctx, "malformed TYPE line");
+        }
+        const std::string family = rest.substr(0, space);
+        const std::string type = rest.substr(space + 1);
+        if (!ValidName(family)) return Fail(ctx, "bad TYPE family name");
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary") {
+          return Fail(ctx, "unknown metric type '" + type + "'");
+        }
+        declared_type[family] = type;
+      } else if (line.rfind("# HELP ", 0) != 0) {
+        return Fail(ctx, "unknown comment directive");
+      }
+      continue;
+    }
+    Sample sample;
+    if (!ParseSample(ctx, line, &sample)) return false;
+    const std::string family = FamilyOf(sample.name);
+    const auto type_it = declared_type.find(family);
+    if (type_it == declared_type.end()) {
+      return Fail(ctx, "sample '" + sample.name +
+                           "' has no preceding # TYPE for '" + family + "'");
+    }
+    ++(*family_samples)[family];
+    const std::string& type = type_it->second;
+    const std::string series_key = family + "{" + sample.labels + "}";
+    if (type == "counter" && sample.value < 0.0) {
+      return Fail(ctx, "negative counter " + sample.name);
+    }
+    if (sample.name == family + "_bucket") {
+      if (type != "histogram") {
+        return Fail(ctx, "_bucket sample on non-histogram family " + family);
+      }
+      if (sample.le.empty()) return Fail(ctx, "_bucket without le label");
+      BucketSeries& series = buckets[series_key];
+      if (series.saw_inf) {
+        return Fail(ctx, "bucket after le=\"+Inf\" in " + series_key);
+      }
+      if (sample.value < series.last_cumulative) {
+        return Fail(ctx, "non-cumulative histogram buckets in " + series_key);
+      }
+      series.last_cumulative = sample.value;
+      if (sample.le == "+Inf") {
+        series.saw_inf = true;
+        series.inf_count = sample.value;
+      }
+    } else if (sample.name == family + "_count" &&
+               (type == "histogram" || type == "summary")) {
+      if (sample.value < 0.0) return Fail(ctx, "negative _count");
+      counts[series_key] = sample.value;
+    }
+  }
+  // Every histogram series must terminate at +Inf and agree with _count.
+  for (const auto& [key, series] : buckets) {
+    ctx.lineno = 0;
+    if (!series.saw_inf) {
+      return Fail(ctx, "histogram series missing le=\"+Inf\": " + key);
+    }
+    const auto count_it = counts.find(key);
+    if (count_it == counts.end()) {
+      return Fail(ctx, "histogram series missing _count: " + key);
+    }
+    if (count_it->second != series.inf_count) {
+      return Fail(ctx, "histogram _count != +Inf bucket in " + key);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> required;
+  std::vector<const char*> files;
+  for (int i = 1; i < argc; ++i) {
+    constexpr const char kRequire[] = "--require=";
+    if (std::strncmp(argv[i], kRequire, sizeof(kRequire) - 1) == 0) {
+      required.emplace_back(argv[i] + sizeof(kRequire) - 1);
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "usage: %s [--require=FAMILY ...] METRICS.prom [...]\n",
+                 argv[0]);
+    return 2;
+  }
+  std::map<std::string, size_t> family_samples;
+  for (const char* file : files) {
+    if (!ValidateFile(file, &family_samples)) return 1;
+  }
+  size_t total = 0;
+  for (const auto& [family, count] : family_samples) total += count;
+  std::printf("validate_prom: %zu sample(s) across %zu families OK\n", total,
+              family_samples.size());
+  bool missing = false;
+  for (const std::string& family : required) {
+    if (family_samples[family] == 0) {
+      std::fprintf(stderr, "validate_prom: required family '%s' never seen\n",
+                   family.c_str());
+      missing = true;
+    }
+  }
+  return missing ? 1 : 0;
+}

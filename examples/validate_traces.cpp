@@ -2,23 +2,72 @@
 // per line) against the trace schema. CI runs this over the traces the
 // LPCE_TRACE=1 test jobs emit; exits non-zero on the first invalid line.
 //
-//   validate_traces traces.jsonl [more.jsonl ...]
+//   validate_traces [--require-kind=NAME ...] traces.jsonl [more.jsonl ...]
+//
+// Besides schema validation the tool tallies events per kind and prints the
+// tally, so CI logs show what the trace corpus actually exercised. Each
+// `--require-kind=NAME` demands at least one event of that kind across all
+// inputs — the telemetry CI job passes `--require-kind=telemetry` so a
+// regression that silently stops emitting telemetry events fails the build
+// instead of validating an emptier schema.
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <map>
 #include <string>
+#include <vector>
 
+#include "common/json.h"
 #include "engine/trace.h"
 
+namespace {
+
+/// Counts `events[*].kind` occurrences in one already-validated trace line.
+void TallyKinds(const std::string& line,
+                std::map<std::string, size_t>* kind_counts) {
+  lpce::common::JsonValue doc;
+  std::string error;
+  lpce::common::JsonParser parser(line);
+  if (!parser.Parse(&doc, &error)) return;  // ValidateTraceJson already passed
+  const lpce::common::JsonValue* events = doc.Find("events");
+  if (events == nullptr ||
+      events->type != lpce::common::JsonValue::Type::kArray) {
+    return;
+  }
+  for (const lpce::common::JsonValue& event : events->arr) {
+    const lpce::common::JsonValue* kind = event.Find("kind");
+    if (kind != nullptr &&
+        kind->type == lpce::common::JsonValue::Type::kString) {
+      ++(*kind_counts)[kind->str];
+    }
+  }
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: %s TRACES.jsonl [...]\n", argv[0]);
+  std::vector<std::string> required_kinds;
+  std::vector<const char*> files;
+  for (int i = 1; i < argc; ++i) {
+    constexpr const char kRequire[] = "--require-kind=";
+    if (std::strncmp(argv[i], kRequire, sizeof(kRequire) - 1) == 0) {
+      required_kinds.emplace_back(argv[i] + sizeof(kRequire) - 1);
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s [--require-kind=NAME ...] TRACES.jsonl [...]\n",
+                 argv[0]);
     return 2;
   }
   size_t total = 0;
-  for (int i = 1; i < argc; ++i) {
-    std::ifstream in(argv[i]);
+  std::map<std::string, size_t> kind_counts;
+  for (const char* file : files) {
+    std::ifstream in(file);
     if (!in.good()) {
-      std::fprintf(stderr, "%s: cannot open\n", argv[i]);
+      std::fprintf(stderr, "%s: cannot open\n", file);
       return 1;
     }
     std::string line;
@@ -28,13 +77,26 @@ int main(int argc, char** argv) {
       if (line.empty()) continue;
       const lpce::Status status = lpce::eng::ValidateTraceJson(line);
       if (!status.ok()) {
-        std::fprintf(stderr, "%s:%zu: invalid trace: %s\n", argv[i], lineno,
+        std::fprintf(stderr, "%s:%zu: invalid trace: %s\n", file, lineno,
                      status.message().c_str());
         return 1;
       }
+      TallyKinds(line, &kind_counts);
       ++total;
     }
   }
   std::printf("validate_traces: %zu trace(s) OK\n", total);
-  return 0;
+  for (const auto& [kind, count] : kind_counts) {
+    std::printf("  %-16s %zu\n", kind.c_str(), count);
+  }
+  bool missing = false;
+  for (const std::string& kind : required_kinds) {
+    if (kind_counts[kind] == 0) {
+      std::fprintf(stderr,
+                   "validate_traces: required event kind '%s' never seen\n",
+                   kind.c_str());
+      missing = true;
+    }
+  }
+  return missing ? 1 : 0;
 }

@@ -122,6 +122,59 @@ std::string MetricsRegistry::ToJson() const {
   return out.str();
 }
 
+namespace {
+
+std::string PromName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(out.begin(), '_');
+  return out;
+}
+
+std::string PromValue(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+void MetricsRegistry::AppendPrometheus(std::string* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) {
+    const std::string prom = PromName(name);
+    out->append("# TYPE ").append(prom).append(" counter\n");
+    out->append(prom).append(" ").append(std::to_string(c->value())).append("\n");
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string prom = PromName(name);
+    out->append("# TYPE ").append(prom).append(" gauge\n");
+    out->append(prom).append(" ").append(PromValue(g->value())).append("\n");
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string prom = PromName(name);
+    out->append("# TYPE ").append(prom).append(" histogram\n");
+    const auto& bounds = h->bounds();
+    const auto counts = h->counts();
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < bounds.size(); ++i) {
+      cumulative += counts[i];
+      out->append(prom).append("_bucket{le=\"").append(PromValue(bounds[i]));
+      out->append("\"} ").append(std::to_string(cumulative)).append("\n");
+    }
+    out->append(prom).append("_bucket{le=\"+Inf\"} ");
+    out->append(std::to_string(h->count())).append("\n");
+    out->append(prom).append("_sum ").append(PromValue(h->sum())).append("\n");
+    out->append(prom).append("_count ").append(std::to_string(h->count()));
+    out->append("\n");
+  }
+}
+
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot snap;

@@ -109,6 +109,10 @@ class MetricsRegistry {
   /// {"counters":{...},"gauges":{...},"histograms":{...}}.
   std::string ToJson() const;
 
+  /// Appends every instrument in Prometheus text format (names sanitized to
+  /// [a-zA-Z0-9_:]; histograms get cumulative le buckets plus _sum/_count).
+  void AppendPrometheus(std::string* out) const;
+
   /// Copies every instrument's current value.
   MetricsSnapshot Snapshot() const;
 

@@ -1,0 +1,712 @@
+#include "common/telemetry.h"
+
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/metrics.h"
+
+namespace lpce::common {
+
+namespace internal {
+std::atomic<bool> g_telemetry_enabled{false};
+}  // namespace internal
+
+void SetTelemetryEnabled(bool enabled) {
+  internal::g_telemetry_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+// ---- LogHistogram ---------------------------------------------------------
+
+int LogHistogram::BucketOf(uint64_t value) {
+  // Values below one full octave of sub-buckets map to themselves; above
+  // that, the top kSubBits bits after the leading one select the sub-bucket
+  // within the value's octave. Pure integer math: identical on every
+  // machine and under every build flag.
+  if (value < (1u << kSubBits)) return static_cast<int>(value);
+  const int h = std::bit_width(value) - 1;  // position of the leading one
+  const int sub = static_cast<int>((value >> (h - kSubBits)) &
+                                   ((uint64_t{1} << kSubBits) - 1));
+  return ((h - kSubBits + 1) << kSubBits) + sub;
+}
+
+uint64_t LogHistogram::BucketUpperBound(int bucket) {
+  if (bucket < (1 << kSubBits)) return static_cast<uint64_t>(bucket);
+  const int h = (bucket >> kSubBits) + kSubBits - 1;
+  const uint64_t sub = static_cast<uint64_t>(bucket & ((1 << kSubBits) - 1));
+  const uint64_t lower =
+      (uint64_t{1} << h) + (sub << (h - kSubBits));
+  return lower + (uint64_t{1} << (h - kSubBits)) - 1;
+}
+
+const uint64_t LogHistogram::kZeroBuckets[LogHistogram::kNumBuckets] = {};
+
+uint64_t* LogHistogram::MutableCounts() {
+  if (counts_ == nullptr) {
+    counts_ = std::make_unique<uint64_t[]>(kNumBuckets);  // value-initialized
+  }
+  return counts_.get();
+}
+
+LogHistogram& LogHistogram::operator=(const LogHistogram& other) {
+  if (this == &other) return *this;
+  count_ = other.count_;
+  sum_ = other.sum_;
+  if (other.counts_ == nullptr) {
+    counts_.reset();
+  } else {
+    std::memcpy(MutableCounts(), other.counts_.get(),
+                sizeof(uint64_t) * kNumBuckets);
+  }
+  return *this;
+}
+
+void LogHistogram::Observe(uint64_t value) {
+  ++MutableCounts()[BucketOf(value)];
+  ++count_;
+  sum_ += value;
+}
+
+uint64_t LogHistogram::ValueAtQuantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count_));
+  if (rank * 1.0 < q * static_cast<double>(count_)) ++rank;  // ceil
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  const uint64_t* counts = buckets();
+  for (int b = 0; b < kNumBuckets; ++b) {
+    seen += counts[b];
+    if (seen >= rank) return BucketUpperBound(b);
+  }
+  return BucketUpperBound(kNumBuckets - 1);
+}
+
+void LogHistogram::Merge(const LogHistogram& other) {
+  if (other.count_ != 0) {
+    uint64_t* counts = MutableCounts();
+    const uint64_t* theirs = other.buckets();
+    for (int b = 0; b < kNumBuckets; ++b) counts[b] += theirs[b];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void LogHistogram::Reset() {
+  counts_.reset();  // drop the allocation: reset windows go back to cheap
+  count_ = 0;
+  sum_ = 0;
+}
+
+// ---- TelemetryRing --------------------------------------------------------
+
+TelemetryRing::TelemetryRing(size_t capacity) {
+  size_t cap = 2;
+  while (cap < capacity) cap <<= 1;
+  cells_ = std::vector<Cell>(cap);
+  mask_ = cap - 1;
+  for (size_t i = 0; i < cap; ++i) {
+    cells_[i].seq.store(i, std::memory_order_relaxed);
+  }
+}
+
+bool TelemetryRing::TryPush(const TelemetryRecord& record) {
+  uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+  for (;;) {
+    Cell& cell = cells_[pos & mask_];
+    const uint64_t seq = cell.seq.load(std::memory_order_acquire);
+    const int64_t diff = static_cast<int64_t>(seq) - static_cast<int64_t>(pos);
+    if (diff == 0) {
+      if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                             std::memory_order_relaxed)) {
+        cell.record = record;
+        cell.seq.store(pos + 1, std::memory_order_release);
+        return true;
+      }
+      // CAS failure reloaded `pos`; retry against the new slot.
+    } else if (diff < 0) {
+      return false;  // full: the consumer has not freed this slot yet
+    } else {
+      pos = enqueue_pos_.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+bool TelemetryRing::TryPop(TelemetryRecord* out) {
+  uint64_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+  for (;;) {
+    Cell& cell = cells_[pos & mask_];
+    const uint64_t seq = cell.seq.load(std::memory_order_acquire);
+    const int64_t diff =
+        static_cast<int64_t>(seq) - static_cast<int64_t>(pos + 1);
+    if (diff == 0) {
+      if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
+                                             std::memory_order_relaxed)) {
+        *out = cell.record;
+        cell.seq.store(pos + mask_ + 1, std::memory_order_release);
+        return true;
+      }
+    } else if (diff < 0) {
+      return false;  // empty
+    } else {
+      pos = dequeue_pos_.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+// ---- WindowStats ----------------------------------------------------------
+
+const char* PhaseName(int phase) {
+  switch (phase) {
+    case WindowStats::kPlan:
+      return "plan";
+    case WindowStats::kInfer:
+      return "infer";
+    case WindowStats::kReopt:
+      return "reopt";
+    case WindowStats::kExec:
+      return "exec";
+  }
+  return "unknown";
+}
+
+void WindowStats::Apply(const TelemetryRecord& record) {
+  if (record.outcome == QueryOutcome::kRejected) {
+    ++rejected;
+    return;
+  }
+  ++queries;
+  reopts += record.num_reopts;
+  cache_hits += record.cache_hit != 0 ? 1 : 0;
+  checkpoints += record.num_qerrors;
+  result_rows += record.result_rows;
+  if (record.unix_ns != 0) {
+    if (first_unix_ns == 0 || record.unix_ns < first_unix_ns) {
+      first_unix_ns = record.unix_ns;
+    }
+    if (record.unix_ns > last_unix_ns) last_unix_ns = record.unix_ns;
+  }
+  phases[kPlan].Observe(record.plan_ns);
+  phases[kInfer].Observe(record.infer_ns);
+  phases[kReopt].Observe(record.reopt_ns);
+  phases[kExec].Observe(record.exec_ns);
+  const uint32_t stored =
+      record.num_qerrors < TelemetryRecord::kMaxQErrors
+          ? record.num_qerrors
+          : TelemetryRecord::kMaxQErrors;
+  for (uint32_t i = 0; i < stored; ++i) {
+    qerror.ObserveDouble(static_cast<double>(record.qerrors[i]));
+  }
+}
+
+void WindowStats::Reset() { *this = WindowStats(); }
+
+double WindowStats::SpanSeconds() const {
+  if (last_unix_ns <= first_unix_ns) return 0.0;
+  return static_cast<double>(last_unix_ns - first_unix_ns) / 1e9;
+}
+
+const TelemetrySnapshot::Template* TelemetrySnapshot::Find(uint64_t fss) const {
+  for (const auto& t : templates) {
+    if (t.fss == fss) return &t;
+  }
+  return nullptr;
+}
+
+// ---- TelemetryHub ---------------------------------------------------------
+
+TelemetryOptions TelemetryOptions::FromEnv() {
+  TelemetryOptions options;
+  if (const char* v = std::getenv("LPCE_TELEMETRY_RING");
+      v != nullptr && v[0] != '\0') {
+    const long parsed = std::atol(v);
+    if (parsed > 0) options.ring_capacity = static_cast<size_t>(parsed);
+  }
+  if (const char* v = std::getenv("LPCE_TELEMETRY_WINDOW");
+      v != nullptr && v[0] != '\0') {
+    const long parsed = std::atol(v);
+    if (parsed > 0) options.window_size = static_cast<uint64_t>(parsed);
+  }
+  if (const char* v = std::getenv("LPCE_TELEMETRY_PROM");
+      v != nullptr && v[0] != '\0') {
+    options.prom_path = v;
+  }
+  return options;
+}
+
+TelemetryHub::TelemetryHub() { Configure(TelemetryOptions::FromEnv()); }
+
+TelemetryHub& TelemetryHub::Global() {
+  // Leaky singleton (like MetricsRegistry): worker threads and atexit hooks
+  // may touch the hub during static destruction.
+  static TelemetryHub* hub = new TelemetryHub();
+  return *hub;
+}
+
+void TelemetryHub::Configure(const TelemetryOptions& options) {
+  StopAggregator();
+  std::lock_guard<std::mutex> drain_lock(drain_mu_);
+  std::lock_guard<std::mutex> lock(mu_);
+  options_ = options;
+  mode_.store(static_cast<int>(options.mode), std::memory_order_relaxed);
+  auto fresh = std::make_unique<TelemetryRing>(options.ring_capacity);
+  ring_.store(fresh.get(), std::memory_order_release);
+  // A publisher may still hold a pointer to the previous ring mid-push, so
+  // old rings are retired, never freed (bounded by Configure call count).
+  retired_rings_.push_back(std::move(fresh));
+  templates_.clear();
+  total_rotations_ = 0;
+  hook_seen_rotations_ = 0;
+  published_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  drained_.store(0, std::memory_order_relaxed);
+  qerrors_truncated_.store(0, std::memory_order_relaxed);
+}
+
+bool TelemetryHub::Publish(TelemetryRecord record) {
+  if (!TelemetryEnabled()) return false;
+  TelemetryRing* ring = ring_.load(std::memory_order_acquire);
+  if (ring == nullptr) return false;
+  if (mode_.load(std::memory_order_relaxed) ==
+          static_cast<int>(TelemetryMode::kFull) &&
+      record.unix_ns == 0) {
+    record.unix_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+  }
+  if (ring->TryPush(record)) {
+    published_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void TelemetryHub::ApplyLocked(const TelemetryRecord& record) {
+  if (record.num_qerrors > TelemetryRecord::kMaxQErrors) {
+    qerrors_truncated_.fetch_add(
+        record.num_qerrors - TelemetryRecord::kMaxQErrors,
+        std::memory_order_relaxed);
+  }
+  TemplateState& state = templates_[record.fss_hash];
+  state.lifetime.Apply(record);
+  state.current.Apply(record);
+  if (options_.window_size > 0 &&
+      state.current.queries >= options_.window_size) {
+    state.completed = state.current;
+    state.has_completed = true;
+    ++state.windows_completed;
+    ++total_rotations_;
+    if (!state.has_baseline) {
+      // The first full window freezes as the drift baseline — deterministic
+      // given the record sequence, no wall clock involved.
+      state.baseline = state.completed;
+      state.has_baseline = true;
+    }
+    state.current.Reset();
+  }
+}
+
+uint64_t TelemetryHub::DrainNow() {
+  std::lock_guard<std::mutex> drain_lock(drain_mu_);
+  TelemetryRing* ring = ring_.load(std::memory_order_acquire);
+  if (ring == nullptr) return 0;
+  uint64_t applied = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    TelemetryRecord record;
+    while (ring->TryPop(&record)) {
+      ApplyLocked(record);
+      ++applied;
+    }
+  }
+  drained_.fetch_add(applied, std::memory_order_relaxed);
+  // Drift verdicts can only change when a window completes, and the hook's
+  // evaluation snapshots every template — far too heavy to run on every
+  // aggregator drain tick. Fire it only when this batch rotated a window.
+  std::function<void(TelemetryHub&)> hook;
+  uint64_t rotations = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    hook = drift_hook_;
+    rotations = total_rotations_;
+  }
+  if (hook && rotations != hook_seen_rotations_) {
+    hook_seen_rotations_ = rotations;  // drain_mu_ is held
+    hook(*this);
+  }
+  return applied;
+}
+
+TelemetrySnapshot TelemetryHub::Snapshot() const {
+  TelemetrySnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot.window_size = options_.window_size;
+  snapshot.published = published_.load(std::memory_order_relaxed);
+  snapshot.dropped = dropped_.load(std::memory_order_relaxed);
+  snapshot.drained = drained_.load(std::memory_order_relaxed);
+  snapshot.qerrors_truncated =
+      qerrors_truncated_.load(std::memory_order_relaxed);
+  snapshot.templates.reserve(templates_.size());
+  for (const auto& [fss, state] : templates_) {
+    TelemetrySnapshot::Template t;
+    t.fss = fss;
+    t.lifetime = state.lifetime;
+    t.current = state.current;
+    t.completed = state.completed;
+    t.baseline = state.baseline;
+    t.has_completed = state.has_completed;
+    t.has_baseline = state.has_baseline;
+    t.windows_completed = state.windows_completed;
+    t.drifted = state.drifted;
+    t.drift_ratio = state.drift_ratio;
+    snapshot.templates.push_back(std::move(t));
+  }
+  return snapshot;
+}
+
+void TelemetryHub::SetDriftHook(std::function<void(TelemetryHub&)> hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  drift_hook_ = std::move(hook);
+}
+
+void TelemetryHub::SetDriftFlag(uint64_t fss, bool drifted, double ratio) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = templates_.find(fss);
+  if (it == templates_.end()) return;
+  it->second.drifted = drifted;
+  it->second.drift_ratio = ratio;
+}
+
+TelemetryHub::DriftFlagView TelemetryHub::drift_flag(uint64_t fss) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DriftFlagView view;
+  auto it = templates_.find(fss);
+  if (it != templates_.end()) {
+    view.drifted = it->second.drifted;
+    view.ratio = it->second.drift_ratio;
+  }
+  return view;
+}
+
+TelemetryMode TelemetryHub::mode() const {
+  return static_cast<TelemetryMode>(mode_.load(std::memory_order_relaxed));
+}
+
+// ---- Background aggregator ------------------------------------------------
+
+void TelemetryHub::StartAggregator() {
+  std::lock_guard<std::mutex> lock(thread_mu_);
+  if (running_) return;
+  stop_ = false;
+  running_ = true;
+  aggregator_ = std::thread([this] { AggregatorLoop(); });
+  // The final drain + exposition export must happen even when nobody calls
+  // StopAggregator explicitly (CI test binaries just exit).
+  static bool atexit_registered = [] {
+    std::atexit([] { TelemetryHub::Global().StopAggregator(); });
+    return true;
+  }();
+  (void)atexit_registered;
+}
+
+void TelemetryHub::StopAggregator() {
+  std::thread worker;
+  {
+    std::lock_guard<std::mutex> lock(thread_mu_);
+    if (!running_) return;
+    stop_ = true;
+    running_ = false;  // claim the join before releasing the lock
+    worker = std::move(aggregator_);
+  }
+  thread_cv_.notify_all();
+  worker.join();
+  DrainNow();
+  ExportProm();
+}
+
+bool TelemetryHub::aggregator_running() const {
+  std::lock_guard<std::mutex> lock(thread_mu_);
+  return running_;
+}
+
+void TelemetryHub::AggregatorLoop() {
+  auto last_export = std::chrono::steady_clock::now();
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(thread_mu_);
+      thread_cv_.wait_for(lock, std::chrono::milliseconds(10),
+                          [this] { return stop_; });
+      if (stop_) return;  // StopAggregator drains + exports after the join
+    }
+    DrainNow();
+    const auto now = std::chrono::steady_clock::now();
+    if (now - last_export >= std::chrono::seconds(1)) {
+      last_export = now;
+      ExportProm();
+    }
+  }
+}
+
+void TelemetryHub::ExportProm() {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    path = options_.prom_path;
+  }
+  if (path.empty()) return;
+  const std::string text = PrometheusText();
+  std::error_code ec;
+  const std::filesystem::path target(path);
+  if (target.has_parent_path()) {
+    std::filesystem::create_directories(target.parent_path(), ec);
+  }
+  // Write-then-rename so a concurrent scraper never reads a torn file.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return;  // best effort: telemetry must never fail the process
+    out << text;
+  }
+  std::filesystem::rename(tmp, target, ec);
+}
+
+// ---- Prometheus exposition ------------------------------------------------
+
+namespace {
+
+std::string PromDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string FssLabel(uint64_t fss) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fss));
+  return buf;
+}
+
+void Family(std::string* out, const char* name, const char* type,
+            const char* help) {
+  out->append("# HELP ").append(name).append(" ").append(help).append("\n");
+  out->append("# TYPE ").append(name).append(" ").append(type).append("\n");
+}
+
+void Sample(std::string* out, const std::string& name,
+            const std::string& labels, const std::string& value) {
+  out->append(name);
+  if (!labels.empty()) out->append("{").append(labels).append("}");
+  out->append(" ").append(value).append("\n");
+}
+
+std::string U64(uint64_t v) { return std::to_string(v); }
+
+/// Emits one per-template counter family across every template.
+template <typename Getter>
+void TemplateCounter(std::string* out, const TelemetrySnapshot& snapshot,
+                     const char* name, const char* help, Getter get) {
+  Family(out, name, "counter", help);
+  for (const auto& t : snapshot.templates) {
+    Sample(out, name, "fss=\"" + FssLabel(t.fss) + "\"", U64(get(t)));
+  }
+}
+
+const double kQuantiles[] = {0.5, 0.9, 0.95, 0.99};
+
+/// q-error quantile gauges for one window of every template; templates
+/// without the window (per `has`) are skipped.
+template <typename Has, typename Window>
+void QErrorGauges(std::string* out, const TelemetrySnapshot& snapshot,
+                  const char* name, const char* help, Has has, Window window) {
+  Family(out, name, "gauge", help);
+  for (const auto& t : snapshot.templates) {
+    if (!has(t)) continue;
+    const WindowStats& w = window(t);
+    if (w.qerror.count() == 0) continue;
+    for (double q : kQuantiles) {
+      Sample(out, name,
+             "fss=\"" + FssLabel(t.fss) + "\",quantile=\"" + PromDouble(q) +
+                 "\"",
+             PromDouble(w.qerror.DoubleAtQuantile(q)));
+    }
+  }
+}
+
+}  // namespace
+
+void AppendTelemetryPrometheus(const TelemetrySnapshot& snapshot,
+                               bool include_wallclock, std::string* out) {
+  // Pipeline counters.
+  Family(out, "lpce_telemetry_published_total", "counter",
+         "Records accepted into the telemetry ring.");
+  Sample(out, "lpce_telemetry_published_total", "", U64(snapshot.published));
+  Family(out, "lpce_telemetry_dropped_total", "counter",
+         "Records dropped because the ring was full (query path never "
+         "blocks).");
+  Sample(out, "lpce_telemetry_dropped_total", "", U64(snapshot.dropped));
+  Family(out, "lpce_telemetry_drained_total", "counter",
+         "Records the aggregator has applied to windows.");
+  Sample(out, "lpce_telemetry_drained_total", "", U64(snapshot.drained));
+  Family(out, "lpce_telemetry_qerrors_truncated_total", "counter",
+         "Checkpoint q-errors beyond the per-record capacity (counted, not "
+         "stored).");
+  Sample(out, "lpce_telemetry_qerrors_truncated_total", "",
+         U64(snapshot.qerrors_truncated));
+  Family(out, "lpce_telemetry_window_size", "gauge",
+         "Records per sliding window per template.");
+  Sample(out, "lpce_telemetry_window_size", "", U64(snapshot.window_size));
+
+  // Per-template lifetime counters.
+  TemplateCounter(out, snapshot, "lpce_telemetry_queries_total",
+                  "Completed queries per template.",
+                  [](const auto& t) { return t.lifetime.queries; });
+  TemplateCounter(out, snapshot, "lpce_telemetry_reopts_total",
+                  "Re-optimizations per template.",
+                  [](const auto& t) { return t.lifetime.reopts; });
+  TemplateCounter(out, snapshot, "lpce_telemetry_cache_hits_total",
+                  "Plan-cache hits per template.",
+                  [](const auto& t) { return t.lifetime.cache_hits; });
+  TemplateCounter(out, snapshot, "lpce_telemetry_rejected_total",
+                  "Admissions rejected (back-pressure).",
+                  [](const auto& t) { return t.lifetime.rejected; });
+  TemplateCounter(out, snapshot, "lpce_telemetry_checkpoints_total",
+                  "Checkpoint q-error observations per template.",
+                  [](const auto& t) { return t.lifetime.checkpoints; });
+  TemplateCounter(out, snapshot, "lpce_telemetry_result_rows_total",
+                  "Result rows served per template.",
+                  [](const auto& t) { return t.lifetime.result_rows; });
+  TemplateCounter(out, snapshot, "lpce_telemetry_windows_completed_total",
+                  "Full windows rotated per template.",
+                  [](const auto& t) { return t.windows_completed; });
+
+  // Per-template per-phase latency histograms (lifetime). Only non-empty
+  // buckets are emitted (any le subset is legal Prometheus as long as +Inf
+  // closes the series).
+  Family(out, "lpce_telemetry_phase_seconds", "histogram",
+         "Per-phase latency (T_P/T_I/T_R/T_E) per template, log-bucketed.");
+  for (const auto& t : snapshot.templates) {
+    for (int phase = 0; phase < 4; ++phase) {
+      const LogHistogram& h = t.lifetime.phases[phase];
+      if (h.count() == 0) continue;
+      const std::string labels =
+          "fss=\"" + FssLabel(t.fss) + "\",phase=\"" + PhaseName(phase) + "\"";
+      uint64_t cumulative = 0;
+      for (int b = 0; b < LogHistogram::kNumBuckets; ++b) {
+        if (h.buckets()[b] == 0) continue;
+        cumulative += h.buckets()[b];
+        const double le_seconds =
+            static_cast<double>(LogHistogram::BucketUpperBound(b)) / 1e9;
+        Sample(out, "lpce_telemetry_phase_seconds_bucket",
+               labels + ",le=\"" + PromDouble(le_seconds) + "\"",
+               U64(cumulative));
+      }
+      Sample(out, "lpce_telemetry_phase_seconds_bucket",
+             labels + ",le=\"+Inf\"", U64(h.count()));
+      Sample(out, "lpce_telemetry_phase_seconds_sum", labels,
+             PromDouble(static_cast<double>(h.sum()) / 1e9));
+      Sample(out, "lpce_telemetry_phase_seconds_count", labels,
+             U64(h.count()));
+    }
+  }
+
+  // Streaming q-error quantiles: lifetime summary plus current-window and
+  // frozen-baseline gauges (the drift monitor's inputs, exposed so a human
+  // can see what it sees).
+  Family(out, "lpce_telemetry_qerror", "summary",
+         "Checkpoint q-error distribution per template (lifetime).");
+  for (const auto& t : snapshot.templates) {
+    if (t.lifetime.qerror.count() == 0) continue;
+    const std::string fss = "fss=\"" + FssLabel(t.fss) + "\"";
+    for (double q : kQuantiles) {
+      Sample(out, "lpce_telemetry_qerror",
+             fss + ",quantile=\"" + PromDouble(q) + "\"",
+             PromDouble(t.lifetime.qerror.DoubleAtQuantile(q)));
+    }
+    Sample(out, "lpce_telemetry_qerror_sum", fss,
+           PromDouble(t.lifetime.qerror.sum_double()));
+    Sample(out, "lpce_telemetry_qerror_count", fss,
+           U64(t.lifetime.qerror.count()));
+  }
+  QErrorGauges(
+      out, snapshot, "lpce_telemetry_qerror_window",
+      "q-error quantiles of the most recent full window (falls back to the "
+      "partial current window).",
+      [](const auto&) { return true; },
+      [](const auto& t) -> const WindowStats& {
+        return t.has_completed ? t.completed : t.current;
+      });
+  QErrorGauges(
+      out, snapshot, "lpce_telemetry_qerror_baseline",
+      "q-error quantiles of the frozen baseline window.",
+      [](const auto& t) { return t.has_baseline; },
+      [](const auto& t) -> const WindowStats& { return t.baseline; });
+
+  // Drift flags (engine/drift_monitor.h pushes these).
+  Family(out, "lpce_drift_flagged", "gauge",
+         "1 when the template's current q-error window drifted beyond the "
+         "baseline ratio threshold.");
+  for (const auto& t : snapshot.templates) {
+    Sample(out, "lpce_drift_flagged", "fss=\"" + FssLabel(t.fss) + "\"",
+           t.drifted ? "1" : "0");
+  }
+  Family(out, "lpce_drift_ratio", "gauge",
+         "Current-window / baseline q-error quantile ratio (0 until "
+         "evaluated).");
+  for (const auto& t : snapshot.templates) {
+    Sample(out, "lpce_drift_ratio", "fss=\"" + FssLabel(t.fss) + "\"",
+           PromDouble(t.drift_ratio));
+  }
+
+  if (include_wallclock) {
+    Family(out, "lpce_telemetry_span_seconds", "gauge",
+           "Wall-clock span covered by the template's records.");
+    for (const auto& t : snapshot.templates) {
+      Sample(out, "lpce_telemetry_span_seconds",
+             "fss=\"" + FssLabel(t.fss) + "\"",
+             PromDouble(t.lifetime.SpanSeconds()));
+    }
+  }
+}
+
+std::string TelemetryHub::PrometheusText() const {
+  std::string out;
+  MetricsRegistry::Global().AppendPrometheus(&out);
+  AppendTelemetryPrometheus(Snapshot(),
+                            mode() == TelemetryMode::kFull, &out);
+  if (mode() == TelemetryMode::kFull) {
+    Family(&out, "lpce_telemetry_export_unix_seconds", "gauge",
+           "Wall clock of this exposition.");
+    const double now =
+        std::chrono::duration<double>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
+    Sample(&out, "lpce_telemetry_export_unix_seconds", "", PromDouble(now));
+  }
+  return out;
+}
+
+namespace {
+
+/// Reads LPCE_TELEMETRY once at static-init time (same contract as
+/// LPCE_PROFILE): publishing is on from the first query.
+struct TelemetryEnvInit {
+  TelemetryEnvInit() {
+    const char* env = std::getenv("LPCE_TELEMETRY");
+    if (env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0) {
+      internal::g_telemetry_enabled.store(true, std::memory_order_relaxed);
+    }
+  }
+};
+TelemetryEnvInit g_telemetry_env_init;
+
+}  // namespace
+
+}  // namespace lpce::common

@@ -1,0 +1,390 @@
+// Serving telemetry pipeline: a bounded lock-free MPSC event stream that
+// workers publish one compact per-query record into, drained by a background
+// aggregator into sliding-window per-template state (log-bucketed latency
+// histograms per phase, streaming q-error quantiles, throughput/drop
+// counters), exported as Prometheus text over MetricsRegistry + the windows.
+//
+// Design contract (DESIGN.md "Serving telemetry & drift detection"):
+//   - The query path never blocks on telemetry. Publishing is one ticketed
+//     CAS into a fixed ring; a full ring counts a drop and returns. When
+//     telemetry is off (the default) the cost is one relaxed atomic load,
+//     exactly like the profiler.
+//   - Aggregation is deterministic given the record sequence: windows rotate
+//     on record counts (never wall-clock), histogram bucketing is pure
+//     integer math (no libm), and every snapshot/exposition iterates
+//     templates in ascending fss order. Wall-clock fields (record
+//     timestamps, window spans) exist only under TelemetryMode::kFull so
+//     tests can pin golden exposition output in kDeterministic mode.
+//   - Baselines freeze deterministically: the first completed window of a
+//     template becomes its frozen baseline; the drift monitor
+//     (engine/drift_monitor.h) compares later completed windows against it.
+//
+// Env knobs: LPCE_TELEMETRY=1 enables publishing, LPCE_TELEMETRY_PROM=path
+// makes the background aggregator periodically write the Prometheus
+// exposition there (plus a final write at shutdown), LPCE_TELEMETRY_RING
+// sets the ring capacity (rounded up to a power of two, default 4096) and
+// LPCE_TELEMETRY_WINDOW the per-template window size in records (default
+// 256).
+#ifndef LPCE_COMMON_TELEMETRY_H_
+#define LPCE_COMMON_TELEMETRY_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace lpce::common {
+
+namespace internal {
+extern std::atomic<bool> g_telemetry_enabled;
+}  // namespace internal
+
+/// True when the engine publishes per-query records. Initialized once from
+/// LPCE_TELEMETRY; one relaxed load, so it belongs on the query path.
+inline bool TelemetryEnabled() {
+  return internal::g_telemetry_enabled.load(std::memory_order_relaxed);
+}
+
+/// Programmatic override (tests, benches). Does not reset accumulated state;
+/// pair with TelemetryHub::Configure for a clean slate.
+void SetTelemetryEnabled(bool enabled);
+
+// ---- Log-bucketed histogram -----------------------------------------------
+
+/// Bounded-memory histogram over uint64 values with logarithmic buckets: 8
+/// linear sub-buckets per octave (relative bucket width at most ~14%, 12.5%
+/// asymptotically), 512 buckets covering the full uint64 range. Bucketing is
+/// pure bit manipulation — no floating point — so a value lands in the same
+/// bucket on every machine and under every build flag, which is what lets
+/// golden tests pin exposition output. p50/p95/p99 are derivable without
+/// storing samples: quantiles report the containing bucket's inclusive upper
+/// bound.
+///
+/// Doubles (q-errors) ride the same integer core through a fixed 1/1024
+/// scale: Observe(v * 1024) truncated. Not thread-safe; instances live
+/// inside the hub's aggregation windows (single consumer) or on bench
+/// stacks.
+class LogHistogram {
+ public:
+  static constexpr int kSubBits = 3;  // 8 sub-buckets per octave
+  /// Exactly enough buckets that the last one's upper bound is UINT64_MAX
+  /// (values below 2^kSubBits get exact buckets, then 2^kSubBits per octave).
+  static constexpr int kNumBuckets = (64 - kSubBits + 1) << kSubBits;
+  static constexpr double kDoubleScale = 1024.0;
+
+  // The bucket array is heap-allocated on first observation: an untouched
+  // histogram costs a few pointers, so materializing a template's window
+  // state (dozens of histograms) under the hub mutex stays cheap even when
+  // a workload floods the hub with fresh templates.
+  LogHistogram() = default;
+  LogHistogram(const LogHistogram& other) { *this = other; }
+  LogHistogram(LogHistogram&&) noexcept = default;
+  LogHistogram& operator=(const LogHistogram& other);
+  LogHistogram& operator=(LogHistogram&&) noexcept = default;
+
+  void Observe(uint64_t value);
+  /// value < 0 clamps to 0; values are recorded at 1/1024 resolution.
+  void ObserveDouble(double value) {
+    Observe(value <= 0.0 ? 0 : static_cast<uint64_t>(value * kDoubleScale));
+  }
+
+  /// Inclusive upper bound of the bucket containing rank ceil(q * count);
+  /// 0 when empty. q outside [0, 1] clamps.
+  uint64_t ValueAtQuantile(double q) const;
+  double DoubleAtQuantile(double q) const {
+    return static_cast<double>(ValueAtQuantile(q)) / kDoubleScale;
+  }
+
+  void Merge(const LogHistogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  double sum_double() const { return static_cast<double>(sum_) / kDoubleScale; }
+  /// Always non-null (an empty histogram shares a static all-zero array).
+  const uint64_t* buckets() const {
+    return counts_ != nullptr ? counts_.get() : kZeroBuckets;
+  }
+
+  static int BucketOf(uint64_t value);
+  /// Inclusive upper value edge of `bucket`.
+  static uint64_t BucketUpperBound(int bucket);
+
+ private:
+  uint64_t* MutableCounts();  // allocates (zeroed) on first use
+
+  std::unique_ptr<uint64_t[]> counts_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+
+  static const uint64_t kZeroBuckets[kNumBuckets];
+};
+
+// ---- Per-query record -----------------------------------------------------
+
+enum class QueryOutcome : uint8_t {
+  kOk = 0,        // executed to completion
+  kRejected = 1,  // refused at admission (queue full / shutdown)
+};
+
+/// One compact per-query record, published by the engine after each
+/// RunQuery (or by the server on rejection). Fixed-size POD so ring slots
+/// never allocate.
+struct TelemetryRecord {
+  static constexpr int kMaxQErrors = 4;
+
+  uint64_t fss_hash = 0;  // template group key (query/fingerprint.h)
+  // Paper phase decomposition T_end = T_P + T_I + T_R + T_E, nanoseconds.
+  uint64_t plan_ns = 0;
+  uint64_t infer_ns = 0;
+  uint64_t reopt_ns = 0;
+  uint64_t exec_ns = 0;
+  uint64_t result_rows = 0;
+  /// Publish-time wall clock (unix ns); stamped by the hub only in
+  /// TelemetryMode::kFull, 0 otherwise.
+  uint64_t unix_ns = 0;
+  uint32_t num_reopts = 0;
+  /// Checkpoint q-errors observed during the run: total count plus the
+  /// first kMaxQErrors values (the rest are counted, not stored).
+  uint32_t num_qerrors = 0;
+  float qerrors[kMaxQErrors] = {0, 0, 0, 0};
+  float max_qerror = 0.0f;  // 0 = no q-error observations
+  uint8_t cache_hit = 0;    // plan-cache hit
+  QueryOutcome outcome = QueryOutcome::kOk;
+
+  uint64_t total_ns() const { return plan_ns + infer_ns + reopt_ns + exec_ns; }
+};
+
+// ---- Lock-free bounded MPSC ring ------------------------------------------
+
+/// Bounded multi-producer ring (Vyukov ticket scheme: per-cell sequence
+/// numbers, one CAS per publish). TryPush never blocks and never spins on a
+/// full ring — it fails fast so the query path can count a drop and move on.
+/// TryPop is safe from any number of consumers; the hub uses one.
+class TelemetryRing {
+ public:
+  /// `capacity` is rounded up to a power of two, minimum 2.
+  explicit TelemetryRing(size_t capacity);
+
+  TelemetryRing(const TelemetryRing&) = delete;
+  TelemetryRing& operator=(const TelemetryRing&) = delete;
+
+  bool TryPush(const TelemetryRecord& record);
+  bool TryPop(TelemetryRecord* out);
+
+  size_t capacity() const { return cells_.size(); }
+
+ private:
+  struct Cell {
+    std::atomic<uint64_t> seq{0};
+    TelemetryRecord record;
+  };
+
+  std::vector<Cell> cells_;
+  uint64_t mask_ = 0;
+  alignas(64) std::atomic<uint64_t> enqueue_pos_{0};
+  alignas(64) std::atomic<uint64_t> dequeue_pos_{0};
+};
+
+// ---- Aggregation windows --------------------------------------------------
+
+/// Accumulated state of one window (or the lifetime total) of one template.
+struct WindowStats {
+  uint64_t queries = 0;
+  uint64_t reopts = 0;
+  uint64_t cache_hits = 0;
+  uint64_t rejected = 0;
+  uint64_t checkpoints = 0;  // q-error observations (including unstored)
+  uint64_t result_rows = 0;
+  // First/last record wall clock (unix ns); 0 in kDeterministic mode.
+  uint64_t first_unix_ns = 0;
+  uint64_t last_unix_ns = 0;
+  /// Phase latency histograms in nanoseconds, indexed by Phase.
+  LogHistogram phases[4];
+  /// Checkpoint q-errors at 1/1024 resolution.
+  LogHistogram qerror;
+
+  enum Phase { kPlan = 0, kInfer = 1, kReopt = 2, kExec = 3 };
+
+  void Apply(const TelemetryRecord& record);
+  void Reset();
+  /// Wall-clock span covered by the window, seconds (0 when timestamps are
+  /// absent or a single record was seen).
+  double SpanSeconds() const;
+};
+
+const char* PhaseName(int phase);  // "plan"/"infer"/"reopt"/"exec"
+
+/// Point-in-time copy of the hub's aggregation state. Templates are sorted
+/// by fss ascending, so identical record sequences yield identical
+/// snapshots (and identical exposition bytes in kDeterministic mode).
+struct TelemetrySnapshot {
+  struct Template {
+    uint64_t fss = 0;
+    WindowStats lifetime;           // every record ever drained
+    WindowStats current;            // the partially filled window
+    WindowStats completed;          // most recent full window
+    WindowStats baseline;           // frozen first full window
+    bool has_completed = false;
+    bool has_baseline = false;
+    uint64_t windows_completed = 0;
+    // Drift flag last pushed by the monitor (engine/drift_monitor.h).
+    bool drifted = false;
+    double drift_ratio = 0.0;
+  };
+
+  std::vector<Template> templates;
+  uint64_t window_size = 0;
+  uint64_t published = 0;
+  uint64_t dropped = 0;
+  uint64_t drained = 0;
+  uint64_t qerrors_truncated = 0;
+
+  const Template* Find(uint64_t fss) const;
+};
+
+// ---- Hub ------------------------------------------------------------------
+
+enum class TelemetryMode {
+  kDeterministic = 0,  // no wall-clock fields anywhere (golden-able)
+  kFull,               // records stamped, window spans + export time emitted
+};
+
+struct TelemetryOptions {
+  size_t ring_capacity = 4096;  // rounded up to a power of two
+  uint64_t window_size = 256;   // records per template window
+  TelemetryMode mode = TelemetryMode::kFull;
+  /// Periodic Prometheus export path ("" = none). The background aggregator
+  /// rewrites it roughly once a second and once more at shutdown.
+  std::string prom_path;
+
+  /// ring_capacity from LPCE_TELEMETRY_RING, window_size from
+  /// LPCE_TELEMETRY_WINDOW, prom_path from LPCE_TELEMETRY_PROM. Absent or
+  /// invalid values keep the defaults.
+  static TelemetryOptions FromEnv();
+};
+
+/// Process-wide telemetry pipeline: ring + windows + optional background
+/// aggregator thread. Thread-safe throughout; the hot Publish path touches
+/// only the ring and two relaxed counters.
+class TelemetryHub {
+ public:
+  static TelemetryHub& Global();
+
+  /// Drops all state (ring contents, windows, flags, counters) and applies
+  /// `options`. Stops a running aggregator first; tests call this between
+  /// scenarios for a clean, deterministic slate.
+  void Configure(const TelemetryOptions& options);
+
+  /// Enqueues one record. Returns false when telemetry is disabled (no-op)
+  /// or the ring is full (drop counted); never blocks. In kFull mode stamps
+  /// record.unix_ns when the caller left it 0.
+  bool Publish(TelemetryRecord record);
+
+  /// Drains every queued record into the windows in ring order, then runs
+  /// the drift hook when one is installed and the batch completed at least
+  /// one window. Returns the number of records applied. Serialized
+  /// internally; safe to call concurrently with publishers and the
+  /// background aggregator.
+  uint64_t DrainNow();
+
+  TelemetrySnapshot Snapshot() const;
+
+  /// Installed by engine/drift_monitor.h: runs after a DrainNow batch
+  /// (outside the state mutex) to evaluate windows and push flags back.
+  /// Only invoked when the batch completed at least one window — drift
+  /// verdicts depend solely on completed windows, and the evaluation
+  /// snapshots every template, which is far too heavy for the aggregator's
+  /// millisecond drain cadence.
+  void SetDriftHook(std::function<void(TelemetryHub&)> hook);
+  void SetDriftFlag(uint64_t fss, bool drifted, double ratio);
+
+  struct DriftFlagView {
+    bool drifted = false;
+    double ratio = 0.0;
+  };
+  DriftFlagView drift_flag(uint64_t fss) const;
+
+  /// Starts the background aggregator thread (idempotent): drains the ring
+  /// every few milliseconds and maintains the LPCE_TELEMETRY_PROM export.
+  /// Registers an atexit stop so the final exposition is always written.
+  void StartAggregator();
+  /// Stops the thread after a final drain + export. Idempotent.
+  void StopAggregator();
+  bool aggregator_running() const;
+
+  /// Full Prometheus text exposition: every MetricsRegistry instrument plus
+  /// the per-template telemetry windows and drift flags. Deterministic
+  /// modulo instrument values when the hub is in kDeterministic mode.
+  std::string PrometheusText() const;
+
+  uint64_t published() const { return published_.load(std::memory_order_relaxed); }
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  uint64_t drained() const { return drained_.load(std::memory_order_relaxed); }
+
+  TelemetryMode mode() const;
+
+ private:
+  TelemetryHub();
+
+  struct TemplateState {
+    WindowStats lifetime;
+    WindowStats current;
+    WindowStats completed;
+    WindowStats baseline;
+    bool has_completed = false;
+    bool has_baseline = false;
+    uint64_t windows_completed = 0;
+    bool drifted = false;
+    double drift_ratio = 0.0;
+  };
+
+  void ApplyLocked(const TelemetryRecord& record);
+  void AggregatorLoop();
+  void ExportProm();  // best effort, never throws
+
+  mutable std::mutex mu_;  // windows, flags, options
+  TelemetryOptions options_;
+  /// Publishers read the ring without the mutex; Configure swaps in a fresh
+  /// ring and retires the old one (never freed mid-flight).
+  std::atomic<TelemetryRing*> ring_{nullptr};
+  std::vector<std::unique_ptr<TelemetryRing>> retired_rings_;
+  std::atomic<int> mode_{static_cast<int>(TelemetryMode::kFull)};
+  // std::map: deterministic ascending-fss iteration for snapshots/exposition.
+  std::map<uint64_t, TemplateState> templates_;
+  std::function<void(TelemetryHub&)> drift_hook_;
+  /// Windows completed across all templates (guarded by mu_); the drift
+  /// hook fires only when this advanced since its last run.
+  uint64_t total_rotations_ = 0;
+
+  std::mutex drain_mu_;  // serializes consumers
+  uint64_t hook_seen_rotations_ = 0;  // guarded by drain_mu_
+  std::atomic<uint64_t> published_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> drained_{0};
+  std::atomic<uint64_t> qerrors_truncated_{0};
+
+  mutable std::mutex thread_mu_;
+  std::condition_variable thread_cv_;
+  std::thread aggregator_;
+  bool stop_ = false;
+  bool running_ = false;
+};
+
+/// Telemetry-and-drift section of the exposition (no MetricsRegistry
+/// instruments): per-template counters, phase histograms, q-error summary,
+/// window/baseline quantile gauges, drift flags. Deterministic bytes for a
+/// deterministic snapshot. `include_wallclock` adds span-seconds gauges and
+/// is what TelemetryMode::kFull turns on.
+void AppendTelemetryPrometheus(const TelemetrySnapshot& snapshot,
+                               bool include_wallclock, std::string* out);
+
+}  // namespace lpce::common
+
+#endif  // LPCE_COMMON_TELEMETRY_H_

@@ -1,0 +1,94 @@
+#include "engine/drift_monitor.h"
+
+#include <cstdlib>
+#include <mutex>
+
+#include "common/metrics.h"
+
+namespace lpce::eng {
+
+DriftMonitorOptions DriftMonitorOptions::FromEnv() {
+  DriftMonitorOptions options;
+  if (const char* v = std::getenv("LPCE_DRIFT_RATIO");
+      v != nullptr && v[0] != '\0') {
+    const double parsed = std::atof(v);
+    if (parsed > 1.0) options.ratio_threshold = parsed;
+  }
+  if (const char* v = std::getenv("LPCE_DRIFT_MIN_SAMPLES");
+      v != nullptr && v[0] != '\0') {
+    const long parsed = std::atol(v);
+    if (parsed > 0) options.min_samples = static_cast<uint64_t>(parsed);
+  }
+  if (const char* v = std::getenv("LPCE_DRIFT_QUANTILE");
+      v != nullptr && v[0] != '\0') {
+    const double parsed = std::atof(v);
+    if (parsed > 0.0 && parsed <= 1.0) options.quantile = parsed;
+  }
+  return options;
+}
+
+std::vector<DriftFinding> DriftMonitor::Evaluate(
+    const common::TelemetrySnapshot& snapshot) const {
+  std::vector<DriftFinding> findings;
+  findings.reserve(snapshot.templates.size());
+  for (const auto& t : snapshot.templates) {
+    DriftFinding finding;
+    finding.fss = t.fss;
+    if (t.has_baseline && t.has_completed) {
+      finding.baseline_samples = t.baseline.qerror.count();
+      finding.current_samples = t.completed.qerror.count();
+      finding.baseline_quantile =
+          t.baseline.qerror.DoubleAtQuantile(options_.quantile);
+      finding.current_quantile =
+          t.completed.qerror.DoubleAtQuantile(options_.quantile);
+      // Min-sample gate: a handful of queries must not flip a flag.
+      if (finding.baseline_samples >= options_.min_samples &&
+          finding.current_samples >= options_.min_samples &&
+          finding.baseline_quantile > 0.0) {
+        finding.evaluated = true;
+        finding.ratio = finding.current_quantile / finding.baseline_quantile;
+        finding.drifted = finding.ratio >= options_.ratio_threshold;
+      }
+    }
+    findings.push_back(finding);
+  }
+  return findings;
+}
+
+void DriftMonitor::Run(common::TelemetryHub& hub) const {
+  static common::Counter* evaluations_total =
+      common::MetricsRegistry::Global().counter("lpce.drift.evaluations_total");
+  static common::Counter* flagged_total =
+      common::MetricsRegistry::Global().counter("lpce.drift.flagged_total");
+  static common::Gauge* flagged_now =
+      common::MetricsRegistry::Global().gauge("lpce.drift.templates_flagged");
+
+  const common::TelemetrySnapshot snapshot = hub.Snapshot();
+  const std::vector<DriftFinding> findings = Evaluate(snapshot);
+  uint64_t currently_flagged = 0;
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const DriftFinding& finding = findings[i];
+    if (!finding.evaluated) continue;
+    evaluations_total->Increment();
+    hub.SetDriftFlag(finding.fss, finding.drifted, finding.ratio);
+    if (finding.drifted) {
+      ++currently_flagged;
+      // Count the off->on transition, not every re-evaluation of a template
+      // that stays drifted.
+      if (!snapshot.templates[i].drifted) flagged_total->Increment();
+    }
+  }
+  flagged_now->Set(static_cast<double>(currently_flagged));
+}
+
+void InstallGlobalDriftMonitor() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    common::TelemetryHub::Global().SetDriftHook([](common::TelemetryHub& hub) {
+      static const DriftMonitor monitor;  // env options, resolved once
+      monitor.Run(hub);
+    });
+  });
+}
+
+}  // namespace lpce::eng

@@ -1,0 +1,81 @@
+// Per-template estimator-accuracy drift detection over the telemetry windows
+// (common/telemetry.h). The monitor compares each template's most recent
+// completed q-error window against its frozen baseline (the first completed
+// window) and flags the template when the chosen quantile has grown by more
+// than a ratio threshold — the continuous signal ROADMAP item 1's
+// fine-tuning trigger and item 4's learned re-opt labels both need.
+//
+// Determinism contract: Evaluate() is a pure function of the snapshot and
+// the options — identical record sequences produce identical flags. The
+// ratio-threshold + min-sample gate means a template is never flagged off a
+// handful of unlucky queries.
+//
+// Env knobs: LPCE_DRIFT_RATIO (default 2.0), LPCE_DRIFT_MIN_SAMPLES
+// (default 64 q-error observations in each window), LPCE_DRIFT_QUANTILE
+// (default 0.95).
+#ifndef LPCE_ENGINE_DRIFT_MONITOR_H_
+#define LPCE_ENGINE_DRIFT_MONITOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/telemetry.h"
+
+namespace lpce::eng {
+
+struct DriftMonitorOptions {
+  /// Flag when current-window quantile / baseline quantile >= this.
+  double ratio_threshold = 2.0;
+  /// Both windows need at least this many q-error observations.
+  uint64_t min_samples = 64;
+  /// Which q-error quantile to compare (0.95 tracks the tail the paper's
+  /// re-opt trigger cares about without p100's single-outlier noise).
+  double quantile = 0.95;
+
+  static DriftMonitorOptions FromEnv();
+};
+
+/// One template's evaluation (drifted or not — callers see the ratio and
+/// sample counts either way, e.g. for the telemetry report table).
+struct DriftFinding {
+  uint64_t fss = 0;
+  bool drifted = false;
+  bool evaluated = false;  // false = gated out (no baseline / too few samples)
+  double ratio = 0.0;
+  double baseline_quantile = 0.0;
+  double current_quantile = 0.0;
+  uint64_t baseline_samples = 0;
+  uint64_t current_samples = 0;
+};
+
+class DriftMonitor {
+ public:
+  explicit DriftMonitor(
+      DriftMonitorOptions options = DriftMonitorOptions::FromEnv())
+      : options_(options) {}
+
+  /// Evaluates every template in the snapshot, in ascending-fss order.
+  /// Deterministic given the snapshot.
+  std::vector<DriftFinding> Evaluate(
+      const common::TelemetrySnapshot& snapshot) const;
+
+  /// Evaluate the hub's current state, push the flags back into it (so the
+  /// Prometheus exposition and trace events see them), and update the
+  /// process-global lpce.drift.* metrics. This is what the hub's drift hook
+  /// runs after every drain.
+  void Run(common::TelemetryHub& hub) const;
+
+  const DriftMonitorOptions& options() const { return options_; }
+
+ private:
+  DriftMonitorOptions options_;
+};
+
+/// Installs a process-wide DriftMonitor (options from env, resolved once) as
+/// the global hub's drift hook. Idempotent; called by EngineServer when
+/// telemetry is enabled.
+void InstallGlobalDriftMonitor();
+
+}  // namespace lpce::eng
+
+#endif  // LPCE_ENGINE_DRIFT_MONITOR_H_

@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/profiler.h"
+#include "common/telemetry.h"
 #include "common/timer.h"
 
 namespace lpce::eng {
@@ -48,6 +49,7 @@ RunStats Engine::RunQuery(const qry::Query& query,
   uint64_t lookup_epoch = 0;
   bool cache_hit = false;
   bool prepared = false;
+  const bool telemetry_on = common::TelemetryEnabled();
   std::unique_ptr<exec::PlanNode> plan;
   if (plan_cache_ != nullptr) {
     LPCE_PROFILE_SCOPE("T_P.cache_lookup");
@@ -61,6 +63,12 @@ RunStats Engine::RunQuery(const qry::Query& query,
       plan = std::move(outcome.plan);
       stats.plan_seconds += timer.ElapsedSeconds();
     }
+  } else if (telemetry_on) {
+    // Telemetry keys per-template windows by the same fss hash the plan
+    // cache groups on, computed at the same point (before PrepareQuery —
+    // FingerprintPredicate is const and preparation-independent, so this
+    // cannot perturb results).
+    fingerprint = opt::PlanCache::Fingerprint(query, *initial);
   }
 
   if (cache_hit) {
@@ -255,6 +263,47 @@ RunStats Engine::RunQuery(const qry::Query& query,
     queries_total->Increment();
     reopts_total->Increment(static_cast<uint64_t>(stats.num_reopts));
     query_seconds->Observe(total_timer.ElapsedSeconds());
+  }
+  if (telemetry_on) {
+    auto to_ns = [](double seconds) {
+      return seconds <= 0.0 ? uint64_t{0}
+                            : static_cast<uint64_t>(seconds * 1e9);
+    };
+    common::TelemetryRecord record;
+    record.fss_hash = fingerprint.fss_hash;
+    record.plan_ns = to_ns(stats.plan_seconds);
+    record.infer_ns = to_ns(stats.inference_seconds);
+    record.reopt_ns = to_ns(stats.reopt_seconds);
+    record.exec_ns = to_ns(stats.exec_seconds);
+    record.result_rows = stats.result_count;
+    record.num_reopts = static_cast<uint32_t>(stats.num_reopts);
+    record.cache_hit = cache_hit ? 1 : 0;
+    for (const auto& e : trace->events()) {
+      if (e.kind != TraceEventKind::kCheckpoint) continue;
+      const float qerror = static_cast<float>(e.qerror);
+      if (record.num_qerrors < common::TelemetryRecord::kMaxQErrors) {
+        record.qerrors[record.num_qerrors] = qerror;
+      }
+      ++record.num_qerrors;
+      if (qerror > record.max_qerror) record.max_qerror = qerror;
+    }
+    auto& hub = common::TelemetryHub::Global();
+    hub.Publish(record);
+    // The trace-visible summary. Appended after every deterministic event
+    // (and only serialized in kFull mode), so deterministic trace bytes are
+    // identical with telemetry on or off.
+    const auto flag = hub.drift_flag(record.fss_hash);
+    TraceEvent event;
+    event.kind = TraceEventKind::kTelemetry;
+    event.fss_hash = record.fss_hash;
+    event.qerror = static_cast<double>(record.max_qerror);
+    event.num_estimates = record.num_qerrors;
+    if (plan_cache_ != nullptr) {
+      event.cache_decision = cache_hit ? "hit" : "miss";
+    }
+    event.drifted = flag.drifted;
+    event.drift_ratio = flag.ratio;
+    trace->AddEvent(std::move(event));
   }
   MaybeDumpTrace(*trace);
   return stats;

@@ -6,6 +6,8 @@
 
 #include "common/metrics.h"
 #include "common/profiler.h"
+#include "common/telemetry.h"
+#include "engine/drift_monitor.h"
 
 namespace lpce::eng {
 
@@ -65,6 +67,16 @@ const ServeMetrics& Metrics() {
   return metrics;
 }
 
+// Back-pressure is part of the serving signal: rejected admissions publish a
+// minimal record (fss 0 — the query was never fingerprinted) so the windows
+// count them without observing latencies.
+void PublishRejection() {
+  if (!common::TelemetryEnabled()) return;
+  common::TelemetryRecord record;
+  record.outcome = common::QueryOutcome::kRejected;
+  common::TelemetryHub::Global().Publish(record);
+}
+
 }  // namespace
 
 ServerOptions ServerOptions::FromEnv() {
@@ -92,6 +104,13 @@ EngineServer::EngineServer(const db::Database* database,
     plan_cache_ = std::make_unique<opt::PlanCache>(options_.plan_cache_capacity);
   }
   Metrics().workers->Set(static_cast<double>(num_workers_));
+  if (common::TelemetryEnabled()) {
+    // The serving layer is what makes telemetry continuous: a background
+    // aggregator drains worker records into the per-template windows and the
+    // drift monitor evaluates them after each drain.
+    InstallGlobalDriftMonitor();
+    common::TelemetryHub::Global().StartAggregator();
+  }
   workers_.reserve(static_cast<size_t>(num_workers_));
   for (int i = 0; i < num_workers_; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
@@ -116,11 +135,13 @@ Result<std::shared_future<RunStats>> EngineServer::Submit(
     if (shutdown_) {
       rejected_.fetch_add(1, std::memory_order_relaxed);
       Metrics().rejected->Increment();
+      PublishRejection();
       return Status::FailedPrecondition("EngineServer is shut down");
     }
     if (queue_.size() >= options_.max_queue) {
       rejected_.fetch_add(1, std::memory_order_relaxed);
       Metrics().rejected->Increment();
+      PublishRejection();
       return Status::ResourceExhausted(
           "serving queue full (" + std::to_string(options_.max_queue) + ")");
     }
@@ -196,6 +217,12 @@ size_t EngineServer::queue_depth() const {
 
 void EngineServer::InvalidatePlanCache() {
   if (plan_cache_ != nullptr) plan_cache_->Invalidate();
+}
+
+std::string EngineServer::PrometheusText() const {
+  auto& hub = common::TelemetryHub::Global();
+  hub.DrainNow();  // the dump reflects every record published so far
+  return hub.PrometheusText();
 }
 
 EngineServer::Counters EngineServer::counters() const {

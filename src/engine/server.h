@@ -122,6 +122,12 @@ class EngineServer {
   /// publish or serve a pre-bump skeleton. No-op without a cache.
   void InvalidatePlanCache();
 
+  /// On-demand Prometheus text exposition: drains the telemetry ring, then
+  /// renders every MetricsRegistry instrument plus the per-template
+  /// telemetry windows and drift flags (common/telemetry.h). Usable with
+  /// telemetry off (instruments only, no per-template sections).
+  std::string PrometheusText() const;
+
  private:
   struct Job {
     qry::Query query;

@@ -143,6 +143,26 @@ void WriteEvent(JsonWriter* w, const TraceEvent& e, TraceJsonMode mode) {
       w->Key("decision");
       w->Value(e.decision);
       break;
+    case TraceEventKind::kTelemetry: {
+      char fss[32];
+      std::snprintf(fss, sizeof(fss), "%016llx",
+                    static_cast<unsigned long long>(e.fss_hash));
+      w->Key("fss");
+      w->Value(std::string(fss));
+      w->Key("max_qerror");
+      w->NumberLiteral(FormatStable(e.qerror));
+      w->Key("num_qerrors");
+      w->Value(e.num_estimates);
+      if (!e.cache_decision.empty()) {
+        w->Key("cache");
+        w->Value(e.cache_decision);
+      }
+      w->Key("drifted");
+      w->Value(e.drifted);
+      w->Key("drift_ratio");
+      w->NumberLiteral(FormatStable(e.drift_ratio));
+      break;
+    }
   }
   if (mode == TraceJsonMode::kFull) {
     w->Key("wall_seconds");
@@ -163,6 +183,8 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "refinement";
     case TraceEventKind::kReoptimization:
       return "reoptimization";
+    case TraceEventKind::kTelemetry:
+      return "telemetry";
   }
   return "unknown";
 }
@@ -225,7 +247,17 @@ std::string QueryTrace::ToJson(TraceJsonMode mode) const {
   w.EndArray();
   w.Key("events");
   w.BeginArray();
-  for (const auto& e : events_) WriteEvent(&w, e, mode);
+  for (const auto& e : events_) {
+    // Telemetry events carry observability-only state (drift flags depend on
+    // the cross-query record history); they are appended after every
+    // deterministic event, so skipping them here keeps deterministic output
+    // byte-identical with telemetry on or off.
+    if (mode == TraceJsonMode::kDeterministic &&
+        e.kind == TraceEventKind::kTelemetry) {
+      continue;
+    }
+    WriteEvent(&w, e, mode);
+  }
   w.EndArray();
   w.EndObject();
   return w.str();
@@ -340,6 +372,29 @@ Status ValidateEvent(const JsonValue& event) {
     if (decision != "continue" && decision != "restart") {
       return Status::InvalidArgument(
           "reoptimization decision must be continue/restart");
+    }
+  } else if (kind == "telemetry") {
+    std::string fss;
+    double max_qerror = 0, ratio = 0;
+    LPCE_RETURN_IF_ERROR(RequireString(event, "fss", &fss));
+    LPCE_RETURN_IF_ERROR(RequireNumber(event, "max_qerror", &max_qerror));
+    LPCE_RETURN_IF_ERROR(RequireNumber(event, "num_qerrors", nullptr));
+    LPCE_RETURN_IF_ERROR(RequireBool(event, "drifted"));
+    LPCE_RETURN_IF_ERROR(RequireNumber(event, "drift_ratio", &ratio));
+    if (fss.size() != 16) {
+      return Status::InvalidArgument("telemetry 'fss' must be a 16-hex-digit hash");
+    }
+    if (max_qerror < 0.0) {
+      return Status::InvalidArgument("telemetry max_qerror negative");
+    }
+    if (ratio < 0.0) {
+      return Status::InvalidArgument("telemetry drift_ratio negative");
+    }
+    const JsonValue* cache = event.Find("cache");
+    if (cache != nullptr &&
+        (cache->type != JsonValue::Type::kString ||
+         (cache->str != "hit" && cache->str != "miss"))) {
+      return Status::InvalidArgument("telemetry cache outcome must be hit/miss");
     }
   } else {
     return Status::InvalidArgument("unknown event kind '" + kind + "'");

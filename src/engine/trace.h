@@ -51,6 +51,9 @@ enum class TraceEventKind {
   kCheckpoint,      // a checkpoint evaluated a finished operator
   kRefinement,      // an actual cardinality was fed to the refiner (LPCE-R)
   kReoptimization,  // the controller adopted a new plan mid-query
+  kTelemetry,       // end-of-query telemetry summary + drift status (kFull
+                    // JSON only; appended last so deterministic output is
+                    // byte-identical with telemetry on or off)
 };
 
 const char* TraceEventKindName(TraceEventKind kind);
@@ -81,9 +84,16 @@ struct TraceEvent {
   // kPlan, only when a plan cache is active: "hit"/"miss" plus the template
   // group hash. Empty/0 when caching is off, and then omitted from the JSON
   // so cache-off traces (including all goldens) are byte-identical to
-  // pre-cache ones.
+  // pre-cache ones. kTelemetry reuses fss_hash (and cache_decision when a
+  // cache was active) for the template key.
   std::string cache_decision;
   uint64_t fss_hash = 0;
+
+  // kTelemetry: the template's drift status at publish time, as last pushed
+  // into the telemetry hub by engine/drift_monitor.h. qerror carries the
+  // query's max checkpoint q-error, num_estimates the checkpoint count.
+  bool drifted = false;
+  double drift_ratio = 0.0;
 
   // Non-deterministic (kFull only): planning/refinement wall time.
   double wall_seconds = 0.0;

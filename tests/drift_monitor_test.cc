@@ -1,0 +1,184 @@
+// Drift-monitor determinism suite (engine/drift_monitor.h): a synthetic
+// workload where one template's q-errors grow past the ratio threshold must
+// flag that template and only it; identical record sequences must produce
+// identical findings; and the min-sample gate must keep small windows from
+// flipping flags.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/telemetry.h"
+#include "engine/drift_monitor.h"
+
+namespace lpce::eng {
+namespace {
+
+using common::TelemetryHub;
+using common::TelemetryMode;
+using common::TelemetryOptions;
+using common::TelemetryRecord;
+using common::TelemetrySnapshot;
+
+constexpr uint64_t kStable = 0xAAAA;
+constexpr uint64_t kDrifting = 0xBBBB;
+
+TelemetryRecord QErrorRecord(uint64_t fss, double qerror) {
+  TelemetryRecord record;
+  record.fss_hash = fss;
+  record.plan_ns = 1000;
+  record.exec_ns = 5000;
+  record.num_qerrors = 1;
+  record.qerrors[0] = static_cast<float>(qerror);
+  record.max_qerror = static_cast<float>(qerror);
+  return record;
+}
+
+class DriftMonitorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TelemetryOptions options;
+    options.ring_capacity = 1 << 12;
+    options.window_size = 8;  // 8 records (= 8 q-errors) per window
+    options.mode = TelemetryMode::kDeterministic;
+    TelemetryHub::Global().Configure(options);
+    common::SetTelemetryEnabled(true);
+  }
+  void TearDown() override {
+    common::SetTelemetryEnabled(false);
+    TelemetryHub::Global().SetDriftHook(nullptr);
+    TelemetryHub::Global().Configure(TelemetryOptions::FromEnv());
+  }
+
+  /// Baseline window for both templates at q-error ~2, then a second window
+  /// where only kDrifting degrades to ~`drifted_q`.
+  static void PublishSyntheticDrift(double drifted_q) {
+    auto& hub = TelemetryHub::Global();
+    for (int i = 0; i < 8; ++i) {
+      hub.Publish(QErrorRecord(kStable, 2.0));
+      hub.Publish(QErrorRecord(kDrifting, 2.0));
+    }
+    for (int i = 0; i < 8; ++i) {
+      hub.Publish(QErrorRecord(kStable, 2.0));
+      hub.Publish(QErrorRecord(kDrifting, drifted_q));
+    }
+    hub.DrainNow();
+  }
+
+  static DriftMonitorOptions TestOptions() {
+    DriftMonitorOptions options;
+    options.ratio_threshold = 2.0;
+    options.min_samples = 8;
+    options.quantile = 0.95;
+    return options;
+  }
+};
+
+TEST_F(DriftMonitorTest, FlagsExactlyTheDriftedTemplate) {
+  PublishSyntheticDrift(/*drifted_q=*/20.0);
+  const DriftMonitor monitor(TestOptions());
+  const TelemetrySnapshot snapshot = TelemetryHub::Global().Snapshot();
+  const std::vector<DriftFinding> findings = monitor.Evaluate(snapshot);
+  ASSERT_EQ(findings.size(), 2u);
+  for (const DriftFinding& finding : findings) {
+    ASSERT_TRUE(finding.evaluated) << finding.fss;
+    if (finding.fss == kDrifting) {
+      EXPECT_TRUE(finding.drifted);
+      EXPECT_GE(finding.ratio, 2.0);
+    } else {
+      EXPECT_EQ(finding.fss, kStable);
+      EXPECT_FALSE(finding.drifted);
+      EXPECT_NEAR(finding.ratio, 1.0, 0.01);
+    }
+  }
+}
+
+TEST_F(DriftMonitorTest, StableWorkloadRaisesNoFlags) {
+  PublishSyntheticDrift(/*drifted_q=*/2.0);  // nobody actually drifts
+  const DriftMonitor monitor(TestOptions());
+  for (const DriftFinding& finding :
+       monitor.Evaluate(TelemetryHub::Global().Snapshot())) {
+    EXPECT_FALSE(finding.drifted) << finding.fss;
+  }
+}
+
+TEST_F(DriftMonitorTest, EvaluationIsDeterministic) {
+  PublishSyntheticDrift(20.0);
+  const DriftMonitor monitor(TestOptions());
+  const TelemetrySnapshot snapshot = TelemetryHub::Global().Snapshot();
+  const auto first = monitor.Evaluate(snapshot);
+  const auto second = monitor.Evaluate(snapshot);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].fss, second[i].fss);
+    EXPECT_EQ(first[i].drifted, second[i].drifted);
+    EXPECT_DOUBLE_EQ(first[i].ratio, second[i].ratio);
+  }
+  // ...and so is a replay of the whole record sequence.
+  TelemetryHub::Global().Configure([&] {
+    TelemetryOptions options;
+    options.ring_capacity = 1 << 12;
+    options.window_size = 8;
+    options.mode = TelemetryMode::kDeterministic;
+    return options;
+  }());
+  PublishSyntheticDrift(20.0);
+  const auto replayed =
+      monitor.Evaluate(TelemetryHub::Global().Snapshot());
+  ASSERT_EQ(replayed.size(), first.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(replayed[i].drifted, first[i].drifted);
+    EXPECT_DOUBLE_EQ(replayed[i].ratio, first[i].ratio);
+  }
+}
+
+TEST_F(DriftMonitorTest, MinSampleGateBlocksSmallWindows) {
+  PublishSyntheticDrift(20.0);
+  DriftMonitorOptions strict = TestOptions();
+  strict.min_samples = 100;  // windows carry only 8 q-errors
+  const DriftMonitor monitor(strict);
+  for (const DriftFinding& finding :
+       monitor.Evaluate(TelemetryHub::Global().Snapshot())) {
+    EXPECT_FALSE(finding.evaluated) << finding.fss;
+    EXPECT_FALSE(finding.drifted) << finding.fss;
+  }
+}
+
+TEST_F(DriftMonitorTest, NoBaselineMeansNoEvaluation) {
+  auto& hub = TelemetryHub::Global();
+  for (int i = 0; i < 3; ++i) hub.Publish(QErrorRecord(kStable, 2.0));
+  hub.DrainNow();  // window never completes (3 < 8)
+  const DriftMonitor monitor(TestOptions());
+  const auto findings = monitor.Evaluate(hub.Snapshot());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_FALSE(findings[0].evaluated);
+}
+
+TEST_F(DriftMonitorTest, RunPushesFlagsIntoHubAndExposition) {
+  PublishSyntheticDrift(20.0);
+  const DriftMonitor monitor(TestOptions());
+  monitor.Run(TelemetryHub::Global());
+  auto& hub = TelemetryHub::Global();
+  EXPECT_TRUE(hub.drift_flag(kDrifting).drifted);
+  EXPECT_FALSE(hub.drift_flag(kStable).drifted);
+  EXPECT_GE(hub.drift_flag(kDrifting).ratio, 2.0);
+  std::string exposition;
+  common::AppendTelemetryPrometheus(hub.Snapshot(), false, &exposition);
+  EXPECT_NE(exposition.find("lpce_drift_flagged{fss=\"000000000000bbbb\"} 1"),
+            std::string::npos);
+  EXPECT_NE(exposition.find("lpce_drift_flagged{fss=\"000000000000aaaa\"} 0"),
+            std::string::npos);
+}
+
+TEST_F(DriftMonitorTest, HookedIntoDrainFlagsAutomatically) {
+  auto& hub = TelemetryHub::Global();
+  const DriftMonitor monitor(TestOptions());
+  hub.SetDriftHook(
+      [&monitor](TelemetryHub& h) { monitor.Run(h); });
+  PublishSyntheticDrift(20.0);  // DrainNow inside runs the hook
+  EXPECT_TRUE(hub.drift_flag(kDrifting).drifted);
+  EXPECT_FALSE(hub.drift_flag(kStable).drifted);
+}
+
+}  // namespace
+}  // namespace lpce::eng

@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "card/histogram_estimator.h"
+#include "common/telemetry.h"
 #include "common/thread_pool.h"
 #include "engine/engine.h"
 #include "engine/server.h"
@@ -265,6 +266,56 @@ TEST_F(ServingEquivalenceTest, TrainedLpcePipelineIdenticalAtAllWorkerCounts) {
                             std::to_string(workers) + " workers");
     }
   }
+}
+
+TEST_F(ServingEquivalenceTest, TelemetryOnOffBitIdenticalAtAllWorkerCounts) {
+  // The telemetry pipeline's standing invariant (common/telemetry.h):
+  // publishing per-query records — and the fingerprint computed to key them
+  // — must not change any result, plan, estimate count, or deterministic
+  // trace byte, at any worker count.
+  RunConfig config;
+  config.enable_reopt = true;
+  config.qerror_threshold = 10.0;
+  auto factory = [](int worker_id) {
+    (void)worker_id;
+    EngineServer::Session session;
+    session.initial = std::make_unique<UnderEstimator>(stats_);
+    return session;
+  };
+  const std::vector<wk::LabeledQuery> queries(workload_->begin(),
+                                              workload_->begin() + 80);
+
+  const bool was_enabled = common::TelemetryEnabled();
+  common::SetTelemetryEnabled(false);
+  std::vector<std::vector<Outcome>> off;
+  for (int workers : {1, 2, 4}) {
+    off.push_back(RunServed(factory, workers, config, queries));
+  }
+
+  common::TelemetryOptions options;
+  options.ring_capacity = 1 << 12;
+  options.mode = common::TelemetryMode::kDeterministic;
+  common::TelemetryHub::Global().Configure(options);
+  common::SetTelemetryEnabled(true);
+  size_t idx = 0;
+  for (int workers : {1, 2, 4}) {
+    const std::vector<Outcome> on = RunServed(factory, workers, config, queries);
+    ASSERT_EQ(on.size(), off[idx].size());
+    for (size_t q = 0; q < on.size(); ++q) {
+      ExpectSameOutcome(off[idx][q], on[q],
+                        "telemetry on vs off, query " + std::to_string(q) +
+                            " at " + std::to_string(workers) + " workers");
+    }
+    ++idx;
+  }
+  // The records actually flowed (per-template windows exist) — this is an
+  // equivalence test, not a telemetry-disabled one.
+  auto& hub = common::TelemetryHub::Global();
+  hub.DrainNow();
+  EXPECT_GT(hub.published(), 0u);
+  EXPECT_FALSE(hub.Snapshot().templates.empty());
+  common::SetTelemetryEnabled(was_enabled);
+  hub.Configure(common::TelemetryOptions::FromEnv());
 }
 
 TEST_F(ServingEquivalenceTest, RunSyncMatchesSubmit) {

@@ -1,0 +1,418 @@
+// Unit suite for the serving telemetry pipeline (common/telemetry.h): the
+// log-bucket histogram's integer bucketing and quantiles, the lock-free ring
+// (overflow drops counted exactly, FIFO order, multi-producer exact counts —
+// the latter is the TSan target), off-mode no-ops, window rotation/baseline
+// freezing, and byte-deterministic Prometheus exposition for identical
+// record sequences.
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/telemetry.h"
+
+namespace lpce::common {
+namespace {
+
+// ---- LogHistogram ----------------------------------------------------------
+
+TEST(LogHistogramTest, BucketBoundsContainTheirValues) {
+  // Every value must land in a bucket whose inclusive upper bound is >= the
+  // value, and the previous bucket's bound must be < the value.
+  const std::vector<uint64_t> probes = {
+      0,        1,          2,          3,          4,    5,    7,    8,
+      15,       16,         17,         100,        1000, 4095, 4096, 4097,
+      1000000,  1000000000, 1000000000000ull,       (1ull << 40) - 1,
+      1ull << 40, (1ull << 40) + 1, 1ull << 62, ~uint64_t{0} >> 1};
+  for (uint64_t v : probes) {
+    const int bucket = LogHistogram::BucketOf(v);
+    ASSERT_GE(bucket, 0) << v;
+    ASSERT_LT(bucket, LogHistogram::kNumBuckets) << v;
+    EXPECT_GE(LogHistogram::BucketUpperBound(bucket), v) << v;
+    if (bucket > 0) {
+      EXPECT_LT(LogHistogram::BucketUpperBound(bucket - 1), v) << v;
+    }
+  }
+}
+
+TEST(LogHistogramTest, BucketUpperBoundsStrictlyAscend) {
+  for (int b = 1; b < LogHistogram::kNumBuckets; ++b) {
+    EXPECT_GT(LogHistogram::BucketUpperBound(b),
+              LogHistogram::BucketUpperBound(b - 1))
+        << "bucket " << b;
+  }
+}
+
+TEST(LogHistogramTest, RelativeBucketWidthUnder15Percent) {
+  // 8 sub-buckets per octave: the quantile error bound callers rely on.
+  for (int b = 1 << LogHistogram::kSubBits; b < LogHistogram::kNumBuckets - 1;
+       ++b) {
+    const double lo = static_cast<double>(LogHistogram::BucketUpperBound(b - 1));
+    const double hi = static_cast<double>(LogHistogram::BucketUpperBound(b));
+    if (lo <= 0) continue;
+    EXPECT_LE(hi / lo, 1.15) << "bucket " << b;
+  }
+}
+
+TEST(LogHistogramTest, SmallValuesAreExact) {
+  LogHistogram hist;
+  for (uint64_t v : {0, 1, 1, 2, 3}) hist.Observe(v);
+  EXPECT_EQ(hist.count(), 5u);
+  EXPECT_EQ(hist.sum(), 7u);
+  EXPECT_EQ(hist.ValueAtQuantile(0.0), 0u);   // rank 1 -> value 0
+  EXPECT_EQ(hist.ValueAtQuantile(0.5), 1u);   // rank 3 -> second 1
+  EXPECT_EQ(hist.ValueAtQuantile(1.0), 3u);
+}
+
+TEST(LogHistogramTest, QuantilesWithinBucketWidth) {
+  LogHistogram hist;
+  for (uint64_t v = 1; v <= 10000; ++v) hist.Observe(v);
+  for (double q : {0.5, 0.95, 0.99}) {
+    const double exact = q * 10000.0;
+    const double reported = static_cast<double>(hist.ValueAtQuantile(q));
+    EXPECT_GE(reported, exact - 1.0) << q;  // never below the true quantile
+    EXPECT_LE(reported, exact * 1.15) << q; // at most one bucket above
+  }
+}
+
+TEST(LogHistogramTest, DoubleScaleRoundTrips) {
+  LogHistogram hist;
+  hist.ObserveDouble(1.0);
+  hist.ObserveDouble(50.0);
+  hist.ObserveDouble(-3.0);  // clamps to 0
+  EXPECT_EQ(hist.count(), 3u);
+  EXPECT_NEAR(hist.DoubleAtQuantile(0.5), 1.0, 1.0 * 0.20);
+  EXPECT_NEAR(hist.DoubleAtQuantile(1.0), 50.0, 50.0 * 0.20);
+}
+
+TEST(LogHistogramTest, MergeAddsCountsAndSums) {
+  LogHistogram a, b;
+  for (uint64_t v = 1; v <= 100; ++v) a.Observe(v);
+  for (uint64_t v = 101; v <= 200; ++v) b.Observe(v);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_EQ(a.sum(), 200u * 201u / 2);
+  EXPECT_GE(a.ValueAtQuantile(1.0), 200u);
+}
+
+// ---- TelemetryRing ---------------------------------------------------------
+
+TEST(TelemetryRingTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(TelemetryRing(1).capacity(), 2u);
+  EXPECT_EQ(TelemetryRing(5).capacity(), 8u);
+  EXPECT_EQ(TelemetryRing(64).capacity(), 64u);
+}
+
+TEST(TelemetryRingTest, OverflowFailsFastAndExactly) {
+  TelemetryRing ring(8);
+  TelemetryRecord record;
+  for (int i = 0; i < 8; ++i) {
+    record.fss_hash = static_cast<uint64_t>(i);
+    EXPECT_TRUE(ring.TryPush(record)) << i;
+  }
+  // Full: every further push fails without blocking.
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(ring.TryPush(record));
+  // Pop one slot; exactly one more push fits.
+  TelemetryRecord out;
+  ASSERT_TRUE(ring.TryPop(&out));
+  EXPECT_EQ(out.fss_hash, 0u);  // FIFO
+  EXPECT_TRUE(ring.TryPush(record));
+  EXPECT_FALSE(ring.TryPush(record));
+}
+
+TEST(TelemetryRingTest, FifoOrder) {
+  TelemetryRing ring(16);
+  for (uint64_t i = 0; i < 10; ++i) {
+    TelemetryRecord record;
+    record.fss_hash = i;
+    ASSERT_TRUE(ring.TryPush(record));
+  }
+  for (uint64_t i = 0; i < 10; ++i) {
+    TelemetryRecord out;
+    ASSERT_TRUE(ring.TryPop(&out));
+    EXPECT_EQ(out.fss_hash, i);
+  }
+  TelemetryRecord out;
+  EXPECT_FALSE(ring.TryPop(&out));
+}
+
+TEST(TelemetryRingTest, MultiProducerExactCounts) {
+  // The TSan target: producers race on the ring while a consumer drains.
+  // Every record is either popped or was reported dropped — no loss, no
+  // duplication.
+  TelemetryRing ring(64);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 5000;
+  std::atomic<uint64_t> pushed{0};
+  std::atomic<uint64_t> dropped{0};
+  std::atomic<bool> done{false};
+  std::vector<uint64_t> popped_per_producer(kProducers, 0);
+
+  std::thread consumer([&] {
+    TelemetryRecord out;
+    for (;;) {
+      if (ring.TryPop(&out)) {
+        ++popped_per_producer[out.fss_hash];
+      } else if (done.load(std::memory_order_acquire)) {
+        if (!ring.TryPop(&out)) break;  // drained after the last producer
+        ++popped_per_producer[out.fss_hash];
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      TelemetryRecord record;
+      record.fss_hash = static_cast<uint64_t>(p);
+      for (int i = 0; i < kPerProducer; ++i) {
+        if (ring.TryPush(record)) {
+          pushed.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          dropped.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  done.store(true, std::memory_order_release);
+  consumer.join();
+
+  EXPECT_EQ(pushed.load() + dropped.load(),
+            static_cast<uint64_t>(kProducers) * kPerProducer);
+  uint64_t total_popped = 0;
+  for (uint64_t n : popped_per_producer) total_popped += n;
+  EXPECT_EQ(total_popped, pushed.load());
+}
+
+// ---- Hub -------------------------------------------------------------------
+
+TelemetryRecord MakeRecord(uint64_t fss, double qerror = 1.0,
+                           uint64_t exec_ns = 1000) {
+  TelemetryRecord record;
+  record.fss_hash = fss;
+  record.plan_ns = 100;
+  record.infer_ns = 50;
+  record.exec_ns = exec_ns;
+  record.result_rows = 7;
+  record.num_qerrors = 1;
+  record.qerrors[0] = static_cast<float>(qerror);
+  record.max_qerror = static_cast<float>(qerror);
+  return record;
+}
+
+class TelemetryHubTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    options_.ring_capacity = 64;
+    options_.window_size = 4;
+    options_.mode = TelemetryMode::kDeterministic;
+    TelemetryHub::Global().Configure(options_);
+    SetTelemetryEnabled(true);
+  }
+  void TearDown() override {
+    SetTelemetryEnabled(false);
+    TelemetryHub::Global().Configure(TelemetryOptions::FromEnv());
+  }
+  TelemetryOptions options_;
+};
+
+TEST_F(TelemetryHubTest, OffModeIsANoOp) {
+  SetTelemetryEnabled(false);
+  auto& hub = TelemetryHub::Global();
+  EXPECT_FALSE(hub.Publish(MakeRecord(1)));
+  EXPECT_EQ(hub.published(), 0u);
+  EXPECT_EQ(hub.dropped(), 0u);
+  EXPECT_EQ(hub.DrainNow(), 0u);
+  EXPECT_TRUE(hub.Snapshot().templates.empty());
+}
+
+TEST_F(TelemetryHubTest, FullRingCountsDropsExactly) {
+  options_.ring_capacity = 8;
+  TelemetryHub::Global().Configure(options_);
+  auto& hub = TelemetryHub::Global();
+  for (int i = 0; i < 20; ++i) hub.Publish(MakeRecord(1));
+  EXPECT_EQ(hub.published(), 8u);
+  EXPECT_EQ(hub.dropped(), 12u);
+  EXPECT_EQ(hub.DrainNow(), 8u);
+  // Ring drained: room again, drops stop.
+  EXPECT_TRUE(hub.Publish(MakeRecord(1)));
+  EXPECT_EQ(hub.dropped(), 12u);
+}
+
+TEST_F(TelemetryHubTest, WindowsRotateOnCountAndFreezeBaseline) {
+  auto& hub = TelemetryHub::Global();
+  // window_size = 4: 6 records = one completed window (the baseline) + 2 in
+  // the current one.
+  for (int i = 0; i < 6; ++i) hub.Publish(MakeRecord(42, 2.0));
+  EXPECT_EQ(hub.DrainNow(), 6u);
+  const TelemetrySnapshot snapshot = hub.Snapshot();
+  const auto* t = snapshot.Find(42);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->lifetime.queries, 6u);
+  EXPECT_EQ(t->current.queries, 2u);
+  ASSERT_TRUE(t->has_completed);
+  ASSERT_TRUE(t->has_baseline);
+  EXPECT_EQ(t->completed.queries, 4u);
+  EXPECT_EQ(t->baseline.queries, 4u);
+  EXPECT_EQ(t->windows_completed, 1u);
+
+  // Six more records at q=8.0: the 2 leftover q=2.0 records finish window #2
+  // (mixed), then window #3 completes as pure q=8.0. Baseline stays frozen at
+  // the first window throughout.
+  for (int i = 0; i < 6; ++i) hub.Publish(MakeRecord(42, 8.0));
+  hub.DrainNow();
+  const auto* t2 = hub.Snapshot().Find(42);
+  ASSERT_NE(t2, nullptr);
+  EXPECT_EQ(t2->windows_completed, 3u);
+  EXPECT_NEAR(t2->completed.qerror.DoubleAtQuantile(0.5), 8.0, 8.0 * 0.2);
+  EXPECT_NEAR(t2->baseline.qerror.DoubleAtQuantile(0.5), 2.0, 2.0 * 0.2);
+}
+
+TEST_F(TelemetryHubTest, RejectedRecordsCountWithoutLatencies) {
+  auto& hub = TelemetryHub::Global();
+  TelemetryRecord rejected;
+  rejected.outcome = QueryOutcome::kRejected;
+  hub.Publish(rejected);
+  hub.Publish(MakeRecord(7));
+  hub.DrainNow();
+  const TelemetrySnapshot snapshot = hub.Snapshot();
+  const auto* backpressure = snapshot.Find(0);
+  ASSERT_NE(backpressure, nullptr);
+  EXPECT_EQ(backpressure->lifetime.rejected, 1u);
+  EXPECT_EQ(backpressure->lifetime.queries, 0u);
+  EXPECT_EQ(backpressure->lifetime.phases[WindowStats::kExec].count(), 0u);
+  const auto* served = snapshot.Find(7);
+  ASSERT_NE(served, nullptr);
+  EXPECT_EQ(served->lifetime.queries, 1u);
+}
+
+TEST_F(TelemetryHubTest, QErrorsBeyondCapacityAreCountedNotStored) {
+  auto& hub = TelemetryHub::Global();
+  TelemetryRecord record = MakeRecord(9);
+  record.num_qerrors = TelemetryRecord::kMaxQErrors + 3;
+  hub.Publish(record);
+  hub.DrainNow();
+  const TelemetrySnapshot snapshot = hub.Snapshot();
+  EXPECT_EQ(snapshot.qerrors_truncated, 3u);
+  const auto* t = snapshot.Find(9);
+  ASSERT_NE(t, nullptr);
+  // Stored values observed, the rest only counted.
+  EXPECT_EQ(t->lifetime.qerror.count(),
+            static_cast<uint64_t>(TelemetryRecord::kMaxQErrors));
+  EXPECT_EQ(t->lifetime.checkpoints, TelemetryRecord::kMaxQErrors + 3u);
+}
+
+TEST_F(TelemetryHubTest, MultiProducerPublishThenDrainIsExact) {
+  options_.ring_capacity = 1 << 14;  // no drops: counts must match exactly
+  TelemetryHub::Global().Configure(options_);
+  auto& hub = TelemetryHub::Global();
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 1000;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&hub, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        hub.Publish(MakeRecord(static_cast<uint64_t>(p + 1)));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(hub.published(), static_cast<uint64_t>(kProducers) * kPerProducer);
+  EXPECT_EQ(hub.dropped(), 0u);
+  EXPECT_EQ(hub.DrainNow(), hub.published());
+  const TelemetrySnapshot snapshot = hub.Snapshot();
+  ASSERT_EQ(snapshot.templates.size(), static_cast<size_t>(kProducers));
+  for (const auto& t : snapshot.templates) {
+    EXPECT_EQ(t.lifetime.queries, static_cast<uint64_t>(kPerProducer));
+  }
+}
+
+TEST_F(TelemetryHubTest, ConcurrentPublishWithBackgroundAggregator) {
+  options_.ring_capacity = 64;  // small: drops race with the drainer
+  TelemetryHub::Global().Configure(options_);
+  auto& hub = TelemetryHub::Global();
+  hub.StartAggregator();
+  EXPECT_TRUE(hub.aggregator_running());
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&hub, p] {
+      for (int i = 0; i < 2000; ++i) {
+        hub.Publish(MakeRecord(static_cast<uint64_t>(p + 1)));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  hub.StopAggregator();
+  EXPECT_FALSE(hub.aggregator_running());
+  // Conservation: everything published was drained, everything else dropped.
+  EXPECT_EQ(hub.drained(), hub.published());
+  EXPECT_EQ(hub.published() + hub.dropped(), 4u * 2000u);
+  uint64_t applied = 0;
+  for (const auto& t : hub.Snapshot().templates) applied += t.lifetime.queries;
+  EXPECT_EQ(applied, hub.published());
+}
+
+TEST_F(TelemetryHubTest, DeterministicExpositionBytes) {
+  auto publish_sequence = [] {
+    auto& hub = TelemetryHub::Global();
+    for (int i = 0; i < 9; ++i) {
+      hub.Publish(MakeRecord(3, 2.0 + i, 500 + 100 * i));
+      hub.Publish(MakeRecord(11, 4.0, 900));
+    }
+    hub.DrainNow();
+    std::string out;
+    AppendTelemetryPrometheus(hub.Snapshot(), /*include_wallclock=*/false,
+                              &out);
+    return out;
+  };
+  const std::string first = publish_sequence();
+  TelemetryHub::Global().Configure(options_);  // clean slate, same sequence
+  const std::string second = publish_sequence();
+  EXPECT_EQ(first, second);
+  // Structure sanity: per-template families present, sorted fss labels.
+  EXPECT_NE(first.find("lpce_telemetry_queries_total{fss=\"0000000000000003\"}"),
+            std::string::npos);
+  EXPECT_NE(first.find("lpce_telemetry_phase_seconds_bucket"), std::string::npos);
+  EXPECT_NE(first.find("lpce_telemetry_qerror"), std::string::npos);
+  EXPECT_NE(first.find("lpce_drift_flagged"), std::string::npos);
+  EXPECT_LT(first.find("fss=\"0000000000000003\""),
+            first.find("fss=\"000000000000000b\""));
+}
+
+TEST_F(TelemetryHubTest, DriftHookRunsAfterDrainAndFlagsStick) {
+  auto& hub = TelemetryHub::Global();
+  int hook_runs = 0;
+  hub.SetDriftHook([&hook_runs](TelemetryHub& h) {
+    ++hook_runs;
+    h.SetDriftFlag(5, true, 3.5);
+  });
+  // A partial window drains without firing the hook: drift verdicts only
+  // change when a window completes.
+  hub.Publish(MakeRecord(5));
+  hub.DrainNow();
+  EXPECT_EQ(hook_runs, 0);
+  // Completing the 4-record window fires it exactly once.
+  for (int i = 0; i < 3; ++i) hub.Publish(MakeRecord(5));
+  hub.DrainNow();
+  EXPECT_EQ(hook_runs, 1);
+  EXPECT_TRUE(hub.drift_flag(5).drifted);
+  EXPECT_DOUBLE_EQ(hub.drift_flag(5).ratio, 3.5);
+  const auto* t = hub.Snapshot().Find(5);
+  ASSERT_NE(t, nullptr);
+  EXPECT_TRUE(t->drifted);
+  // Another rotation-free drain stays silent; the next rotation fires again.
+  hub.Publish(MakeRecord(5));
+  hub.DrainNow();
+  EXPECT_EQ(hook_runs, 1);
+  for (int i = 0; i < 3; ++i) hub.Publish(MakeRecord(5));
+  hub.DrainNow();
+  EXPECT_EQ(hook_runs, 2);
+  hub.SetDriftHook(nullptr);
+}
+
+}  // namespace
+}  // namespace lpce::common
