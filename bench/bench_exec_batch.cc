@@ -1,8 +1,11 @@
 // Vectorized-executor bench: T_E on a join-heavy scan+filter+join workload,
-// row-at-a-time (Volcano-style oracle) vs the batch path (exec/vectorized.h),
-// plus the bit-identity pin the speedup is only allowed to ride on: every
-// finished operator's rowset in batch mode, at pool sizes {1, 2, 4}, must
-// equal the row path's single-thread output bit for bit.
+// row-at-a-time (Volcano-style oracle) vs the batch path (exec/vectorized.h)
+// vs the late-materialization path (row-id intermediates), plus the
+// bit-identity pin the speedups are only allowed to ride on: every finished
+// operator's rowset in batch and late mode, at pool sizes {1, 2, 4}, must
+// equal the row path's single-thread output bit for bit (late intermediates
+// gathered through exec::MaterializeRowSet first). Peak intermediate bytes
+// are reported per path; the late path must also shrink them.
 //
 // Self-contained like bench_plancache: builds its own synthetic database,
 // runs in seconds.
@@ -15,6 +18,9 @@
 //   --repeats=N           timing repeats per query; min is kept (default 5)
 //   --min_speedup=F       fail (exit 1) if batch-path T_E speedup over the
 //                         row path is below this (default 2; 0 disables)
+//   --min_late_speedup=F  fail (exit 1) if late-mat T_E speedup over the
+//                         batch path is below this (default 1; 0 disables);
+//                         also requires late peak bytes < batch peak bytes
 //   --metrics_json=PATH   append one summary JSON line
 #include <cstdio>
 #include <cstdlib>
@@ -28,6 +34,7 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "exec/executor.h"
+#include "exec/vectorized.h"
 #include "storage/database.h"
 #include "workload/workload.h"
 
@@ -41,6 +48,7 @@ struct Flags {
   int batch = 1024;
   int repeats = 5;
   double min_speedup = 2.0;
+  double min_late_speedup = 1.0;
   std::string metrics_json;
 };
 
@@ -64,13 +72,15 @@ Flags ParseFlags(int argc, char** argv) {
       flags.repeats = std::atoi(v);
     } else if (const char* v = value_of("--min_speedup=")) {
       flags.min_speedup = std::atof(v);
+    } else if (const char* v = value_of("--min_late_speedup=")) {
+      flags.min_late_speedup = std::atof(v);
     } else if (const char* v = value_of("--metrics_json=")) {
       flags.metrics_json = v;
     } else {
       std::fprintf(stderr,
                    "unknown flag %s\nusage: %s [--scale=F] [--queries=N] "
                    "[--joins=N] [--batch=N] [--repeats=N] [--min_speedup=F] "
-                   "[--metrics_json=PATH]\n",
+                   "[--min_late_speedup=F] [--metrics_json=PATH]\n",
                    arg.c_str(), argv[0]);
       std::exit(2);
     }
@@ -88,18 +98,21 @@ struct Outcome {
   std::vector<exec::RowSetPtr> rowsets;
   uint64_t result_rows = 0;
   double exec_seconds = 0.0;
+  size_t peak_bytes = 0;
 };
 
 Outcome RunOnce(const db::Database& database, const qry::Query& query,
-                int batch_size) {
+                int batch_size, int late = 0) {
   Outcome outcome;
   auto plan = exec::BuildCanonicalHashPlan(query);
   exec::Executor executor(&database, &query);
   exec::Executor::Options options;
   options.batch_size = batch_size;
+  options.late_materialization = late;
   WallTimer timer;
   exec::Executor::RunResult result = executor.Run(plan.get(), options);
   outcome.exec_seconds = timer.ElapsedSeconds();
+  outcome.peak_bytes = executor.peak_intermediate_bytes();
   std::vector<exec::PlanNode*> nodes;
   exec::PostOrderPlan(plan.get(), &nodes);
   for (exec::PlanNode* node : nodes) {
@@ -155,10 +168,11 @@ int Run(int argc, char** argv) {
   // canonical hash plans. Single-thread is the honest comparison — the pool
   // speeds both paths up by the same chunking.
   common::SetGlobalPoolSize(1);
-  double row_seconds = 0.0, batch_seconds = 0.0;
+  double row_seconds = 0.0, batch_seconds = 0.0, late_seconds = 0.0;
   uint64_t total_rows = 0;
+  size_t row_peak = 0, batch_peak = 0, late_peak = 0;
   for (const qry::Query& query : queries) {
-    double row_min = 0.0, batch_min = 0.0;
+    double row_min = 0.0, batch_min = 0.0, late_min = 0.0;
     for (int r = 0; r < flags.repeats; ++r) {
       const Outcome row = RunOnce(*database, query, /*batch_size=*/0);
       if (r == 0 || row.exec_seconds < row_min) row_min = row.exec_seconds;
@@ -166,16 +180,30 @@ int Run(int argc, char** argv) {
       if (r == 0 || batch.exec_seconds < batch_min) {
         batch_min = batch.exec_seconds;
       }
-      if (r == 0) total_rows += row.result_rows;
+      const Outcome late =
+          RunOnce(*database, query, flags.batch, /*late=*/1);
+      if (r == 0 || late.exec_seconds < late_min) {
+        late_min = late.exec_seconds;
+      }
+      if (r == 0) {
+        total_rows += row.result_rows;
+        row_peak += row.peak_bytes;
+        batch_peak += batch.peak_bytes;
+        late_peak += late.peak_bytes;
+      }
     }
     row_seconds += row_min;
     batch_seconds += batch_min;
+    late_seconds += late_min;
   }
   const double speedup =
       batch_seconds > 0.0 ? row_seconds / batch_seconds : 0.0;
+  const double late_speedup =
+      late_seconds > 0.0 ? batch_seconds / late_seconds : 0.0;
 
-  // Bit-identity pin: the batch path at pool sizes {1, 2, 4} against the row
-  // path's single-thread output, every finished operator compared.
+  // Bit-identity pin: the batch and late paths at pool sizes {1, 2, 4}
+  // against the row path's single-thread output, every finished operator
+  // compared (late rowsets gathered back to payload columns first).
   uint64_t mismatches = 0;
   for (const qry::Query& query : queries) {
     common::SetGlobalPoolSize(1);
@@ -188,6 +216,15 @@ int Run(int argc, char** argv) {
         std::printf("!! bit-identity mismatch: batch=%d pool=%d\n",
                     flags.batch, pool);
       }
+      Outcome late = RunOnce(*database, query, flags.batch, /*late=*/1);
+      for (exec::RowSetPtr& rs : late.rowsets) {
+        if (rs != nullptr) rs = exec::MaterializeRowSet(*database, rs);
+      }
+      if (!BitIdentical(oracle, late)) {
+        ++mismatches;
+        std::printf("!! bit-identity mismatch: late batch=%d pool=%d\n",
+                    flags.batch, pool);
+      }
     }
   }
   common::SetGlobalPoolSize(0);
@@ -196,10 +233,21 @@ int Run(int argc, char** argv) {
               "batch %d, %llu result rows\n",
               flags.queries, flags.joins, flags.scale, flags.batch,
               static_cast<unsigned long long>(total_rows));
-  std::printf("%-28s %10.1fms\n", "row-at-a-time T_E",
-              row_seconds * 1e3);
-  std::printf("%-28s %10.1fms\n", "vectorized T_E", batch_seconds * 1e3);
+  std::printf("%-28s %10.1fms  peak %10llu B\n", "row-at-a-time T_E",
+              row_seconds * 1e3, static_cast<unsigned long long>(row_peak));
+  std::printf("%-28s %10.1fms  peak %10llu B\n", "vectorized T_E",
+              batch_seconds * 1e3,
+              static_cast<unsigned long long>(batch_peak));
+  std::printf("%-28s %10.1fms  peak %10llu B\n", "late-mat T_E",
+              late_seconds * 1e3, static_cast<unsigned long long>(late_peak));
   std::printf("batch-path speedup: %.2fx\n", speedup);
+  std::printf("late-mat speedup over batch: %.2fx, peak bytes %.1f%% of "
+              "batch\n",
+              late_speedup,
+              batch_peak > 0
+                  ? 100.0 * static_cast<double>(late_peak) /
+                        static_cast<double>(batch_peak)
+                  : 0.0);
 
   bool ok = true;
   if (mismatches > 0) {
@@ -212,20 +260,38 @@ int Run(int argc, char** argv) {
     std::printf("!! batch speedup %.2fx below required %.2fx\n", speedup,
                 flags.min_speedup);
   }
+  if (flags.min_late_speedup > 0.0) {
+    if (late_speedup < flags.min_late_speedup) {
+      ok = false;
+      std::printf("!! late-mat speedup %.2fx below required %.2fx\n",
+                  late_speedup, flags.min_late_speedup);
+    }
+    if (late_peak >= batch_peak) {
+      ok = false;
+      std::printf("!! late-mat peak bytes %llu not below batch peak %llu\n",
+                  static_cast<unsigned long long>(late_peak),
+                  static_cast<unsigned long long>(batch_peak));
+    }
+  }
 
   if (!flags.metrics_json.empty()) {
     std::ofstream metrics_out(flags.metrics_json, std::ios::app);
     const common::MetricsSnapshot delta =
         common::Delta(before, common::MetricsRegistry::Global().Snapshot());
-    char line[512];
+    char line[768];
     std::snprintf(
         line, sizeof(line),
         "{\"bench\":\"exec_batch\",\"queries\":%d,\"joins\":%d,"
         "\"scale\":%.3f,\"batch\":%d,\"repeats\":%d,\"row_te_ms\":%.3f,"
-        "\"batch_te_ms\":%.3f,\"speedup\":%.3f,\"result_rows\":%llu,"
-        "\"mismatches\":%llu,\"delta\":",
+        "\"batch_te_ms\":%.3f,\"late_te_ms\":%.3f,\"speedup\":%.3f,"
+        "\"late_speedup\":%.3f,\"row_peak_bytes\":%llu,"
+        "\"batch_peak_bytes\":%llu,\"late_peak_bytes\":%llu,"
+        "\"result_rows\":%llu,\"mismatches\":%llu,\"delta\":",
         flags.queries, flags.joins, flags.scale, flags.batch, flags.repeats,
-        row_seconds * 1e3, batch_seconds * 1e3, speedup,
+        row_seconds * 1e3, batch_seconds * 1e3, late_seconds * 1e3, speedup,
+        late_speedup, static_cast<unsigned long long>(row_peak),
+        static_cast<unsigned long long>(batch_peak),
+        static_cast<unsigned long long>(late_peak),
         static_cast<unsigned long long>(total_rows),
         static_cast<unsigned long long>(mismatches));
     metrics_out << line << delta.ToJson() << "}\n";

@@ -142,6 +142,8 @@ struct SweepResult {
   // Per-phase p50 from the telemetry windows (telemetry on only), ms.
   bool has_phases = false;
   double phase_p50_ms[4] = {0, 0, 0, 0};
+  // p50 peak intermediate bytes per query from the telemetry windows.
+  uint64_t peak_bytes_p50 = 0;
   uint64_t telemetry_published = 0;
   uint64_t telemetry_dropped = 0;
   uint64_t mismatches = 0;
@@ -259,12 +261,14 @@ SweepResult RunSweep(const db::Database& database,
       for (int phase = 0; phase < 4; ++phase) {
         merged.phases[phase].Merge(t.lifetime.phases[phase]);
       }
+      merged.peak_bytes.Merge(t.lifetime.peak_bytes);
     }
     result.has_phases = merged.phases[0].count() > 0;
     for (int phase = 0; phase < 4; ++phase) {
       result.phase_p50_ms[phase] =
           static_cast<double>(merged.phases[phase].ValueAtQuantile(0.50)) / 1e6;
     }
+    result.peak_bytes_p50 = merged.peak_bytes.ValueAtQuantile(0.50);
     result.telemetry_published = snapshot.published;
     result.telemetry_dropped = snapshot.dropped;
   }
@@ -347,8 +351,8 @@ int Run(int argc, char** argv) {
   std::printf("%8s %8s %10s %10s %10s %10s %10s %9s", "workers", "clients",
               "wall(s)", "qps", "p50(ms)", "p95(ms)", "p99(ms)", "speedup");
   if (telemetry_cols) {
-    std::printf(" %9s %9s %9s %9s %6s", "plan50", "infer50", "reopt50",
-                "exec50", "drops");
+    std::printf(" %9s %9s %9s %9s %10s %6s", "plan50", "infer50", "reopt50",
+                "exec50", "peakB50", "drops");
   }
   std::printf("\n");
   bool ok = true;
@@ -368,8 +372,9 @@ int Run(int argc, char** argv) {
                 r.workers, r.clients, r.wall_seconds, r.qps, r.p50_ms,
                 r.p95_ms, r.p99_ms, base_qps > 0 ? r.qps / base_qps : 0.0);
     if (telemetry_cols) {
-      std::printf(" %9.3f %9.3f %9.3f %9.3f %6llu", r.phase_p50_ms[0],
+      std::printf(" %9.3f %9.3f %9.3f %9.3f %10llu %6llu", r.phase_p50_ms[0],
                   r.phase_p50_ms[1], r.phase_p50_ms[2], r.phase_p50_ms[3],
+                  static_cast<unsigned long long>(r.peak_bytes_p50),
                   static_cast<unsigned long long>(r.telemetry_dropped));
     }
     std::printf("\n");
@@ -392,11 +397,13 @@ int Run(int argc, char** argv) {
                     "\"p50_ms\":%.4f,\"p95_ms\":%.4f,\"p99_ms\":%.4f,"
                     "\"plan_p50_ms\":%.4f,\"infer_p50_ms\":%.4f,"
                     "\"reopt_p50_ms\":%.4f,\"exec_p50_ms\":%.4f,"
+                    "\"peak_bytes_p50\":%llu,"
                     "\"telemetry_published\":%llu,\"telemetry_dropped\":%llu,"
                     "\"speedup_vs_1\":%.4f,\"delta\":",
                     r.workers, r.clients, workload.size(), r.wall_seconds,
                     r.qps, r.p50_ms, r.p95_ms, r.p99_ms, r.phase_p50_ms[0],
                     r.phase_p50_ms[1], r.phase_p50_ms[2], r.phase_p50_ms[3],
+                    static_cast<unsigned long long>(r.peak_bytes_p50),
                     static_cast<unsigned long long>(r.telemetry_published),
                     static_cast<unsigned long long>(r.telemetry_dropped),
                     base_qps > 0 ? r.qps / base_qps : 0.0);

@@ -1,6 +1,9 @@
 #!/bin/sh
 # Runs every bench binary in sequence (the cached world must exist or the
-# first binary will build it). Usage: ./run_benches.sh [output-file]
+# first binary will build it). The glob picks up all of build/bench/bench_*,
+# including bench_exec_batch (row vs batch vs late-materialization T_E and
+# peak intermediate bytes), bench_plancache, and bench_serving.
+# Usage: ./run_benches.sh [output-file]
 out="${1:-bench_output.txt}"
 : > "$out"
 for b in build/bench/bench_*; do

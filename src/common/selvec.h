@@ -46,27 +46,40 @@ inline size_t RefineSelection(const uint32_t* sel_in, size_t n,
 }
 
 /// Gathers col[sel[i]] for i in [0, n) into `dst` (must hold n values).
-inline void GatherSelected(const int64_t* col, const uint32_t* sel, size_t n,
-                           int64_t* dst) {
+/// Works for payload columns (int64) and row-id columns (uint32) alike.
+template <typename T>
+inline void GatherSelected(const T* col, const uint32_t* sel, size_t n,
+                           T* dst) {
   for (size_t i = 0; i < n; ++i) dst[i] = col[sel[i]];
+}
+
+/// Two-level gather: dst[i] = col[rid[sel[i]]] for i in [0, n). Reads payload
+/// values through a row-id indirection column — the access pattern of late
+/// materialization, where an intermediate carries base-table row ids and a
+/// selection vector over them picks the candidates of the current batch.
+template <typename T>
+inline void GatherGathered(const T* col, const uint32_t* rid,
+                           const uint32_t* sel, size_t n, T* dst) {
+  for (size_t i = 0; i < n; ++i) dst[i] = col[rid[sel[i]]];
 }
 
 /// Random-access iterator over col[sel[i]]. Lets callers append a gather to a
 /// std::vector via insert(end, begin, end) — one write per element, with no
 /// value-initialization pass over the appended tail (resize would pay one).
+template <typename T = int64_t>
 class GatherIterator {
  public:
   using iterator_category = std::random_access_iterator_tag;
-  using value_type = int64_t;
+  using value_type = T;
   using difference_type = std::ptrdiff_t;
-  using pointer = const int64_t*;
-  using reference = int64_t;
+  using pointer = const T*;
+  using reference = T;
 
-  GatherIterator(const int64_t* col, const uint32_t* sel, size_t i)
+  GatherIterator(const T* col, const uint32_t* sel, size_t i)
       : col_(col), sel_(sel), i_(i) {}
 
-  int64_t operator*() const { return col_[sel_[i_]]; }
-  int64_t operator[](difference_type d) const { return col_[sel_[i_ + d]]; }
+  T operator*() const { return col_[sel_[i_]]; }
+  T operator[](difference_type d) const { return col_[sel_[i_ + d]]; }
   GatherIterator& operator++() { ++i_; return *this; }
   GatherIterator operator++(int) { auto t = *this; ++i_; return t; }
   GatherIterator& operator--() { --i_; return *this; }
@@ -91,7 +104,7 @@ class GatherIterator {
   bool operator>=(const GatherIterator& o) const { return i_ >= o.i_; }
 
  private:
-  const int64_t* col_;
+  const T* col_;
   const uint32_t* sel_;
   size_t i_;
 };

@@ -195,6 +195,7 @@ void WindowStats::Apply(const TelemetryRecord& record) {
   phases[kInfer].Observe(record.infer_ns);
   phases[kReopt].Observe(record.reopt_ns);
   phases[kExec].Observe(record.exec_ns);
+  peak_bytes.Observe(record.peak_bytes);
   const uint32_t stored =
       record.num_qerrors < TelemetryRecord::kMaxQErrors
           ? record.num_qerrors
@@ -615,6 +616,33 @@ void AppendTelemetryPrometheus(const TelemetrySnapshot& snapshot,
       Sample(out, "lpce_telemetry_phase_seconds_count", labels,
              U64(h.count()));
     }
+  }
+
+  // Per-template peak-intermediate-bytes histogram (lifetime): the memory
+  // axis next to the phase latencies — late materialization's
+  // peak_intermediate_bytes reduction shows up here per serving window.
+  Family(out, "lpce_telemetry_peak_intermediate_bytes", "histogram",
+         "Per-query peak retained executor intermediate bytes per template, "
+         "log-bucketed.");
+  for (const auto& t : snapshot.templates) {
+    const LogHistogram& h = t.lifetime.peak_bytes;
+    if (h.count() == 0) continue;
+    const std::string labels = "fss=\"" + FssLabel(t.fss) + "\"";
+    uint64_t cumulative = 0;
+    for (int b = 0; b < LogHistogram::kNumBuckets; ++b) {
+      if (h.buckets()[b] == 0) continue;
+      cumulative += h.buckets()[b];
+      const double le_bytes =
+          static_cast<double>(LogHistogram::BucketUpperBound(b));
+      Sample(out, "lpce_telemetry_peak_intermediate_bytes_bucket",
+             labels + ",le=\"" + PromDouble(le_bytes) + "\"", U64(cumulative));
+    }
+    Sample(out, "lpce_telemetry_peak_intermediate_bytes_bucket",
+           labels + ",le=\"+Inf\"", U64(h.count()));
+    Sample(out, "lpce_telemetry_peak_intermediate_bytes_sum", labels,
+           PromDouble(static_cast<double>(h.sum())));
+    Sample(out, "lpce_telemetry_peak_intermediate_bytes_count", labels,
+           U64(h.count()));
   }
 
   // Streaming q-error quantiles: lifetime summary plus current-window and

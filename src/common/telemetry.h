@@ -146,6 +146,10 @@ struct TelemetryRecord {
   uint64_t reopt_ns = 0;
   uint64_t exec_ns = 0;
   uint64_t result_rows = 0;
+  /// Peak total bytes of retained executor intermediates (RunStats
+  /// peak_intermediate_bytes) — the per-query memory axis the serving
+  /// windows report alongside the phase latencies.
+  uint64_t peak_bytes = 0;
   /// Publish-time wall clock (unix ns); stamped by the hub only in
   /// TelemetryMode::kFull, 0 otherwise.
   uint64_t unix_ns = 0;
@@ -209,6 +213,8 @@ struct WindowStats {
   LogHistogram phases[4];
   /// Checkpoint q-errors at 1/1024 resolution.
   LogHistogram qerror;
+  /// Per-query peak intermediate bytes (TelemetryRecord::peak_bytes).
+  LogHistogram peak_bytes;
 
   enum Phase { kPlan = 0, kInfer = 1, kReopt = 2, kExec = 3 };
 

@@ -137,6 +137,7 @@ RunStats Engine::RunQuery(const qry::Query& query,
   exec_opts.underestimates_only = config.underestimates_only;
   exec_opts.num_threads = config.exec_threads;
   exec_opts.batch_size = config.exec_batch_size;
+  exec_opts.late_materialization = config.exec_late_mat;
   exec_opts.trace = trace;
 
   while (true) {
@@ -147,6 +148,8 @@ RunStats Engine::RunQuery(const qry::Query& query,
       return executor.Run(plan.get(), exec_opts);
     }();
     stats.exec_seconds += exec_timer.ElapsedSeconds();
+    stats.peak_intermediate_bytes = std::max(
+        stats.peak_intermediate_bytes, executor.peak_intermediate_bytes());
     if (run.tripped == nullptr) {
       LPCE_CHECK(run.result != nullptr);
       stats.result_count = run.result->num_rows();
@@ -260,9 +263,18 @@ RunStats Engine::RunQuery(const qry::Query& query,
         common::MetricsRegistry::Global().counter("engine.reopts_total");
     static common::Histogram* query_seconds =
         common::MetricsRegistry::Global().histogram("engine.query_seconds");
+    // Byte-scale buckets (powers of four from 1 KiB to 1 GiB) — the default
+    // latency bounds would put every query in the overflow bucket.
+    static common::Histogram* peak_bytes_hist =
+        common::MetricsRegistry::Global().histogram(
+            "lpce.exec.peak_intermediate_bytes",
+            {1024.0, 4096.0, 16384.0, 65536.0, 262144.0, 1048576.0, 4194304.0,
+             16777216.0, 67108864.0, 268435456.0, 1073741824.0});
     queries_total->Increment();
     reopts_total->Increment(static_cast<uint64_t>(stats.num_reopts));
     query_seconds->Observe(total_timer.ElapsedSeconds());
+    peak_bytes_hist->Observe(
+        static_cast<double>(stats.peak_intermediate_bytes));
   }
   if (telemetry_on) {
     auto to_ns = [](double seconds) {
@@ -276,6 +288,7 @@ RunStats Engine::RunQuery(const qry::Query& query,
     record.reopt_ns = to_ns(stats.reopt_seconds);
     record.exec_ns = to_ns(stats.exec_seconds);
     record.result_rows = stats.result_count;
+    record.peak_bytes = stats.peak_intermediate_bytes;
     record.num_reopts = static_cast<uint32_t>(stats.num_reopts);
     record.cache_hit = cache_hit ? 1 : 0;
     for (const auto& e : trace->events()) {

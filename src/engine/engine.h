@@ -39,6 +39,11 @@ struct RunConfig {
   /// 0 = row-at-a-time operators, > 0 = vectorized batches of this many rows
   /// (see exec/vectorized.h). Bit-identical results at every setting.
   int exec_batch_size = -1;
+  /// Late materialization (row-id intermediates): -1 = follow the
+  /// LPCE_EXEC_LATE_MAT environment knob, 0 = off, > 0 = on (see
+  /// Executor::Options::late_materialization). Bit-identical results and
+  /// deterministic traces at every setting.
+  int exec_late_mat = -1;
 };
 
 struct RunStats {
@@ -49,6 +54,13 @@ struct RunStats {
   double exec_seconds = 0.0;       // T_E: executor time
   int num_reopts = 0;
   size_t num_estimates = 0;
+  /// Peak total bytes of retained executor intermediates, maximized across
+  /// re-optimization rounds (each round's peak is the sum of the rowsets it
+  /// retained; rounds after a trip keep their pseudo inputs alive, so the
+  /// maximum round is the query's memory high-water mark). Under late
+  /// materialization this counts row-id columns at their narrower width —
+  /// the Sec. 6.2 "overhead" axis the serving telemetry reports per window.
+  size_t peak_intermediate_bytes = 0;
   std::string initial_plan;  // pretty-printed (case studies, Fig. 17)
   std::string final_plan;
   /// Structured trace of the run: one span per executed operator, one event

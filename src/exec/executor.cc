@@ -5,6 +5,7 @@
 
 #include "common/metrics.h"
 #include "common/profiler.h"
+#include "common/selvec.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "exec/vectorized.h"
@@ -41,6 +42,22 @@ int EffectiveThreads(int num_threads) {
   return workers;
 }
 
+// The late kernels cover hash joins over scans and late pseudo relations.
+// Re-planned remainders may pick merge/nest-loop joins (deliberately
+// mispriced row-kernel alternatives) or carry materialized pseudo rowsets
+// from an earlier non-late round; such plans run the plain batch path — the
+// knob is per-run, not per-operator, so a run never mixes representations.
+bool PlanSupportsLate(const PlanNode& node) {
+  if (node.is_join()) {
+    return node.op == PhysOp::kHashJoin && PlanSupportsLate(*node.outer) &&
+           PlanSupportsLate(*node.inner);
+  }
+  if (node.op == PhysOp::kPseudoScan) {
+    return node.pseudo != nullptr && node.pseudo->late();
+  }
+  return true;
+}
+
 }  // namespace
 
 std::vector<db::ColRef> Executor::SideRequired(
@@ -51,6 +68,28 @@ std::vector<db::ColRef> Executor::SideRequired(
     if (pos >= 0 && qry::Contains(rels, pos)) out.push_back(c);
   }
   return out;
+}
+
+std::vector<int32_t> Executor::LateRidTables(
+    qry::RelSet rels, const std::vector<db::ColRef>& required) const {
+  std::vector<int32_t> tables;
+  for (size_t pos = 0; pos < query_->tables.size(); ++pos) {
+    if (!qry::Contains(rels, static_cast<int>(pos))) continue;
+    const int32_t table_id = query_->tables[pos];
+    bool needed = false;
+    for (const auto& ref : required) needed |= ref.table == table_id;
+    for (const auto& join : query_->joins) {
+      if (needed) break;
+      const bool left_in =
+          qry::Contains(rels, query_->PositionOf(join.left.table));
+      const bool right_in =
+          qry::Contains(rels, query_->PositionOf(join.right.table));
+      if (left_in == right_in) continue;  // not a crossing edge
+      needed = (left_in ? join.left.table : join.right.table) == table_id;
+    }
+    if (needed) tables.push_back(table_id);
+  }
+  return tables;
 }
 
 RowSetPtr Executor::Execute(PlanNode* root) {
@@ -66,6 +105,12 @@ Executor::RunResult Executor::Run(PlanNode* root, const Options& options) {
   // Resolved once per run: -1 defers to the LPCE_EXEC_BATCH environment knob
   // so whole suites can be re-run in batch mode without code changes.
   batch_size_ = options.batch_size >= 0 ? options.batch_size : BatchSizeFromEnv();
+  late_ = options.late_materialization >= 0 ? options.late_materialization > 0
+                                            : LateMatFromEnv();
+  // Late materialization is a refinement of the batch path: row-id columns
+  // are per-batch selection vectors promoted to intermediates.
+  if (late_ && batch_size_ <= 0) batch_size_ = kDefaultBatchSize;
+  if (late_) late_ = PlanSupportsLate(*root);
   RunResult result;
   RowSetPtr out = ExecuteNode(root, {}, options, &result);
   if (result.tripped == nullptr) result.result = out;
@@ -78,6 +123,16 @@ Executor::RunResult Executor::Run(PlanNode* root, const Options& options) {
 RowSetPtr Executor::ExecuteNode(PlanNode* node,
                                 const std::vector<db::ColRef>& required,
                                 const Options& options, RunResult* result) {
+  // Late runs fuse a hash join over a leaf scan into one scan→probe pipeline
+  // (DESIGN.md "Pipelined execution & late materialization"). Fusion stops at
+  // join children: their checkpoints must be evaluated before the parent may
+  // run, which is exactly a pipeline breaker.
+  if (late_ && node->op == PhysOp::kHashJoin &&
+      (node->outer->op == PhysOp::kSeqScan ||
+       node->outer->op == PhysOp::kIndexScan) &&
+      !node->inner->is_join()) {
+    return ExecuteFusedScanJoin(node, required, options, result);
+  }
   WallTimer node_timer;
   double children_seconds = 0.0;
   RowSetPtr out;
@@ -114,9 +169,22 @@ RowSetPtr Executor::ExecuteNode(PlanNode* node,
   } else {
     out = ExecuteScan(*node, required, options.num_threads);
   }
+  const double exec_seconds = node_timer.ElapsedSeconds() - children_seconds;
+  if (FinishNode(node, out, required, options, result, exec_seconds,
+                 outer_span, inner_span, outer_rows, inner_rows)) {
+    return nullptr;
+  }
+  return out;
+}
+
+bool Executor::FinishNode(PlanNode* node, const RowSetPtr& out,
+                          const std::vector<db::ColRef>& required,
+                          const Options& options, RunResult* result,
+                          double exec_seconds, int outer_span, int inner_span,
+                          uint64_t outer_rows, uint64_t inner_rows) {
   node->actual_card = out->num_rows();
   node->executed = true;
-  node->exec_seconds = node_timer.ElapsedSeconds() - children_seconds;
+  node->exec_seconds = exec_seconds;
   // Every finished result is retained in result->finished until the run ends
   // (checkpoints may re-plan around any of them), so live memory is the sum
   // of all finished intermediates, not the largest single one.
@@ -180,25 +248,90 @@ RowSetPtr Executor::ExecuteNode(PlanNode* node,
               "executor.checkpoint_trips_total");
       trips_total->Increment();
       result->tripped = node;
-      return nullptr;
+      return true;
     }
+  }
+  return false;
+}
+
+RowSetPtr Executor::ExecuteFusedScanJoin(PlanNode* node,
+                                         const std::vector<db::ColRef>& required,
+                                         const Options& options,
+                                         RunResult* result) {
+  LPCE_PROFILE_SCOPE("exec.fused_scan_join");
+  PlanNode* outer_node = node->outer.get();
+  PlanNode* inner_node = node->inner.get();
+  std::vector<db::ColRef> outer_req = SideRequired(required, outer_node->rels);
+  std::vector<db::ColRef> inner_req = SideRequired(required, inner_node->rels);
+  AppendUnique(&outer_req, node->outer_key);
+  AppendUnique(&inner_req, node->inner_key);
+  for (const auto& [outer_col, inner_col] : node->residual_keys) {
+    AppendUnique(&outer_req, outer_col);
+    AppendUnique(&inner_req, inner_col);
+  }
+
+  // The build side (a leaf) executes first wall-clock — the probe streams
+  // against its table — but bookkeeping below is emitted in the oracle's
+  // post-order (outer, inner, join) so traces and trip points stay
+  // bit-identical to the unfused lanes.
+  WallTimer inner_timer;
+  RowSetPtr inner =
+      inner_node->op == PhysOp::kPseudoScan
+          ? ExecutePseudo(*inner_node, inner_req)
+          : ExecuteScan(*inner_node, inner_req, options.num_threads);
+  const double inner_seconds = inner_timer.ElapsedSeconds();
+
+  const int32_t table_id = query_->tables[outer_node->table_pos];
+  const db::Table& table = db_->table(table_id);
+  std::vector<uint32_t> rows;
+  std::vector<qry::Predicate> scan_residual;
+  const bool dense = ResolveScanInput(*outer_node, &rows, &scan_residual);
+
+  WallTimer fused_timer;
+  bool overflow = false;
+  RowSetPtr scan_out;
+  RowSetPtr out = LateFusedScanJoin(
+      *db_, table, table_id, dense ? nullptr : &rows, scan_residual, outer_req,
+      &scan_out, *inner, node->outer_key, node->inner_key, node->residual_keys,
+      required, LateRidTables(node->rels, required), options.max_node_rows,
+      &overflow, batch_size_, options.num_threads);
+  const double fused_seconds = fused_timer.ElapsedSeconds();
+  if (overflow) {
+    // The fused probe abandons its run mid-stream, so its scan by-product is
+    // truncated; recompute the scan honestly — the outer node's bookkeeping
+    // (actual cardinality, checkpoint) must match the unfused lanes even on
+    // an aborted run.
+    scan_out = BatchScan(table, table_id, dense ? nullptr : &rows,
+                         scan_residual, outer_req, batch_size_,
+                         options.num_threads, /*late=*/true);
+  }
+
+  int outer_span = -1, inner_span = -1;
+  if (FinishNode(outer_node, scan_out, outer_req, options, result,
+                 /*exec_seconds=*/0.0, -1, -1, 0, 0)) {
+    return nullptr;
+  }
+  if (options.trace != nullptr) outer_span = options.trace->last_span_id();
+  if (FinishNode(inner_node, inner, inner_req, options, result, inner_seconds,
+                 -1, -1, 0, 0)) {
+    return nullptr;
+  }
+  if (options.trace != nullptr) inner_span = options.trace->last_span_id();
+  if (overflow) {
+    result->aborted = true;
+    return nullptr;
+  }
+  if (FinishNode(node, out, required, options, result, fused_seconds,
+                 outer_span, inner_span, scan_out->num_rows(),
+                 inner->num_rows())) {
+    return nullptr;
   }
   return out;
 }
 
-RowSetPtr Executor::ExecuteScan(const PlanNode& node,
-                                const std::vector<db::ColRef>& required,
-                                int num_threads) {
-  LPCE_PROFILE_SCOPE(node.op == PhysOp::kIndexScan ? "exec.index_scan"
-                                                   : "exec.seq_scan");
-  const int32_t table_id = query_->tables[node.table_pos];
-  const db::Table& table = db_->table(table_id);
-  auto out = std::make_shared<RowSet>();
-  out->schema = required;
-  out->cols.resize(required.size());
-
-  std::vector<uint32_t> rows;
-  std::vector<qry::Predicate> residual;
+bool Executor::ResolveScanInput(const PlanNode& node,
+                                std::vector<uint32_t>* rows,
+                                std::vector<qry::Predicate>* residual) const {
   if (node.op == PhysOp::kIndexScan) {
     // Drive the scan from the sorted index on index_col; the remaining
     // predicates (if any) are applied as residual filters.
@@ -212,7 +345,7 @@ RowSetPtr Executor::ExecuteScan(const PlanNode& node,
     bool driven = false;
     for (const auto& f : node.filters) {
       if (!(f.col == node.index_col) || driven || f.op == qry::CmpOp::kNe) {
-        residual.push_back(f);
+        residual->push_back(f);
         continue;
       }
       driven = true;
@@ -244,19 +377,35 @@ RowSetPtr Executor::ExecuteScan(const PlanNode& node,
           break;
       }
     }
-    if (!empty_range) rows = index.RangeLookup(lo, hi);
-  } else {
-    residual = node.filters;
+    if (!empty_range) *rows = index.RangeLookup(lo, hi);
+    return false;
   }
+  *residual = node.filters;
   // A dense scan visits the whole table in storage order; only the row path
-  // materializes the identity row list for it (the batch path iterates
+  // materializes the identity row list for it (the batch paths iterate
   // positions directly).
-  const bool dense = node.op != PhysOp::kIndexScan;
+  return true;
+}
+
+RowSetPtr Executor::ExecuteScan(const PlanNode& node,
+                                const std::vector<db::ColRef>& required,
+                                int num_threads) {
+  LPCE_PROFILE_SCOPE(node.op == PhysOp::kIndexScan ? "exec.index_scan"
+                                                   : "exec.seq_scan");
+  const int32_t table_id = query_->tables[node.table_pos];
+  const db::Table& table = db_->table(table_id);
+
+  std::vector<uint32_t> rows;
+  std::vector<qry::Predicate> residual;
+  const bool dense = ResolveScanInput(node, &rows, &residual);
 
   if (batch_size_ > 0) {
     return BatchScan(table, table_id, dense ? nullptr : &rows, residual,
-                     required, batch_size_, num_threads);
+                     required, batch_size_, num_threads, late_);
   }
+  auto out = std::make_shared<RowSet>();
+  out->schema = required;
+  out->cols.resize(required.size());
   if (dense) {
     rows.resize(table.num_rows());
     for (size_t i = 0; i < rows.size(); ++i) rows[i] = static_cast<uint32_t>(i);
@@ -338,7 +487,35 @@ RowSetPtr Executor::ExecutePseudo(const PlanNode& node,
   auto out = std::make_shared<RowSet>();
   out->row_count = src.row_count;
   out->schema = required;
+  if (late_) {
+    // Late run (implies a late source, see PlanSupportsLate): pass the
+    // retained row-id columns through, pruned to the tables the remainder of
+    // the plan still references. A late pseudo can serve any column of its
+    // tables — availability is per table, not per recorded schema entry.
+    for (int32_t table_id : LateRidTables(node.rels, required)) {
+      const int idx = src.RidIndex(table_id);
+      LPCE_CHECK_MSG(idx >= 0, "late pseudo relation missing a row-id column");
+      out->rid_tables.push_back(table_id);
+      out->rid_cols.push_back(src.rid_cols[idx]);
+    }
+    return out;
+  }
   out->cols.resize(required.size());
+  if (src.late()) {
+    // A late round tripped and this round runs materialized (the re-planned
+    // remainder picked operators the late kernels do not cover): force the
+    // deferred payload gather from the base tables now.
+    for (size_t c = 0; c < required.size(); ++c) {
+      const int idx = src.RidIndex(required[c].table);
+      LPCE_CHECK_MSG(idx >= 0, "pseudo relation missing row ids for a column");
+      const auto& rid = src.rid_cols[idx];
+      const auto& col = db_->table(required[c].table).column(required[c].column);
+      auto& dst = out->cols[c];
+      dst.resize(rid.size());
+      common::GatherSelected(col.data(), rid.data(), rid.size(), dst.data());
+    }
+    return out;
+  }
   for (size_t c = 0; c < required.size(); ++c) {
     const int idx = src.ColumnIndex(required[c]);
     LPCE_CHECK_MSG(idx >= 0, "pseudo relation missing a required column");
@@ -355,6 +532,16 @@ RowSetPtr Executor::ExecuteJoin(const PlanNode& node, const RowSet& outer,
   LPCE_PROFILE_SCOPE(node.op == PhysOp::kHashJoin    ? "exec.hash_join"
                      : node.op == PhysOp::kMergeJoin ? "exec.merge_join"
                                                      : "exec.nestloop_join");
+  // Late runs dispatch before any column-index resolution: late inputs carry
+  // row-id columns only, and the late kernel resolves its accessors against
+  // the base tables directly.
+  if (late_) {
+    LPCE_CHECK(node.op == PhysOp::kHashJoin && batch_size_ > 0);
+    return LateHashJoin(*db_, outer, inner, node.outer_key, node.inner_key,
+                        node.residual_keys, required,
+                        LateRidTables(node.rels, required), max_rows, overflow,
+                        batch_size_, num_threads);
+  }
   const int outer_key = outer.ColumnIndex(node.outer_key);
   const int inner_key = inner.ColumnIndex(node.inner_key);
   LPCE_CHECK(outer_key >= 0 && inner_key >= 0);

@@ -58,6 +58,15 @@ class Executor {
     /// cardinalities, and traces are bit-identical at every setting — the
     /// row path is the batch path's differential oracle.
     int batch_size = -1;
+    /// Late materialization (row-id intermediates, DESIGN.md "Pipelined
+    /// execution & late materialization"): -1 = follow the LPCE_EXEC_LATE_MAT
+    /// environment knob, 0 = off, > 0 = on. Implies the batch path (a zero
+    /// batch_size is promoted to kDefaultBatchSize). Falls back to the plain
+    /// batch path for any plan the late kernels do not cover (merge/nest-loop
+    /// joins picked by re-planning, materialized pseudo scans), so results
+    /// and deterministic traces stay bit-identical to both oracles at every
+    /// setting.
+    int late_materialization = -1;
     /// When set, every finished operator appends a span and every checkpoint
     /// evaluation appends an event (see engine/trace.h). Not owned.
     eng::QueryTrace* trace = nullptr;
@@ -95,8 +104,38 @@ class Executor {
   RowSetPtr ExecuteNode(PlanNode* node, const std::vector<db::ColRef>& required,
                         const Options& options, RunResult* result);
 
+  /// Post-execution bookkeeping shared by the operator-at-a-time loop and the
+  /// fused scan→probe path: annotates the node, retains the result, updates
+  /// metrics/trace, and evaluates the node's checkpoint. Returns true when
+  /// the checkpoint tripped (result->tripped is set).
+  bool FinishNode(PlanNode* node, const RowSetPtr& out,
+                  const std::vector<db::ColRef>& required,
+                  const Options& options, RunResult* result,
+                  double exec_seconds, int outer_span, int inner_span,
+                  uint64_t outer_rows, uint64_t inner_rows);
+
+  /// Fused scan-filter → first-probe execution of a hash join whose outer
+  /// child is a leaf scan (late-materialization runs only): each scanned
+  /// batch's selection vector feeds the probe directly, with per-node
+  /// bookkeeping emitted afterwards in oracle order (outer, inner, join).
+  RowSetPtr ExecuteFusedScanJoin(PlanNode* node,
+                                 const std::vector<db::ColRef>& required,
+                                 const Options& options, RunResult* result);
+
   RowSetPtr ExecuteScan(const PlanNode& node, const std::vector<db::ColRef>& required,
                         int num_threads);
+  /// Resolves a scan node's driving input: fills `rows` with the index range
+  /// result (index scans) and `residual` with the predicates left to filter;
+  /// returns true for a dense scan of the whole table in storage order.
+  bool ResolveScanInput(const PlanNode& node, std::vector<uint32_t>* rows,
+                        std::vector<qry::Predicate>* residual) const;
+  /// Row-id columns a late intermediate covering `rels` must carry: the
+  /// tables still referenced downstream — incident to a join edge crossing
+  /// out of `rels`, or owning a parent-required column — in ascending query
+  /// position order. Tables no longer referenced are dropped, shrinking the
+  /// intermediate as the join chain consumes relations.
+  std::vector<int32_t> LateRidTables(
+      qry::RelSet rels, const std::vector<db::ColRef>& required) const;
   RowSetPtr ExecutePseudo(const PlanNode& node,
                           const std::vector<db::ColRef>& required);
   RowSetPtr ExecuteJoin(const PlanNode& node, const RowSet& outer, const RowSet& inner,
@@ -122,6 +161,10 @@ class Executor {
   /// Effective batch size of the current run (Options::batch_size with -1
   /// resolved against LPCE_EXEC_BATCH); 0 = row-at-a-time.
   int batch_size_ = 0;
+  /// Whether the current run carries row-id intermediates
+  /// (Options::late_materialization resolved against LPCE_EXEC_LATE_MAT,
+  /// then gated on the plan shape being coverable by the late kernels).
+  bool late_ = false;
 };
 
 /// Builds an all-hash-join plan following the canonical left-deep tree for

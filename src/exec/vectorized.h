@@ -17,6 +17,7 @@
 
 #include "exec/rowset.h"
 #include "query/query.h"
+#include "storage/database.h"
 #include "storage/table.h"
 
 namespace lpce::exec {
@@ -31,6 +32,12 @@ inline constexpr int kDefaultBatchSize = 1024;
 /// N >= 2 = N rows per batch. Parsed on every call (once per query), so
 /// tests may flip the knob at runtime.
 int BatchSizeFromEnv();
+
+/// Resolves the LPCE_EXEC_LATE_MAT environment knob: "1" enables late
+/// materialization (row-id intermediates, see DESIGN.md "Pipelined execution
+/// & late materialization"), anything else disables it. Parsed on every call
+/// (once per query), so tests may flip the knob at runtime.
+bool LateMatFromEnv();
 
 /// splitmix64 finalizer — spreads join keys across hash buckets / build
 /// partitions even when they are small consecutive integers. Shared by the
@@ -48,11 +55,16 @@ inline uint64_t MixJoinKey(int64_t key) {
 /// with selection vectors, then gathers `required` into the output.
 /// `index_rows == nullptr` scans the whole table in storage order.
 /// Bit-identical to the row-at-a-time scan path.
+///
+/// With `late` set the payload gather is skipped entirely: the surviving
+/// selection vector becomes the output's single row-id column (the fusion
+/// boundary — downstream probes read keys through it) and `required` is
+/// recorded in the schema unmaterialized.
 RowSetPtr BatchScan(const db::Table& table, int32_t table_id,
                     const std::vector<uint32_t>* index_rows,
                     const std::vector<qry::Predicate>& residual,
                     const std::vector<db::ColRef>& required, int batch_size,
-                    int num_threads);
+                    int num_threads, bool late = false);
 
 /// Batch hash join: flat chain-table build over the inner keys (per-key
 /// match lists traverse in ascending inner-row order, matching the row
@@ -67,6 +79,55 @@ RowSetPtr BatchHashJoin(const RowSet& outer, const RowSet& inner,
                         const std::vector<db::ColRef>& required,
                         size_t max_rows, bool* overflow, int batch_size,
                         int num_threads);
+
+/// Late-materialization hash join: both sides carry row-id columns
+/// (RowSet::late()); join keys and residual-key values are gathered through
+/// the row-id indirection at probe time (common/selvec.h GatherGathered) and
+/// the output carries one row-id column per table in `out_rid_tables` —
+/// no payload column is ever materialized. `required` is recorded in the
+/// output schema unmaterialized. Same probe modes, overflow contract, and
+/// order-preserving chunk-concat parallelism as BatchHashJoin: the emitted
+/// row order is bit-identical to the materialized paths at every batch and
+/// pool size.
+RowSetPtr LateHashJoin(const db::Database& db, const RowSet& outer,
+                       const RowSet& inner, db::ColRef outer_key,
+                       db::ColRef inner_key,
+                       const std::vector<std::pair<db::ColRef, db::ColRef>>&
+                           residual_keys,
+                       const std::vector<db::ColRef>& required,
+                       const std::vector<int32_t>& out_rid_tables,
+                       size_t max_rows, bool* overflow, int batch_size,
+                       int num_threads);
+
+/// Fused scan-filter → probe: streams `outer_table` (or the driving index's
+/// row list) through the scan's residual predicates and feeds each batch's
+/// surviving selection vector straight into the hash-join probe — no
+/// intermediate rowset between the scan and the first join. The scan's
+/// row-id output is still accumulated as a by-product into *scan_out (the
+/// executor needs it for actual-cardinality bookkeeping, checkpoints, and
+/// re-planning), so results, traces, and the finished-node map stay
+/// bit-identical to the unfused lanes. `inner` must be late.
+RowSetPtr LateFusedScanJoin(
+    const db::Database& db, const db::Table& outer_table,
+    int32_t outer_table_id, const std::vector<uint32_t>* index_rows,
+    const std::vector<qry::Predicate>& scan_filters,
+    const std::vector<db::ColRef>& scan_required, RowSetPtr* scan_out,
+    const RowSet& inner, db::ColRef outer_key, db::ColRef inner_key,
+    const std::vector<std::pair<db::ColRef, db::ColRef>>& residual_keys,
+    const std::vector<db::ColRef>& required,
+    const std::vector<int32_t>& out_rid_tables, size_t max_rows,
+    bool* overflow, int batch_size, int num_threads);
+
+/// Gathers a late rowset's payload columns from the base tables (dst[r] =
+/// table.column(schema[c])[rid[r]]), producing the fully-materialized rowset
+/// the row/batch oracles would have built — identical schema, row order, and
+/// values. Returns `rs` unchanged when it is already materialized. This is
+/// the forced materialization point: the executor calls it when a late
+/// intermediate feeds an operator that needs values (a pseudo scan in a
+/// non-late round), and the differential tests call it to compare late
+/// intermediates bit-for-bit against the oracles.
+RowSetPtr MaterializeRowSet(const db::Database& db, RowSetPtr rs,
+                            int num_threads = 0);
 
 }  // namespace lpce::exec
 

@@ -50,8 +50,9 @@ class ExecEdgeTest : public ::testing::Test {
   }
 
   /// Runs `make_plan()` row-at-a-time (the oracle) and at every requested
-  /// (batch size x pool size), requiring every finished node's rowset to be
-  /// bit-identical to the oracle's.
+  /// (batch size x pool size) — with late materialization both off and on —
+  /// requiring every finished node's rowset to be bit-identical to the
+  /// oracle's (late rowsets are gathered through their row ids first).
   void ExpectBatchMatchesRow(
       const std::function<std::unique_ptr<PlanNode>()>& make_plan,
       std::initializer_list<int> batches,
@@ -60,12 +61,13 @@ class ExecEdgeTest : public ::testing::Test {
       std::vector<RowSetPtr> rowsets;  // post-order
       std::vector<uint64_t> actuals;
     };
-    auto run = [&](int batch, int pool) {
+    auto run = [&](int batch, int pool, int late) {
       common::SetGlobalPoolSize(pool);
       auto plan = make_plan();
       Executor executor(&database_, &query_);
       Executor::Options options;
       options.batch_size = batch;
+      options.late_materialization = late;
       Executor::RunResult result = executor.Run(plan.get(), options);
       common::SetGlobalPoolSize(0);
       Outcome out;
@@ -73,29 +75,33 @@ class ExecEdgeTest : public ::testing::Test {
       PostOrderPlan(plan.get(), &nodes);
       for (PlanNode* node : nodes) {
         auto it = result.finished.find(node);
-        out.rowsets.push_back(it != result.finished.end() ? it->second
-                                                          : nullptr);
+        out.rowsets.push_back(it != result.finished.end()
+                                  ? MaterializeRowSet(database_, it->second)
+                                  : nullptr);
         out.actuals.push_back(node->actual_card);
       }
       return out;
     };
-    const Outcome oracle = run(/*batch=*/0, /*pool=*/1);
+    const Outcome oracle = run(/*batch=*/0, /*pool=*/1, /*late=*/0);
     for (int batch : batches) {
       for (int pool : pools) {
-        SCOPED_TRACE("batch=" + std::to_string(batch) +
-                     " pool=" + std::to_string(pool));
-        const Outcome got = run(batch, pool);
-        ASSERT_EQ(got.rowsets.size(), oracle.rowsets.size());
-        for (size_t i = 0; i < oracle.rowsets.size(); ++i) {
-          EXPECT_EQ(got.actuals[i], oracle.actuals[i]) << "node " << i;
-          ASSERT_NE(got.rowsets[i], nullptr) << "node " << i;
-          ASSERT_NE(oracle.rowsets[i], nullptr) << "node " << i;
-          EXPECT_TRUE(got.rowsets[i]->schema == oracle.rowsets[i]->schema)
-              << "node " << i;
-          EXPECT_EQ(got.rowsets[i]->row_count, oracle.rowsets[i]->row_count)
-              << "node " << i;
-          EXPECT_TRUE(got.rowsets[i]->cols == oracle.rowsets[i]->cols)
-              << "node " << i;
+        for (int late : {0, 1}) {
+          SCOPED_TRACE("batch=" + std::to_string(batch) +
+                       " pool=" + std::to_string(pool) +
+                       " late=" + std::to_string(late));
+          const Outcome got = run(batch, pool, late);
+          ASSERT_EQ(got.rowsets.size(), oracle.rowsets.size());
+          for (size_t i = 0; i < oracle.rowsets.size(); ++i) {
+            EXPECT_EQ(got.actuals[i], oracle.actuals[i]) << "node " << i;
+            ASSERT_NE(got.rowsets[i], nullptr) << "node " << i;
+            ASSERT_NE(oracle.rowsets[i], nullptr) << "node " << i;
+            EXPECT_TRUE(got.rowsets[i]->schema == oracle.rowsets[i]->schema)
+                << "node " << i;
+            EXPECT_EQ(got.rowsets[i]->row_count, oracle.rowsets[i]->row_count)
+                << "node " << i;
+            EXPECT_TRUE(got.rowsets[i]->cols == oracle.rowsets[i]->cols)
+                << "node " << i;
+          }
         }
       }
     }
@@ -187,12 +193,95 @@ TEST_F(ExecEdgeTest, PeakIntermediateBytesSumsLiveResults) {
   database_.BuildAllIndexes();
   auto plan = Join(PhysOp::kHashJoin, Scan(0), Scan(1));
   Executor executor(&database_, &query_);
-  executor.Execute(plan.get());
+  Executor::Options options;
+  Executor::RunResult run = executor.Run(plan.get(), options);
+  ASSERT_NE(run.result, nullptr);
   // Every finished intermediate stays retained for the run (checkpoints may
-  // re-plan around it), so the peak is the *sum* of live rowsets: both scans
-  // carry their key column (50 rows each); the root projects everything away.
-  // The old largest-single-rowset accounting under-reported this as one scan.
-  EXPECT_GE(executor.peak_intermediate_bytes(), 2 * 50 * sizeof(int64_t));
+  // re-plan around it), so the peak is the *sum* of live rowsets — nothing is
+  // ever released mid-run, making the peak exactly the sum of the finished
+  // results. The old largest-single-rowset accounting under-reported this as
+  // one scan. Computing the expectation from the retained rowsets themselves
+  // keeps the assertion valid in every representation (row / batch /
+  // LPCE_EXEC_LATE_MAT row-id intermediates).
+  size_t finished_sum = 0;
+  for (const auto& [node, rs] : run.finished) finished_sum += rs->ByteSize();
+  EXPECT_EQ(executor.peak_intermediate_bytes(), finished_sum);
+  // Both scans carry at least their 50-row key column — as int64 payloads or
+  // as uint32 row ids, never less than the narrower width.
+  EXPECT_GE(executor.peak_intermediate_bytes(), 2 * 50 * sizeof(uint32_t));
+}
+
+TEST_F(ExecEdgeTest, PeakBytesAccountingAgreesAcrossPathsOn3JoinQuery) {
+  // Regression for the peak_intermediate_bytes contract on a known 3-join
+  // query: the row and batch paths retain bit-identical materialized
+  // intermediates, so their peaks must agree exactly; the late path counts
+  // its row-id columns the same way (sum of retained rowsets) and must come
+  // in strictly lower — uint32 row ids versus int64 payload columns.
+  db::Database db;
+  std::vector<int32_t> tables;
+  for (int t = 0; t < 4; ++t) {
+    tables.push_back(
+        db.AddTable({"t" + std::to_string(t), {{"k"}, {"v"}}}));
+  }
+  qry::Query query;
+  query.tables = tables;
+  for (int t = 0; t + 1 < 4; ++t) {
+    db.catalog().AddJoinEdge({tables[t], 0}, {tables[t + 1], 0});
+    query.joins.push_back({{tables[t], 0}, {tables[t + 1], 0}});
+  }
+  for (int t = 0; t < 4; ++t) {
+    for (int64_t i = 0; i < 200; ++i) {
+      db.table(tables[t]).AppendRow({i % 10, i});
+    }
+  }
+  db.BuildAllIndexes();
+
+  auto make_plan = [&] {
+    auto scan = [&](int pos) {
+      auto node = std::make_unique<PlanNode>();
+      node->op = PhysOp::kSeqScan;
+      node->rels = qry::Bit(pos);
+      node->table_pos = pos;
+      return node;
+    };
+    std::unique_ptr<PlanNode> plan = scan(0);
+    for (int t = 1; t < 4; ++t) {
+      auto join = std::make_unique<PlanNode>();
+      join->op = PhysOp::kHashJoin;
+      join->rels = plan->rels | qry::Bit(t);
+      join->outer = std::move(plan);
+      join->inner = scan(t);
+      join->outer_key = {tables[t - 1], 0};
+      join->inner_key = {tables[t], 0};
+      plan = std::move(join);
+    }
+    return plan;
+  };
+
+  auto run_peak = [&](int batch, int late, uint64_t* rows) {
+    auto plan = make_plan();
+    Executor executor(&db, &query);
+    Executor::Options options;
+    options.batch_size = batch;
+    options.late_materialization = late;
+    Executor::RunResult run = executor.Run(plan.get(), options);
+    EXPECT_NE(run.result, nullptr);
+    *rows = run.result != nullptr ? run.result->num_rows() : 0;
+    size_t finished_sum = 0;
+    for (const auto& [node, rs] : run.finished) finished_sum += rs->ByteSize();
+    EXPECT_EQ(executor.peak_intermediate_bytes(), finished_sum);
+    return executor.peak_intermediate_bytes();
+  };
+
+  uint64_t row_rows = 0, batch_rows = 0, late_rows = 0;
+  const size_t row_peak = run_peak(/*batch=*/0, /*late=*/0, &row_rows);
+  const size_t batch_peak = run_peak(/*batch=*/1024, /*late=*/0, &batch_rows);
+  const size_t late_peak = run_peak(/*batch=*/1024, /*late=*/1, &late_rows);
+  EXPECT_EQ(row_rows, batch_rows);
+  EXPECT_EQ(row_rows, late_rows);
+  EXPECT_EQ(row_peak, batch_peak);
+  EXPECT_LT(late_peak, row_peak);
+  EXPECT_GT(late_peak, 0u);
 }
 
 TEST_F(ExecEdgeTest, IndexScanLtAtInt64MinIsEmptyNotUB) {
@@ -431,6 +520,56 @@ TEST_F(ExecEdgeTest, BatchSizeEnvKnobDrivesExecution) {
   unsetenv("LPCE_EXEC_BATCH");
   ASSERT_NE(row_run.result, nullptr);
   EXPECT_EQ(row_run.result->num_rows(), 10u);
+}
+
+TEST_F(ExecEdgeTest, LateMatEnvKnobParses) {
+  // unset/""/"0"/garbage/negative = off; any positive integer = on.
+  unsetenv("LPCE_EXEC_LATE_MAT");
+  EXPECT_FALSE(LateMatFromEnv());
+  setenv("LPCE_EXEC_LATE_MAT", "", 1);
+  EXPECT_FALSE(LateMatFromEnv());
+  setenv("LPCE_EXEC_LATE_MAT", "0", 1);
+  EXPECT_FALSE(LateMatFromEnv());
+  setenv("LPCE_EXEC_LATE_MAT", "bogus", 1);
+  EXPECT_FALSE(LateMatFromEnv());
+  setenv("LPCE_EXEC_LATE_MAT", "1x", 1);
+  EXPECT_FALSE(LateMatFromEnv());
+  setenv("LPCE_EXEC_LATE_MAT", "-1", 1);
+  EXPECT_FALSE(LateMatFromEnv());
+  setenv("LPCE_EXEC_LATE_MAT", "1", 1);
+  EXPECT_TRUE(LateMatFromEnv());
+  setenv("LPCE_EXEC_LATE_MAT", "2", 1);
+  EXPECT_TRUE(LateMatFromEnv());
+  unsetenv("LPCE_EXEC_LATE_MAT");
+}
+
+TEST_F(ExecEdgeTest, LateMatEnvKnobDrivesExecution) {
+  // Options::late_materialization = -1 (the default) must defer to the env
+  // knob — including promoting a row-path batch size to the default batch —
+  // and an explicit 0 must override the knob back off. Either way the
+  // result count matches.
+  for (int64_t i = 0; i < 10; ++i) {
+    database_.table(a_).AppendRow({i, i});
+    database_.table(b_).AppendRow({i, i});
+  }
+  database_.BuildAllIndexes();
+  setenv("LPCE_EXEC_LATE_MAT", "1", 1);
+  auto plan = Join(PhysOp::kHashJoin, Scan(0), Scan(1));
+  Executor executor(&database_, &query_);
+  Executor::Options options;
+  options.batch_size = 0;  // late promotes this to kDefaultBatchSize
+  Executor::RunResult late_run = executor.Run(plan.get(), options);
+  ASSERT_NE(late_run.result, nullptr);
+  EXPECT_EQ(late_run.result->num_rows(), 10u);
+  auto plan_off = Join(PhysOp::kHashJoin, Scan(0), Scan(1));
+  options.late_materialization = 0;
+  Executor::RunResult off_run = executor.Run(plan_off.get(), options);
+  unsetenv("LPCE_EXEC_LATE_MAT");
+  ASSERT_NE(off_run.result, nullptr);
+  EXPECT_EQ(off_run.result->num_rows(), 10u);
+  // The overridden run took the row path and materialized payload columns;
+  // the env-driven run retained only row-id intermediates (smaller).
+  EXPECT_EQ(off_run.result->num_rows(), late_run.result->num_rows());
 }
 
 }  // namespace

@@ -299,6 +299,83 @@ TEST_F(FuzzTest, BatchExecutorMatchesExactOracle) {
   common::SetGlobalPoolSize(0);
 }
 
+TEST_F(FuzzTest, LateMatBatchExecutorMatchesExactOracle) {
+  // Late-materialization lane of the oracle fuzz: randomized queries plus
+  // the hand-built multigraph / residual-key shapes, run with row-id
+  // intermediates (exec_late_mat=1) at pool sizes {1, 2, 4}, each result
+  // differentially checked against BOTH the brute-force exact-cardinality
+  // oracle and the plain batch path at the same batch size. Batch sizes 1
+  // and 3 force single-row-tail / many-empty-batch probe shapes.
+  db::SynthImdbOptions opts;
+  opts.scale = 0.01;
+  auto database = db::BuildSynthImdb(opts);
+  stats::DatabaseStats stats;
+  stats.Build(*database);
+
+  eng::Engine engine(database.get(), opt::CostModel{});
+  card::HistogramEstimator estimator(&stats);
+  const int batch_sizes[] = {1, 3, 7, 1024};
+  Rng rng(33);
+  wk::GeneratorOptions gen;
+  gen.seed = 3300;
+  wk::QueryGenerator generator(database.get(), gen);
+  std::vector<qry::Query> queries;
+  for (int i = 0; i < 12; ++i) {
+    queries.push_back(
+        generator.Generate(1 + static_cast<int>(rng.Uniform(3))));
+  }
+  // Multigraph shapes: the late probe must refine residual equi-join edges
+  // through the row-id indirection.
+  const int32_t mi = database->catalog().FindTable("movie_info");
+  const int32_t midx = database->catalog().FindTable("movie_info_idx");
+  const int32_t title = database->catalog().FindTable("title");
+  ASSERT_GE(mi, 0);
+  ASSERT_GE(midx, 0);
+  ASSERT_GE(title, 0);
+  qry::Query pair;
+  pair.tables = {mi, midx};
+  pair.joins.push_back({{mi, 1}, {midx, 1}});   // movie_id
+  pair.joins.push_back({{mi, 2}, {midx, 2}});   // info_type_id
+  qry::Query triangle;
+  triangle.tables = {title, mi, midx};
+  triangle.joins.push_back({{mi, 1}, {title, 0}});
+  triangle.joins.push_back({{midx, 1}, {title, 0}});
+  triangle.joins.push_back({{mi, 2}, {midx, 2}});
+  queries.push_back(pair);
+  queries.push_back(triangle);
+
+  for (size_t q = 0; q < queries.size(); ++q) {
+    const qry::Query& query = queries[q];
+    const uint64_t expected =
+        testing::ExactCardinality(*database, query, query.AllRels());
+    const int batch = batch_sizes[q % 4];
+    for (int pool : {1, 2, 4}) {
+      common::SetGlobalPoolSize(pool);
+      eng::RunConfig late_config;
+      late_config.exec_batch_size = batch;
+      late_config.exec_late_mat = 1;
+      const eng::RunStats late_out =
+          engine.RunQuery(query, &estimator, nullptr, late_config);
+      eng::RunConfig batch_config;
+      batch_config.exec_batch_size = batch;
+      batch_config.exec_late_mat = 0;
+      const eng::RunStats batch_out =
+          engine.RunQuery(query, &estimator, nullptr, batch_config);
+      EXPECT_EQ(late_out.result_count, expected)
+          << "query " << q << " batch=" << batch << " pool=" << pool;
+      EXPECT_EQ(late_out.result_count, batch_out.result_count)
+          << "query " << q << " batch=" << batch << " pool=" << pool;
+      // Row-id intermediates are never wider than the materialized payloads
+      // they replace (uint32 handles vs int64 values, one handle column per
+      // table instead of one column per required ref).
+      EXPECT_LE(late_out.peak_intermediate_bytes,
+                batch_out.peak_intermediate_bytes)
+          << "query " << q << " batch=" << batch << " pool=" << pool;
+    }
+  }
+  common::SetGlobalPoolSize(0);
+}
+
 TEST_F(FuzzTest, ParamLoaderSurvivesTruncation) {
   Rng rng(7);
   nn::ParamStore store;
