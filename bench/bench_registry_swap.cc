@@ -1,0 +1,280 @@
+// Hot-swap overhead bench: closed-loop serving through the versioned
+// EngineServer while the model registry publishes mid-workload. Reports, per
+// worker count, the QPS with no swaps vs with --publishes spread across the
+// run, the publish-call latency (the swap itself: snapshot build + pointer
+// swap + plan-cache invalidation hook), and the session rebuilds workers
+// performed — the zero-downtime claim in numbers: rejected must stay 0 and
+// every row count must match its label under either cadence.
+//
+// Self-contained like bench_serving: builds a synthetic database and
+// untrained tiny models (swap mechanics do not care about model quality), so
+// it runs in seconds.
+//
+// Flags:
+//   --workers=1,2,4     worker counts to sweep
+//   --queries=N         workload size (default 400)
+//   --scale=F           synthetic database scale (default 0.1)
+//   --publishes=N       mid-run publishes in the swap lane (default 8)
+//   --max_overhead=PCT  exit 1 when the swap lane costs more than PCT
+//                       percent QPS vs the no-swap lane (0 = report only)
+//   --metrics_json=PATH append one summary JSON line per worker count
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/timer.h"
+#include "engine/server.h"
+#include "lpce/estimators.h"
+#include "lpce/model_registry.h"
+#include "lpce/tree_model.h"
+#include "storage/database.h"
+#include "workload/workload.h"
+
+namespace lpce::bench {
+namespace {
+
+struct Flags {
+  std::vector<int> workers = {1, 2, 4};
+  int queries = 400;
+  double scale = 0.1;
+  int publishes = 8;
+  double max_overhead = 0.0;
+  std::string metrics_json;
+};
+
+std::vector<int> ParseIntList(const std::string& csv) {
+  std::vector<int> out;
+  size_t pos = 0;
+  while (pos < csv.size()) {
+    const size_t comma = csv.find(',', pos);
+    const std::string item = csv.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    const int value = std::atoi(item.c_str());
+    if (value > 0) out.push_back(value);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+bool ParseFlag(const char* arg, const char* name, const char** value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+struct LaneResult {
+  double seconds = 0.0;
+  double qps = 0.0;
+  double publish_p50_us = 0.0;
+  double publish_max_us = 0.0;
+  uint64_t rebuilds = 0;
+  uint64_t rejected = 0;
+  uint64_t wrong_results = 0;
+};
+
+struct World {
+  std::unique_ptr<db::Database> database;
+  std::unique_ptr<stats::DatabaseStats> stats;
+  std::unique_ptr<model::FeatureEncoder> encoder;
+  model::TreeModelConfig config;
+  std::vector<wk::LabeledQuery> workload;
+};
+
+/// One closed-loop pass: submit everything, publish `publishes` fresh
+/// versions spaced evenly over the completion count, drain.
+LaneResult RunLane(const World& world, int workers, int publishes) {
+  model::ModelRegistry registry;
+  auto make_model = [&world](uint64_t seed) {
+    model::TreeModelConfig config = world.config;
+    config.seed = seed;
+    return std::make_shared<model::TreeModel>(world.encoder.get(), config);
+  };
+  registry.Publish(make_model(1), nullptr, "v1");
+
+  eng::ServerOptions options;
+  options.num_workers = workers;
+  options.max_queue = world.workload.size();
+  options.run_config.enable_reopt = true;
+  options.run_config.qerror_threshold = 10.0;
+  options.model_registry = &registry;
+  const db::Database* db = world.database.get();
+  eng::EngineServer server(
+      db, opt::CostModel{},
+      [db](int, const model::ModelVersion& version) {
+        eng::EngineServer::Session session;
+        session.initial = std::make_unique<model::TreeModelEstimator>(
+            "LPCE-I", version.model.get(), db);
+        return session;
+      },
+      options);
+
+  LaneResult result;
+  WallTimer timer;
+  std::vector<std::shared_future<eng::RunStats>> futures;
+  futures.reserve(world.workload.size());
+  for (const auto& labeled : world.workload) {
+    auto admitted = server.Submit(labeled.query);
+    if (!admitted.ok()) {
+      ++result.rejected;
+      continue;
+    }
+    futures.push_back(admitted.value());
+  }
+
+  std::vector<double> publish_us;
+  const size_t total = world.workload.size();
+  for (int p = 1; p <= publishes; ++p) {
+    const uint64_t threshold = total * static_cast<size_t>(p) / (publishes + 1);
+    while (server.counters().completed < threshold) std::this_thread::yield();
+    WallTimer publish_timer;
+    registry.Publish(make_model(static_cast<uint64_t>(p) + 1), nullptr,
+                     "swap" + std::to_string(p));
+    publish_us.push_back(publish_timer.ElapsedSeconds() * 1e6);
+  }
+
+  for (size_t q = 0; q < futures.size(); ++q) {
+    const eng::RunStats stats = futures[q].get();
+    if (stats.result_count != world.workload[q].FinalCard()) {
+      ++result.wrong_results;
+    }
+  }
+  result.seconds = timer.ElapsedSeconds();
+  server.Shutdown();
+
+  result.qps = result.seconds > 0.0
+                   ? static_cast<double>(futures.size()) / result.seconds
+                   : 0.0;
+  result.rebuilds = server.counters().session_rebuilds;
+  result.rejected += server.counters().rejected;
+  if (!publish_us.empty()) {
+    std::sort(publish_us.begin(), publish_us.end());
+    result.publish_p50_us = publish_us[publish_us.size() / 2];
+    result.publish_max_us = publish_us.back();
+  }
+  return result;
+}
+
+int RunSweep(const Flags& flags) {
+  World world;
+  db::SynthImdbOptions db_opts;
+  db_opts.scale = flags.scale;
+  world.database = db::BuildSynthImdb(db_opts);
+  world.stats = std::make_unique<stats::DatabaseStats>();
+  world.stats->Build(*world.database);
+  world.encoder = std::make_unique<model::FeatureEncoder>(
+      &world.database->catalog(), world.stats.get());
+  world.config.feature_dim = world.encoder->dim();
+  world.config.dim = 16;
+  world.config.embed_hidden = 16;
+  world.config.out_hidden = 32;
+  world.config.log_max_card = 18.0;
+
+  wk::GeneratorOptions gen;
+  gen.seed = 1207;
+  world.workload = wk::QueryGenerator(world.database.get(), gen)
+                       .GenerateLabeled(flags.queries, 2, 4);
+
+  std::printf("registry hot-swap bench: %d queries, scale %.2f, %d publishes"
+              " in the swap lane\n\n",
+              flags.queries, flags.scale, flags.publishes);
+  std::printf("%7s %12s %12s %9s %12s %12s %9s %9s\n", "workers", "qps",
+              "qps(swaps)", "overhead", "publish p50", "publish max",
+              "rebuilds", "rejected");
+
+  bool gate_failed = false;
+  std::ofstream metrics;
+  if (!flags.metrics_json.empty()) {
+    metrics.open(flags.metrics_json, std::ios::app);
+  }
+  for (int workers : flags.workers) {
+    const LaneResult base = RunLane(world, workers, 0);
+    const LaneResult swap = RunLane(world, workers, flags.publishes);
+    const double overhead =
+        base.qps > 0.0 ? (base.qps - swap.qps) / base.qps * 100.0 : 0.0;
+    std::printf("%7d %12.1f %12.1f %8.1f%% %10.1fus %10.1fus %9llu %9llu\n",
+                workers, base.qps, swap.qps, overhead, swap.publish_p50_us,
+                swap.publish_max_us,
+                static_cast<unsigned long long>(swap.rebuilds),
+                static_cast<unsigned long long>(base.rejected +
+                                                swap.rejected));
+    if (base.wrong_results + swap.wrong_results > 0) {
+      std::fprintf(stderr, "FAIL: %llu wrong row counts at %d workers\n",
+                   static_cast<unsigned long long>(base.wrong_results +
+                                                   swap.wrong_results),
+                   workers);
+      gate_failed = true;
+    }
+    if (base.rejected + swap.rejected > 0) {
+      std::fprintf(stderr, "FAIL: %llu rejected queries at %d workers"
+                   " (hot swaps must not shed load)\n",
+                   static_cast<unsigned long long>(base.rejected +
+                                                   swap.rejected),
+                   workers);
+      gate_failed = true;
+    }
+    if (flags.max_overhead > 0.0 && overhead > flags.max_overhead) {
+      std::fprintf(stderr,
+                   "FAIL: swap lane overhead %.1f%% exceeds gate %.1f%% at"
+                   " %d workers\n",
+                   overhead, flags.max_overhead, workers);
+      gate_failed = true;
+    }
+    if (metrics.is_open()) {
+      metrics << "{\"bench\":\"registry_swap\",\"workers\":" << workers
+              << ",\"queries\":" << flags.queries
+              << ",\"publishes\":" << flags.publishes
+              << ",\"qps_base\":" << base.qps << ",\"qps_swap\":" << swap.qps
+              << ",\"overhead_pct\":" << overhead
+              << ",\"publish_p50_us\":" << swap.publish_p50_us
+              << ",\"publish_max_us\":" << swap.publish_max_us
+              << ",\"session_rebuilds\":" << swap.rebuilds << "}\n";
+    }
+  }
+  std::printf("\n(overhead = QPS lost to the swap lane; publish latency is"
+              " the registry swap itself, which never blocks workers)\n");
+  return gate_failed ? 1 : 0;
+}
+
+}  // namespace
+
+int Run(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const char* v = nullptr;
+    if (ParseFlag(argv[i], "--workers", &v)) {
+      flags.workers = ParseIntList(v);
+    } else if (ParseFlag(argv[i], "--queries", &v)) {
+      flags.queries = std::atoi(v);
+    } else if (ParseFlag(argv[i], "--scale", &v)) {
+      flags.scale = std::atof(v);
+    } else if (ParseFlag(argv[i], "--publishes", &v)) {
+      flags.publishes = std::atoi(v);
+    } else if (ParseFlag(argv[i], "--max_overhead", &v)) {
+      flags.max_overhead = std::atof(v);
+    } else if (ParseFlag(argv[i], "--metrics_json", &v)) {
+      flags.metrics_json = v;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--workers=1,2,4] [--queries=N] [--scale=F]"
+                   " [--publishes=N] [--max_overhead=PCT]"
+                   " [--metrics_json=PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  return RunSweep(flags);
+}
+
+}  // namespace lpce::bench
+
+int main(int argc, char** argv) { return lpce::bench::Run(argc, argv); }

@@ -7,6 +7,25 @@
 
 namespace lpce::eng {
 
+namespace {
+
+std::mutex& ListenerMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+DriftListener& GlobalListener() {
+  static DriftListener listener;
+  return listener;
+}
+
+}  // namespace
+
+void SetGlobalDriftListener(DriftListener listener) {
+  std::lock_guard<std::mutex> lock(ListenerMutex());
+  GlobalListener() = std::move(listener);
+}
+
 DriftMonitorOptions DriftMonitorOptions::FromEnv() {
   DriftMonitorOptions options;
   if (const char* v = std::getenv("LPCE_DRIFT_RATIO");
@@ -66,6 +85,7 @@ void DriftMonitor::Run(common::TelemetryHub& hub) const {
   const common::TelemetrySnapshot snapshot = hub.Snapshot();
   const std::vector<DriftFinding> findings = Evaluate(snapshot);
   uint64_t currently_flagged = 0;
+  std::vector<DriftFinding> drifted;
   for (size_t i = 0; i < findings.size(); ++i) {
     const DriftFinding& finding = findings[i];
     if (!finding.evaluated) continue;
@@ -73,12 +93,21 @@ void DriftMonitor::Run(common::TelemetryHub& hub) const {
     hub.SetDriftFlag(finding.fss, finding.drifted, finding.ratio);
     if (finding.drifted) {
       ++currently_flagged;
+      drifted.push_back(finding);
       // Count the off->on transition, not every re-evaluation of a template
       // that stays drifted.
       if (!snapshot.templates[i].drifted) flagged_total->Increment();
     }
   }
   flagged_now->Set(static_cast<double>(currently_flagged));
+  if (!drifted.empty()) {
+    DriftListener listener;
+    {
+      std::lock_guard<std::mutex> lock(ListenerMutex());
+      listener = GlobalListener();
+    }
+    if (listener) listener(drifted);
+  }
 }
 
 void InstallGlobalDriftMonitor() {

@@ -17,6 +17,7 @@
 #define LPCE_ENGINE_DRIFT_MONITOR_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/telemetry.h"
@@ -75,6 +76,15 @@ class DriftMonitor {
 /// the global hub's drift hook. Idempotent; called by EngineServer when
 /// telemetry is enabled.
 void InstallGlobalDriftMonitor();
+
+/// Process-wide listener invoked after every monitor run that produced at
+/// least one drifted finding, with exactly the drifted subset. This is the
+/// trigger edge of the feedback loop: the serving layer's fine-tune worker
+/// registers here to be kicked when templates drift (engine/finetune.h).
+/// Replaces any previous listener; nullptr clears. The listener runs on the
+/// telemetry aggregator thread and must not block (Kick, don't train).
+using DriftListener = std::function<void(const std::vector<DriftFinding>&)>;
+void SetGlobalDriftListener(DriftListener listener);
 
 }  // namespace lpce::eng
 

@@ -1,6 +1,7 @@
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <map>
 
 #include "common/logging.h"
 #include "common/metrics.h"
@@ -317,6 +318,27 @@ RunStats Engine::RunQuery(const qry::Query& query,
     event.drifted = flag.drifted;
     event.drift_ratio = flag.ratio;
     trace->AddEvent(std::move(event));
+  }
+  if (feedback_store_ != nullptr) {
+    // Knowledge-store harvest (ROADMAP item 1): every executed operator's
+    // exact cardinality, deduplicated by relation subset. Spans from later
+    // re-optimization rounds re-cover subsets already executed (pseudo scans
+    // replay prior materializations and are skipped, like ObserveActual
+    // above); the first span of a subset wins — they agree by construction.
+    if (!fingerprint.valid()) {
+      fingerprint = opt::PlanCache::Fingerprint(query, *initial);
+    }
+    fb::FeedbackQuery record;
+    record.fss_hash = fingerprint.fss_hash;
+    record.query = query;
+    std::map<qry::RelSet, uint64_t> actuals;
+    for (const TraceSpan& span : trace->spans()) {
+      if (span.op == "PseudoScan") continue;
+      actuals.emplace(span.rels, span.actual_card);
+    }
+    actuals.emplace(query.AllRels(), stats.result_count);
+    record.actuals.assign(actuals.begin(), actuals.end());
+    feedback_store_->Append(record);
   }
   MaybeDumpTrace(*trace);
   return stats;

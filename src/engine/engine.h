@@ -13,6 +13,7 @@
 #include "card/estimator.h"
 #include "engine/trace.h"
 #include "exec/executor.h"
+#include "feedback/feedback_store.h"
 #include "optimizer/plan_cache.h"
 #include "optimizer/planner.h"
 
@@ -61,6 +62,11 @@ struct RunStats {
   /// materialization this counts row-id columns at their narrower width —
   /// the Sec. 6.2 "overhead" axis the serving telemetry reports per window.
   size_t peak_intermediate_bytes = 0;
+  /// Model-registry version every estimate of this query came from (0 when
+  /// the serving layer runs without a registry). Stamped by EngineServer;
+  /// the swap-equivalence suite uses it to pair each query with the
+  /// single-version run it must be bit-identical to.
+  uint64_t model_version = 0;
   std::string initial_plan;  // pretty-printed (case studies, Fig. 17)
   std::string final_plan;
   /// Structured trace of the run: one span per executed operator, one event
@@ -98,10 +104,20 @@ class Engine {
   /// cache on or off. The cache may be shared across engines (thread-safe).
   void set_plan_cache(opt::PlanCache* cache) { plan_cache_ = cache; }
 
+  /// Attaches a feedback store (not owned; nullptr disables). After each
+  /// query, the exact cardinality of every executed operator (its trace
+  /// span's actual rows; pseudo scans excluded — they replay a prior round's
+  /// materialization) is harvested into the store, keyed by the query's
+  /// template fingerprint. Harvesting happens after the trace is final, so
+  /// it never perturbs results or deterministic trace bytes. The store may
+  /// be shared across engines (thread-safe).
+  void set_feedback_store(fb::FeedbackStore* store) { feedback_store_ = store; }
+
  private:
   const db::Database* db_;
   opt::Planner planner_;
   opt::PlanCache* plan_cache_ = nullptr;
+  fb::FeedbackStore* feedback_store_ = nullptr;
 };
 
 }  // namespace lpce::eng

@@ -83,6 +83,7 @@ ServerOptions ServerOptions::FromEnv() {
   ServerOptions options;
   options.num_workers = EnvWorkers();
   options.plan_cache_capacity = EnvPlanCacheCapacity();
+  options.enable_finetune = FineTuneEnabledFromEnv();
   return options;
 }
 
@@ -96,12 +97,53 @@ EngineServer::EngineServer(const db::Database* database,
       options_(options) {
   LPCE_CHECK_MSG(session_factory_ != nullptr,
                  "EngineServer needs a session factory");
+  Init();
+}
+
+EngineServer::EngineServer(const db::Database* database,
+                           opt::CostModel cost_model,
+                           VersionedSessionFactory session_factory,
+                           ServerOptions options)
+    : db_(database),
+      cost_model_(cost_model),
+      versioned_factory_(std::move(session_factory)),
+      options_(options) {
+  LPCE_CHECK_MSG(versioned_factory_ != nullptr,
+                 "EngineServer needs a session factory");
+  LPCE_CHECK_MSG(options_.model_registry != nullptr,
+                 "versioned serving needs a model registry");
+  LPCE_CHECK_MSG(options_.model_registry->CurrentVersionNumber() > 0,
+                 "publish a version before starting the server");
+  Init();
+}
+
+void EngineServer::Init() {
   int workers = options_.num_workers > 0 ? options_.num_workers : EnvWorkers();
   if (workers <= 0) workers = 1;
   num_workers_ = std::min(workers, kMaxWorkers);
   options_.max_queue = std::max<size_t>(options_.max_queue, 1);
   if (options_.plan_cache_capacity > 0) {
     plan_cache_ = std::make_unique<opt::PlanCache>(options_.plan_cache_capacity);
+  }
+  feedback_store_ = options_.feedback_store;
+  if (feedback_store_ == nullptr && fb::FeedbackEnabledFromEnv()) {
+    owned_feedback_store_ =
+        std::make_unique<fb::FeedbackStore>(fb::FeedbackStoreOptions::FromEnv());
+    feedback_store_ = owned_feedback_store_.get();
+  }
+  if (options_.model_registry != nullptr) {
+    // Satellite of the cache's bit-identity contract: a cached skeleton
+    // embeds one model version's estimate pool, so every publish empties the
+    // cache and bumps its epoch — in-flight inserts staged against the old
+    // version are dropped by the epoch guard.
+    publish_hook_id_ = options_.model_registry->AddPublishHook(
+        [this](const model::ModelVersion&) { InvalidatePlanCache(); });
+    if (options_.enable_finetune && feedback_store_ != nullptr) {
+      finetune_ = std::make_unique<FineTuneWorker>(
+          options_.model_registry, feedback_store_, db_,
+          FineTuneOptions::FromEnv());
+      finetune_->Start();
+    }
   }
   Metrics().workers->Set(static_cast<double>(num_workers_));
   if (common::TelemetryEnabled()) {
@@ -167,11 +209,30 @@ void EngineServer::WorkerLoop(int worker_id) {
   // The session (and the engine) live for the worker's lifetime: estimator
   // scratch state never crosses threads, and the models behind it are only
   // read. Constructed here so any per-session warmup happens on this thread.
-  Session session = session_factory_(worker_id);
+  //
+  // Versioned serving pins one registry snapshot per session: the pinned
+  // shared_ptr keeps that version's models alive across publishes (RCU grace
+  // period), and the version check happens only *between* queries — a query
+  // never mixes model versions between inference, refinement, and
+  // re-optimization.
+  model::ModelRegistry* registry =
+      versioned_factory_ != nullptr ? options_.model_registry : nullptr;
+  std::shared_ptr<const model::ModelVersion> pinned;
+  Session session;
+  if (registry != nullptr) {
+    pinned = registry->Current();
+    session = versioned_factory_(worker_id, *pinned);
+  } else {
+    session = session_factory_(worker_id);
+  }
   LPCE_CHECK_MSG(session.initial != nullptr,
                  "session factory must provide an initial estimator");
+  static common::Counter* rebuilds_metric =
+      common::MetricsRegistry::Global().counter(
+          "lpce.registry.session_rebuilds_total");
   Engine engine(db_, cost_model_);
   engine.set_plan_cache(plan_cache_.get());
+  engine.set_feedback_store(feedback_store_);
   const ServeMetrics& metrics = Metrics();
   for (;;) {
     Job job;
@@ -183,6 +244,19 @@ void EngineServer::WorkerLoop(int worker_id) {
       queue_.pop_front();
       metrics.queue_depth->Set(static_cast<double>(queue_.size()));
     }
+    if (registry != nullptr &&
+        registry->CurrentVersionNumber() != pinned->version) {
+      // Hot-swap point: drop the old pin (freeing the old version once the
+      // last worker lets go) and rebuild this worker's estimators over the
+      // new snapshot. The queue keeps draining — no query is rejected or
+      // replayed on account of a publish.
+      pinned = registry->Current();
+      session = versioned_factory_(worker_id, *pinned);
+      LPCE_CHECK_MSG(session.initial != nullptr,
+                     "session factory must provide an initial estimator");
+      session_rebuilds_.fetch_add(1, std::memory_order_relaxed);
+      rebuilds_metric->Increment();
+    }
     metrics.wait_seconds->Observe(job.admitted.ElapsedSeconds());
     RunStats stats;
     {
@@ -190,6 +264,7 @@ void EngineServer::WorkerLoop(int worker_id) {
       stats = engine.RunQuery(job.query, session.initial.get(),
                               session.refiner.get(), job.config);
     }
+    stats.model_version = pinned != nullptr ? pinned->version : 0;
     metrics.e2e_seconds->Observe(job.admitted.ElapsedSeconds());
     completed_.fetch_add(1, std::memory_order_relaxed);
     metrics.completed->Increment();
@@ -205,9 +280,17 @@ void EngineServer::Shutdown() {
     if (shutdown_ && workers_.empty()) return;
     shutdown_ = true;
   }
+  // Stop the fine-tune worker first: a publish landing while workers drain
+  // is fine (that is the hot-swap path), but the worker must not outlive the
+  // registry hooks it publishes through.
+  if (finetune_ != nullptr) finetune_->Stop();
   work_cv_.notify_all();
   for (auto& worker : workers_) worker.join();
   workers_.clear();
+  if (publish_hook_id_ != 0 && options_.model_registry != nullptr) {
+    options_.model_registry->RemovePublishHook(publish_hook_id_);
+    publish_hook_id_ = 0;
+  }
 }
 
 size_t EngineServer::queue_depth() const {
@@ -230,6 +313,7 @@ EngineServer::Counters EngineServer::counters() const {
   counters.submitted = submitted_.load(std::memory_order_relaxed);
   counters.rejected = rejected_.load(std::memory_order_relaxed);
   counters.completed = completed_.load(std::memory_order_relaxed);
+  counters.session_rebuilds = session_rebuilds_.load(std::memory_order_relaxed);
   return counters;
 }
 

@@ -37,6 +37,9 @@
 #include "common/status.h"
 #include "common/timer.h"
 #include "engine/engine.h"
+#include "engine/finetune.h"
+#include "feedback/feedback_store.h"
+#include "lpce/model_registry.h"
 
 namespace lpce::eng {
 
@@ -56,10 +59,24 @@ struct ServerOptions {
   /// Template-keyed plan & estimate cache shared by all workers (see
   /// optimizer/plan_cache.h): maximum resident templates, 0 = disabled.
   size_t plan_cache_capacity = 0;
+  /// Model registry for versioned serving (not owned; required by the
+  /// versioned-session-factory constructor, ignored by the plain one). A
+  /// publish-hook registered by the server invalidates the plan cache on
+  /// every version bump, so cached estimate pools never outlive the model
+  /// that produced them.
+  model::ModelRegistry* model_registry = nullptr;
+  /// Execution-feedback knowledge store every worker's engine harvests into
+  /// (not owned; nullptr = the LPCE_FEEDBACK env knob decides — when set,
+  /// the server owns a store built from FeedbackStoreOptions::FromEnv()).
+  fb::FeedbackStore* feedback_store = nullptr;
+  /// Run a background FineTuneWorker kicked by drift flags (needs a
+  /// registry with a published version and a feedback store).
+  bool enable_finetune = false;
 
-  /// num_workers from LPCE_SERVE_WORKERS and the plan cache from
+  /// num_workers from LPCE_SERVE_WORKERS, the plan cache from
   /// LPCE_PLAN_CACHE (on/off) + LPCE_PLAN_CACHE_CAP (capacity, default 1024
-  /// when enabled). Absent/invalid values keep the defaults.
+  /// when enabled), enable_finetune from LPCE_FINETUNE. Absent/invalid
+  /// values keep the defaults.
   static ServerOptions FromEnv();
 };
 
@@ -76,9 +93,25 @@ class EngineServer {
   /// worker's thread, before it serves its first query. `worker_id` is in
   /// [0, num_workers) for deterministic per-worker seeding when wanted.
   using SessionFactory = std::function<Session(int worker_id)>;
+  /// Versioned variant: builds a worker's session over one pinned registry
+  /// snapshot. Invoked from the worker's thread — once before its first
+  /// query, then again whenever the worker observes a newer published
+  /// version *between* queries. The estimators it returns must read only
+  /// `version`'s models, which stay alive (shared_ptr-pinned) until the
+  /// session is replaced; that is the version-pinning invariant — a query
+  /// never mixes model versions between inference, refinement, and
+  /// re-optimization.
+  using VersionedSessionFactory =
+      std::function<Session(int worker_id, const model::ModelVersion& version)>;
 
   EngineServer(const db::Database* database, opt::CostModel cost_model,
                SessionFactory session_factory, ServerOptions options);
+  /// Versioned serving: options.model_registry must be non-null and must
+  /// already have a published version (workers need a snapshot to build
+  /// their first session from). RunStats::model_version reports the version
+  /// each query ran under.
+  EngineServer(const db::Database* database, opt::CostModel cost_model,
+               VersionedSessionFactory session_factory, ServerOptions options);
   /// Drains admitted queries, then joins the workers (same as Shutdown).
   ~EngineServer();
 
@@ -112,6 +145,9 @@ class EngineServer {
     uint64_t submitted = 0;  // admitted into the queue
     uint64_t rejected = 0;   // refused: queue full or shut down
     uint64_t completed = 0;  // finished executing (== submitted after drain)
+    /// Worker sessions rebuilt after observing a newer published version
+    /// (excludes the initial per-worker builds). Always 0 without a registry.
+    uint64_t session_rebuilds = 0;
   };
   Counters counters() const;
 
@@ -124,6 +160,18 @@ class EngineServer {
   /// after this call — and no in-flight insert staged before it — can
   /// publish or serve a pre-bump skeleton. No-op without a cache.
   void InvalidatePlanCache();
+
+  /// The model registry serving sessions derive from (nullptr for the
+  /// unversioned constructor).
+  model::ModelRegistry* model_registry() { return options_.model_registry; }
+
+  /// The feedback store worker engines harvest into: the injected one, the
+  /// env-owned one, or nullptr when feedback is off.
+  fb::FeedbackStore* feedback_store() { return feedback_store_; }
+
+  /// The background fine-tune worker (nullptr unless enable_finetune was set
+  /// with a registry and a feedback store present). Tests Kick() it.
+  FineTuneWorker* finetune_worker() { return finetune_.get(); }
 
   /// On-demand Prometheus text exposition: drains the telemetry ring, then
   /// renders every MetricsRegistry instrument plus the per-template
@@ -139,14 +187,20 @@ class EngineServer {
     WallTimer admitted;  // queue wait + service time, from admission
   };
 
+  void Init();
   void WorkerLoop(int worker_id);
 
   const db::Database* db_;
   opt::CostModel cost_model_;
   SessionFactory session_factory_;
+  VersionedSessionFactory versioned_factory_;
   ServerOptions options_;
   int num_workers_ = 1;
   std::unique_ptr<opt::PlanCache> plan_cache_;  // shared by all workers
+  std::unique_ptr<fb::FeedbackStore> owned_feedback_store_;  // env-configured
+  fb::FeedbackStore* feedback_store_ = nullptr;  // injected or owned
+  std::unique_ptr<FineTuneWorker> finetune_;
+  uint64_t publish_hook_id_ = 0;  // plan-cache invalidation hook
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;
@@ -156,6 +210,7 @@ class EngineServer {
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> rejected_{0};
   std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> session_rebuilds_{0};
 
   std::vector<std::thread> workers_;
 };

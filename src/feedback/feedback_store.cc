@@ -1,0 +1,476 @@
+#include "feedback/feedback_store.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/metrics.h"
+
+namespace lpce::fb {
+
+namespace {
+
+constexpr uint64_t kFileMagic = 0x4C50434546424B31ull;    // "LPCEFBK1"
+constexpr uint64_t kRecordMagic = 0x4C50434546524543ull;  // "LPCEFREC"
+
+// Serialized-size sanity bounds, mirroring LoadWorkload's: a frame whose
+// counts blow past these is corruption, not data.
+constexpr uint64_t kMaxPayload = 1 << 20;
+constexpr uint64_t kMaxTables = 64;
+constexpr uint64_t kMaxJoins = 64;
+constexpr uint64_t kMaxPredicates = 128;
+constexpr uint64_t kMaxActuals = 4096;
+
+struct FeedbackMetrics {
+  common::Counter* appended;
+  common::Counter* evicted;
+  common::Counter* loaded;
+  common::Counter* truncated_tails;
+  common::Counter* compactions;
+  common::Counter* disk_errors;
+  common::Gauge* live;
+  common::Gauge* templates;
+};
+
+const FeedbackMetrics& Metrics() {
+  static const FeedbackMetrics metrics = [] {
+    auto& registry = common::MetricsRegistry::Global();
+    FeedbackMetrics m;
+    m.appended = registry.counter("lpce.feedback.appended_total");
+    m.evicted = registry.counter("lpce.feedback.evicted_total");
+    m.loaded = registry.counter("lpce.feedback.loaded_total");
+    m.truncated_tails = registry.counter("lpce.feedback.truncated_tails_total");
+    m.compactions = registry.counter("lpce.feedback.compactions_total");
+    m.disk_errors = registry.counter("lpce.feedback.disk_errors_total");
+    m.live = registry.gauge("lpce.feedback.live");
+    m.templates = registry.gauge("lpce.feedback.templates");
+    return m;
+  }();
+  return metrics;
+}
+
+// Little buffer writers/readers over std::string, same field layout idiom as
+// workload.cc's file helpers.
+void PutU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void PutU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void PutI32(std::string* out, int32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void PutI64(std::string* out, int64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+struct Cursor {
+  const char* data;
+  size_t size;
+  size_t pos = 0;
+
+  template <typename T>
+  bool Get(T* v) {
+    if (pos + sizeof(T) > size) return false;
+    std::memcpy(v, data + pos, sizeof(T));
+    pos += sizeof(T);
+    return true;
+  }
+};
+
+std::string LogPath(const std::string& dir) { return dir + "/feedback.log"; }
+
+bool EnsureDir(const std::string& dir) {
+  struct stat st;
+  if (::stat(dir.c_str(), &st) == 0) return S_ISDIR(st.st_mode);
+  return ::mkdir(dir.c_str(), 0755) == 0;
+}
+
+}  // namespace
+
+uint64_t Fnv1a64(const void* data, size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+std::string SerializeFeedbackPayload(const FeedbackQuery& record) {
+  std::string out;
+  PutU64(&out, record.fss_hash);
+  const qry::Query& q = record.query;
+  PutU32(&out, static_cast<uint32_t>(q.tables.size()));
+  for (int32_t t : q.tables) PutI32(&out, t);
+  PutU32(&out, static_cast<uint32_t>(q.joins.size()));
+  for (const auto& j : q.joins) {
+    PutI32(&out, j.left.table);
+    PutI32(&out, j.left.column);
+    PutI32(&out, j.right.table);
+    PutI32(&out, j.right.column);
+  }
+  PutU32(&out, static_cast<uint32_t>(q.predicates.size()));
+  for (const auto& p : q.predicates) {
+    PutI32(&out, p.col.table);
+    PutI32(&out, p.col.column);
+    PutI32(&out, static_cast<int32_t>(p.op));
+    PutI64(&out, p.value);
+  }
+  PutU32(&out, static_cast<uint32_t>(record.actuals.size()));
+  for (const auto& [rels, card] : record.actuals) {
+    PutU32(&out, rels);
+    PutU64(&out, card);
+  }
+  return out;
+}
+
+bool ParseFeedbackPayload(const std::string& payload, FeedbackQuery* out) {
+  Cursor cur{payload.data(), payload.size()};
+  *out = FeedbackQuery();
+  if (!cur.Get(&out->fss_hash)) return false;
+  uint32_t n = 0;
+  if (!cur.Get(&n) || n > kMaxTables) return false;
+  out->query.tables.resize(n);
+  for (auto& t : out->query.tables) {
+    if (!cur.Get(&t)) return false;
+  }
+  if (!cur.Get(&n) || n > kMaxJoins) return false;
+  out->query.joins.resize(n);
+  for (auto& j : out->query.joins) {
+    if (!cur.Get(&j.left.table) || !cur.Get(&j.left.column) ||
+        !cur.Get(&j.right.table) || !cur.Get(&j.right.column)) {
+      return false;
+    }
+  }
+  if (!cur.Get(&n) || n > kMaxPredicates) return false;
+  out->query.predicates.resize(n);
+  for (auto& p : out->query.predicates) {
+    int32_t op = 0;
+    if (!cur.Get(&p.col.table) || !cur.Get(&p.col.column) || !cur.Get(&op) ||
+        !cur.Get(&p.value)) {
+      return false;
+    }
+    if (op < 0 || op >= qry::kNumCmpOps) return false;
+    p.op = static_cast<qry::CmpOp>(op);
+  }
+  if (!cur.Get(&n) || n > kMaxActuals) return false;
+  out->actuals.resize(n);
+  for (auto& [rels, card] : out->actuals) {
+    if (!cur.Get(&rels) || !cur.Get(&card)) return false;
+  }
+  return cur.pos == payload.size();
+}
+
+FeedbackStoreOptions FeedbackStoreOptions::FromEnv() {
+  FeedbackStoreOptions options;
+  const char* dir = std::getenv("LPCE_FEEDBACK_DIR");
+  if (dir != nullptr && dir[0] != '\0') {
+    options.dir = dir;
+  } else if (FeedbackEnabledFromEnv()) {
+    options.dir = ".lpce_feedback";
+  }
+  const char* cap = std::getenv("LPCE_FEEDBACK_CAP");
+  if (cap != nullptr) {
+    const long parsed = std::atol(cap);
+    if (parsed > 0) options.per_template_cap = static_cast<size_t>(parsed);
+  }
+  return options;
+}
+
+bool FeedbackEnabledFromEnv() {
+  const char* value = std::getenv("LPCE_FEEDBACK");
+  return value != nullptr && value[0] != '\0' && std::string(value) != "0";
+}
+
+FeedbackStore::FeedbackStore(FeedbackStoreOptions options)
+    : options_(std::move(options)) {
+  options_.per_template_cap = std::max<size_t>(options_.per_template_cap, 1);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!options_.dir.empty()) {
+    if (!EnsureDir(options_.dir)) {
+      disk_status_ =
+          Status::IoError("cannot create feedback dir " + options_.dir);
+      Metrics().disk_errors->Increment();
+      return;
+    }
+    LoadLocked();
+    if (disk_status_.ok()) {
+      const Status opened = OpenForAppendLocked();
+      if (!opened.ok()) {
+        disk_status_ = opened;
+        Metrics().disk_errors->Increment();
+      }
+    }
+  }
+}
+
+FeedbackStore::~FeedbackStore() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (log_ != nullptr) {
+    std::fclose(log_);
+    log_ = nullptr;
+  }
+}
+
+// Replays <dir>/feedback.log into templates_. Any malformed frame — short
+// read, bad magic, size out of bounds, checksum mismatch, unparseable
+// payload — ends the replay: everything before it is kept, the file is
+// truncated back to the good prefix, and one recovered tail is counted.
+void FeedbackStore::LoadLocked() {
+  const std::string path = LogPath(options_.dir);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return;  // no log yet
+  auto read_u64 = [&](uint64_t* v) {
+    return std::fread(v, sizeof(*v), 1, f) == 1;
+  };
+  uint64_t good_end = 0;
+  bool tail_torn = false;
+  uint64_t magic = 0;
+  if (!read_u64(&magic) || magic != kFileMagic) {
+    tail_torn = std::ftell(f) != 0;  // empty file: not torn, just new
+  } else {
+    good_end = sizeof(uint64_t);
+    for (;;) {
+      uint64_t record_magic = 0, size = 0, checksum = 0;
+      if (!read_u64(&record_magic)) break;  // clean EOF
+      if (record_magic != kRecordMagic || !read_u64(&size) ||
+          size > kMaxPayload || !read_u64(&checksum)) {
+        tail_torn = true;
+        break;
+      }
+      std::string payload(size, '\0');
+      if (size > 0 && std::fread(payload.data(), 1, size, f) != size) {
+        tail_torn = true;
+        break;
+      }
+      if (Fnv1a64(payload.data(), payload.size()) != checksum) {
+        tail_torn = true;
+        break;
+      }
+      Entry entry;
+      if (!ParseFeedbackPayload(payload, &entry.record)) {
+        tail_torn = true;
+        break;
+      }
+      entry.payload = std::move(payload);
+      AppendLocked(std::move(entry));
+      ++disk_records_;
+      ++counters_.loaded;
+      Metrics().loaded->Increment();
+      good_end = static_cast<uint64_t>(std::ftell(f));
+    }
+  }
+  std::fclose(f);
+  if (tail_torn) {
+    ++counters_.truncated_tails;
+    Metrics().truncated_tails->Increment();
+    if (::truncate(path.c_str(), static_cast<off_t>(good_end)) != 0) {
+      // Could not cut the torn tail off; rewrite the whole live set instead.
+      const Status st = CompactLocked();
+      if (!st.ok()) {
+        disk_status_ = st;
+        Metrics().disk_errors->Increment();
+      }
+    }
+  }
+}
+
+Status FeedbackStore::OpenForAppendLocked() {
+  const std::string path = LogPath(options_.dir);
+  const bool fresh = disk_records_ == 0;
+  log_ = std::fopen(path.c_str(), fresh ? "wb" : "ab");
+  if (log_ == nullptr) return Status::IoError("cannot open " + path);
+  if (fresh) {
+    const uint64_t magic = kFileMagic;
+    if (std::fwrite(&magic, sizeof(magic), 1, log_) != 1 ||
+        std::fflush(log_) != 0) {
+      std::fclose(log_);
+      log_ = nullptr;
+      return Status::IoError("cannot write header to " + path);
+    }
+  }
+  return Status::Ok();
+}
+
+void FeedbackStore::Append(const FeedbackQuery& record) {
+  Entry entry;
+  entry.record = record;
+  std::sort(entry.record.actuals.begin(), entry.record.actuals.end());
+  entry.payload = SerializeFeedbackPayload(entry.record);
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string payload = entry.payload;  // AppendLocked consumes entry
+  AppendLocked(std::move(entry));
+  ++counters_.appended;
+  Metrics().appended->Increment();
+  if (log_ != nullptr) {
+    const uint64_t size = payload.size();
+    const uint64_t checksum = Fnv1a64(payload.data(), payload.size());
+    bool ok = std::fwrite(&kRecordMagic, sizeof(uint64_t), 1, log_) == 1 &&
+              std::fwrite(&size, sizeof(size), 1, log_) == 1 &&
+              std::fwrite(&checksum, sizeof(checksum), 1, log_) == 1;
+    if (ok && size > 0) {
+      ok = std::fwrite(payload.data(), 1, payload.size(), log_) == payload.size();
+    }
+    ok = ok && std::fflush(log_) == 0;
+    if (!ok) {
+      if (disk_status_.ok()) {
+        disk_status_ = Status::IoError("append failed; serving from memory");
+      }
+      Metrics().disk_errors->Increment();
+      std::fclose(log_);
+      log_ = nullptr;
+      return;
+    }
+    ++disk_records_;
+    // Evicted records stay in the log until it has grown well past the live
+    // set; then fold them out so disk usage tracks the retention policy.
+    if (disk_records_ > 4 * counters_.live + 64) {
+      const Status st = CompactLocked();
+      if (!st.ok() && disk_status_.ok()) {
+        disk_status_ = st;
+        Metrics().disk_errors->Increment();
+      }
+    }
+  }
+}
+
+void FeedbackStore::AppendLocked(Entry entry) {
+  std::deque<Entry>& records = templates_[entry.record.fss_hash];
+  records.push_back(std::move(entry));
+  if (records.size() > options_.per_template_cap) {
+    records.pop_front();
+    ++counters_.evicted;
+    Metrics().evicted->Increment();
+  } else {
+    ++counters_.live;
+  }
+  counters_.templates = templates_.size();
+  Metrics().live->Set(static_cast<double>(counters_.live));
+  Metrics().templates->Set(static_cast<double>(counters_.templates));
+}
+
+namespace {
+
+wk::LabeledQuery ToLabeled(const FeedbackQuery& record) {
+  wk::LabeledQuery labeled;
+  labeled.query = record.query;
+  for (const auto& [rels, card] : record.actuals) {
+    labeled.true_cards[rels] = card;
+  }
+  return labeled;
+}
+
+}  // namespace
+
+std::vector<wk::LabeledQuery> FeedbackStore::HarvestAll() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<wk::LabeledQuery> out;
+  for (const auto& [fss, records] : templates_) {
+    std::vector<const Entry*> sorted;
+    sorted.reserve(records.size());
+    for (const Entry& e : records) sorted.push_back(&e);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Entry* a, const Entry* b) { return a->payload < b->payload; });
+    for (const Entry* e : sorted) out.push_back(ToLabeled(e->record));
+  }
+  return out;
+}
+
+std::vector<wk::LabeledQuery> FeedbackStore::HarvestTemplate(uint64_t fss) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<wk::LabeledQuery> out;
+  auto it = templates_.find(fss);
+  if (it == templates_.end()) return out;
+  std::vector<const Entry*> sorted;
+  sorted.reserve(it->second.size());
+  for (const Entry& e : it->second) sorted.push_back(&e);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Entry* a, const Entry* b) { return a->payload < b->payload; });
+  for (const Entry* e : sorted) out.push_back(ToLabeled(e->record));
+  return out;
+}
+
+std::vector<uint64_t> FeedbackStore::Templates() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint64_t> out;
+  out.reserve(templates_.size());
+  for (const auto& [fss, records] : templates_) out.push_back(fss);
+  return out;
+}
+
+size_t FeedbackStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.live;
+}
+
+Status FeedbackStore::Compact() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Status st = CompactLocked();
+  if (!st.ok() && disk_status_.ok()) {
+    disk_status_ = st;
+    Metrics().disk_errors->Increment();
+  }
+  return st;
+}
+
+Status FeedbackStore::CompactLocked() {
+  if (options_.dir.empty()) return Status::Ok();
+  const std::string path = LogPath(options_.dir);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot write " + tmp);
+  auto fail = [&](const char* what) {
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return Status::IoError(std::string(what) + ": " + tmp);
+  };
+  uint64_t written = 0;
+  if (std::fwrite(&kFileMagic, sizeof(uint64_t), 1, f) != 1) {
+    return fail("write header");
+  }
+  for (const auto& [fss, records] : templates_) {
+    for (const Entry& e : records) {
+      const uint64_t size = e.payload.size();
+      const uint64_t checksum = Fnv1a64(e.payload.data(), e.payload.size());
+      if (std::fwrite(&kRecordMagic, sizeof(uint64_t), 1, f) != 1 ||
+          std::fwrite(&size, sizeof(size), 1, f) != 1 ||
+          std::fwrite(&checksum, sizeof(checksum), 1, f) != 1 ||
+          (size > 0 &&
+           std::fwrite(e.payload.data(), 1, e.payload.size(), f) != size)) {
+        return fail("write record");
+      }
+      ++written;
+    }
+  }
+  if (std::fflush(f) != 0) return fail("flush");
+  std::fclose(f);
+  // Commit point: the log is atomically either the old file or the new one.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("rename " + tmp + " -> " + path);
+  }
+  if (log_ != nullptr) std::fclose(log_);
+  log_ = std::fopen(path.c_str(), "ab");
+  if (log_ == nullptr) return Status::IoError("reopen " + path);
+  disk_records_ = written;
+  ++counters_.compactions;
+  Metrics().compactions->Increment();
+  return Status::Ok();
+}
+
+Status FeedbackStore::disk_status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return disk_status_;
+}
+
+FeedbackStore::Counters FeedbackStore::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+}  // namespace lpce::fb

@@ -1,0 +1,160 @@
+// On-disk execution-feedback knowledge store (ROADMAP item 1; AQO's
+// persistent knowledge base idea, keyed by the same feature-subspace hash
+// the plan cache and telemetry group templates by).
+//
+// Every executed query yields exact cardinalities for all of its executed
+// sub-plans (the engine's trace spans). The store persists those
+// (sub-plan subset, true cardinality) pairs — together with the query they
+// belong to, so they can be re-materialized as wk::LabeledQuery training
+// examples — into an append-only binary log:
+//
+//   file   := u64 file-magic, record*
+//   record := u64 record-magic, u64 payload-size, u64 fnv1a64(payload),
+//             payload
+//
+// Crash-safety contract:
+//   - Appends are framed + checksummed. A torn tail (partial frame, bad
+//     checksum) is detected at load time: the loader keeps the good prefix,
+//     truncates the file back to it, and counts one recovered truncation —
+//     a crashed writer never poisons the store.
+//   - Compact() rewrites the live set to `<dir>/feedback.log.tmp` and
+//     atomically renames it over `<dir>/feedback.log`, so the file is
+//     either the old log or the new one, never a half-written mix. The
+//     store auto-compacts when the on-disk log grows well past the live
+//     (post-eviction) set.
+//
+// Bounding: at most `per_template_cap` records are retained per template
+// (fss hash); beyond that the oldest record of the template is evicted
+// (insertion-order LRU — records are immutable and never "used" in place,
+// so recency == insertion). Eviction is deterministic given the append
+// sequence; on reload the same sequence replays to the same live set.
+//
+// Thread-safe throughout (one mutex; the engine's workers append
+// concurrently). Harvest order is deterministic regardless of concurrent
+// arrival order: templates ascending by fss, records within a template
+// sorted by their serialized payload bytes.
+//
+// Env knobs (FeedbackStoreOptions::FromEnv): LPCE_FEEDBACK=1 enables
+// harvesting in the serving layer, LPCE_FEEDBACK_DIR the log directory
+// (default ".lpce_feedback"), LPCE_FEEDBACK_CAP the per-template cap
+// (default 64).
+#ifndef LPCE_FEEDBACK_FEEDBACK_STORE_H_
+#define LPCE_FEEDBACK_FEEDBACK_STORE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "query/query.h"
+#include "workload/workload.h"
+
+namespace lpce::fb {
+
+/// One executed query's worth of feedback: the query itself plus the exact
+/// cardinality of every executed sub-plan subset (sorted by rels ascending).
+struct FeedbackQuery {
+  uint64_t fss_hash = 0;  // template group key (query/fingerprint.h)
+  qry::Query query;
+  std::vector<std::pair<qry::RelSet, uint64_t>> actuals;
+};
+
+struct FeedbackStoreOptions {
+  /// Log directory ("" = memory-only store, nothing persisted).
+  std::string dir;
+  /// Maximum retained records per template; oldest evicted beyond this.
+  size_t per_template_cap = 64;
+
+  /// dir from LPCE_FEEDBACK_DIR (default ".lpce_feedback" when LPCE_FEEDBACK
+  /// is set, "" otherwise), per_template_cap from LPCE_FEEDBACK_CAP.
+  static FeedbackStoreOptions FromEnv();
+};
+
+/// True when LPCE_FEEDBACK is set to a non-empty value other than "0".
+bool FeedbackEnabledFromEnv();
+
+class FeedbackStore {
+ public:
+  /// Opens (or creates) the log under options.dir and replays it into
+  /// memory, recovering cleanly from a truncated tail. Memory-only when
+  /// options.dir is empty.
+  explicit FeedbackStore(FeedbackStoreOptions options);
+  ~FeedbackStore();
+
+  FeedbackStore(const FeedbackStore&) = delete;
+  FeedbackStore& operator=(const FeedbackStore&) = delete;
+
+  /// Records one query's feedback: appends to the in-memory template deque
+  /// (evicting the oldest past the cap) and to the on-disk log. Disk errors
+  /// are absorbed (the store keeps serving from memory; see disk_status).
+  void Append(const FeedbackQuery& record);
+
+  /// Every live record as a labeled training example. Deterministic order:
+  /// templates ascending by fss, records within a template ordered by
+  /// serialized payload bytes — independent of concurrent arrival order.
+  std::vector<wk::LabeledQuery> HarvestAll() const;
+
+  /// Live records of one template, same intra-template order as HarvestAll.
+  std::vector<wk::LabeledQuery> HarvestTemplate(uint64_t fss) const;
+
+  /// Live template keys, ascending.
+  std::vector<uint64_t> Templates() const;
+
+  /// Live (post-eviction) record count across all templates.
+  size_t size() const;
+
+  /// Rewrites the log to exactly the live set via write-temp + atomic
+  /// rename. No-op (Ok) for a memory-only store.
+  Status Compact();
+
+  /// First disk error encountered (Ok while the log is healthy).
+  Status disk_status() const;
+
+  struct Counters {
+    uint64_t appended = 0;        // Append() calls accepted into memory
+    uint64_t evicted = 0;         // records dropped by the per-template cap
+    uint64_t loaded = 0;          // records replayed from disk at startup
+    uint64_t truncated_tails = 0; // torn tails recovered at load (0 or 1)
+    uint64_t compactions = 0;     // explicit + automatic Compact() runs
+    size_t live = 0;              // current in-memory records
+    size_t templates = 0;         // current distinct fss keys
+  };
+  Counters counters() const;
+
+  const FeedbackStoreOptions& options() const { return options_; }
+
+ private:
+  struct Entry {
+    FeedbackQuery record;
+    std::string payload;  // serialized form: dedup-free deterministic sort key
+  };
+
+  void AppendLocked(Entry entry);
+  Status CompactLocked();
+  void LoadLocked();
+  Status OpenForAppendLocked();
+
+  FeedbackStoreOptions options_;
+  mutable std::mutex mu_;
+  // std::map: deterministic ascending-fss iteration.
+  std::map<uint64_t, std::deque<Entry>> templates_;
+  std::FILE* log_ = nullptr;
+  uint64_t disk_records_ = 0;  // frames in the on-disk log (>= live)
+  Status disk_status_;
+  Counters counters_;
+};
+
+/// Serialization helpers shared with the tests (frame-level corruption
+/// tests build their own payloads).
+std::string SerializeFeedbackPayload(const FeedbackQuery& record);
+bool ParseFeedbackPayload(const std::string& payload, FeedbackQuery* out);
+uint64_t Fnv1a64(const void* data, size_t size);
+
+}  // namespace lpce::fb
+
+#endif  // LPCE_FEEDBACK_FEEDBACK_STORE_H_

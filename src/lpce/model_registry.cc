@@ -1,0 +1,197 @@
+#include "lpce/model_registry.h"
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace lpce::model {
+
+namespace {
+
+struct RegistryMetrics {
+  common::Counter* published;
+  common::Counter* hook_runs;
+  common::Gauge* version;
+};
+
+const RegistryMetrics& Metrics() {
+  static const RegistryMetrics metrics = [] {
+    auto& registry = common::MetricsRegistry::Global();
+    RegistryMetrics m;
+    m.published = registry.counter("lpce.registry.published_total");
+    m.hook_runs = registry.counter("lpce.registry.hook_runs_total");
+    m.version = registry.gauge("lpce.registry.version");
+    return m;
+  }();
+  return metrics;
+}
+
+bool EnsureDir(const std::string& dir) {
+  struct stat st;
+  if (::stat(dir.c_str(), &st) == 0) return S_ISDIR(st.st_mode);
+  return ::mkdir(dir.c_str(), 0755) == 0;
+}
+
+// ParamStore::SaveToFile is not atomic on its own; write to a temp sibling
+// and rename so a crash mid-save leaves no torn module file.
+Status AtomicSaveParams(const nn::ParamStore& params, const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  LPCE_RETURN_IF_ERROR(params.SaveToFile(tmp));
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("rename " + tmp + " -> " + path);
+  }
+  return Status::Ok();
+}
+
+constexpr char kManifestName[] = "MANIFEST";
+
+}  // namespace
+
+ModelRegistry::ModelRegistry() = default;
+
+uint64_t ModelRegistry::Publish(std::shared_ptr<const TreeModel> model,
+                                std::shared_ptr<const LpceR> refiner,
+                                std::string tag) {
+  LPCE_CHECK_MSG(model != nullptr, "ModelRegistry::Publish needs a model");
+  auto snapshot = std::make_shared<ModelVersion>();
+  snapshot->tag = std::move(tag);
+  snapshot->model = std::move(model);
+  snapshot->refiner = std::move(refiner);
+  std::vector<PublishHook> hooks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot->version = next_version_++;
+    current_ = snapshot;
+    ++counters_.published;
+    hooks.reserve(hooks_.size());
+    for (const auto& [id, hook] : hooks_) hooks.push_back(hook);
+  }
+  Metrics().published->Increment();
+  Metrics().version->Set(static_cast<double>(snapshot->version));
+  // Outside the lock: hooks may call back into consumers of the registry
+  // (plan-cache invalidation, telemetry) without risking lock inversion.
+  for (const PublishHook& hook : hooks) {
+    hook(*snapshot);
+    Metrics().hook_runs->Increment();
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.hook_runs;
+  }
+  return snapshot->version;
+}
+
+std::shared_ptr<const ModelVersion> ModelRegistry::Current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (current_ != nullptr) ++counters_.pins;
+  return current_;
+}
+
+uint64_t ModelRegistry::CurrentVersionNumber() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_ == nullptr ? 0 : current_->version;
+}
+
+uint64_t ModelRegistry::AddPublishHook(PublishHook hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t id = next_hook_id_++;
+  hooks_[id] = std::move(hook);
+  return id;
+}
+
+void ModelRegistry::RemovePublishHook(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  hooks_.erase(id);
+}
+
+Status ModelRegistry::SaveCurrent(const std::string& dir) const {
+  std::shared_ptr<const ModelVersion> snapshot = Current();
+  if (snapshot == nullptr) {
+    return Status::FailedPrecondition("no published version to save");
+  }
+  if (!EnsureDir(dir)) return Status::IoError("cannot create dir " + dir);
+  LPCE_RETURN_IF_ERROR(
+      AtomicSaveParams(snapshot->model->params(), dir + "/model.bin"));
+  const bool has_refiner = snapshot->refiner != nullptr;
+  if (has_refiner) {
+    const LpceR& r = *snapshot->refiner;
+    LPCE_RETURN_IF_ERROR(
+        AtomicSaveParams(r.content().params(), dir + "/refiner.content.bin"));
+    LPCE_RETURN_IF_ERROR(
+        AtomicSaveParams(r.cardinality().params(), dir + "/refiner.card.bin"));
+    LPCE_RETURN_IF_ERROR(
+        AtomicSaveParams(r.refine().params(), dir + "/refiner.refine.bin"));
+    LPCE_RETURN_IF_ERROR(
+        AtomicSaveParams(r.connect_params(), dir + "/refiner.connect.bin"));
+  }
+  // The manifest is written last, atomically: a snapshot directory without a
+  // committed manifest is treated as absent by LoadAndPublish.
+  const std::string manifest = dir + "/" + kManifestName;
+  const std::string tmp = manifest + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return Status::IoError("cannot write " + tmp);
+  const int mode =
+      has_refiner ? static_cast<int>(snapshot->refiner->mode()) : -1;
+  const bool ok =
+      std::fprintf(f, "version %llu\ntag %s\nrefiner %d\n",
+                   static_cast<unsigned long long>(snapshot->version),
+                   snapshot->tag.empty() ? "-" : snapshot->tag.c_str(),
+                   mode) > 0 &&
+      std::fflush(f) == 0;
+  std::fclose(f);
+  if (!ok || std::rename(tmp.c_str(), manifest.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot commit " + manifest);
+  }
+  return Status::Ok();
+}
+
+Result<uint64_t> ModelRegistry::LoadAndPublish(const std::string& dir,
+                                               const FeatureEncoder* encoder,
+                                               const TreeModelConfig& config,
+                                               RefinerMode mode) {
+  const std::string manifest = dir + "/" + kManifestName;
+  std::FILE* f = std::fopen(manifest.c_str(), "r");
+  if (f == nullptr) {
+    return Status::NotFound("no committed snapshot at " + dir);
+  }
+  unsigned long long saved_version = 0;
+  char tag_buf[256] = {0};
+  int refiner_mode = -1;
+  const int scanned = std::fscanf(f, "version %llu\ntag %255s\nrefiner %d",
+                                  &saved_version, tag_buf, &refiner_mode);
+  std::fclose(f);
+  if (scanned != 3) return Status::IoError("malformed manifest " + manifest);
+
+  auto model = std::make_shared<TreeModel>(encoder, config);
+  LPCE_RETURN_IF_ERROR(model->params().LoadFromFile(dir + "/model.bin"));
+  std::shared_ptr<LpceR> refiner;
+  if (refiner_mode >= 0) {
+    if (refiner_mode != static_cast<int>(mode)) {
+      return Status::InvalidArgument("saved refiner mode mismatch at " + dir);
+    }
+    refiner = std::make_shared<LpceR>(encoder, config, mode);
+    LPCE_RETURN_IF_ERROR(
+        refiner->content().params().LoadFromFile(dir + "/refiner.content.bin"));
+    LPCE_RETURN_IF_ERROR(
+        refiner->cardinality().params().LoadFromFile(dir + "/refiner.card.bin"));
+    LPCE_RETURN_IF_ERROR(
+        refiner->refine().params().LoadFromFile(dir + "/refiner.refine.bin"));
+    LPCE_RETURN_IF_ERROR(
+        refiner->connect_params().LoadFromFile(dir + "/refiner.connect.bin"));
+  }
+  std::string tag(tag_buf);
+  if (tag == "-") tag.clear();
+  return Publish(std::move(model), std::move(refiner),
+                 tag.empty() ? "loaded" : "loaded:" + tag);
+}
+
+ModelRegistry::Counters ModelRegistry::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+}  // namespace lpce::model

@@ -1,0 +1,117 @@
+// Versioned registry of immutable model snapshots with a read-copy-update
+// publish path — the serving side of the online feedback loop (ROADMAP
+// item 1).
+//
+// A ModelVersion bundles everything a worker session derives its estimators
+// from: the initial-estimation TreeModel (required) and, optionally, the
+// LPCE-R refiner. Versions are immutable once published — the TreeModel /
+// LpceR inference entry points are const and thread-safe after training, so
+// a published version is safe to share read-only across every worker.
+//
+// RCU swap protocol:
+//   - Publish() assigns the next version number and swaps the registry's
+//     current pointer under a mutex (writers are rare — one per fine-tune).
+//   - Current() hands out a shared_ptr<const ModelVersion>: taking it pins
+//     the snapshot; the refcount is the grace period. A reader that pinned
+//     version N keeps using N's models even after N+1 publishes; N is
+//     destroyed when the last pinned reader drops it.
+//   - Workers re-check Current() only *between* queries (engine/server.cc),
+//     which yields the version-pinning invariant: a query never mixes model
+//     versions between inference, refinement, and re-optimization.
+//   - Publish hooks (e.g. plan-cache invalidation) run synchronously after
+//     the swap, outside the registry mutex.
+//
+// Persistence: SaveCurrent() writes each module's ParamStore via temp-file +
+// atomic rename, manifest last — the manifest is the commit point, so a
+// crashed save never yields a loadable-but-torn snapshot. LoadAndPublish()
+// restores into freshly constructed models (shapes must match the provided
+// config) and publishes the result as a new version.
+#ifndef LPCE_LPCE_MODEL_REGISTRY_H_
+#define LPCE_LPCE_MODEL_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "lpce/lpce_r.h"
+#include "lpce/tree_model.h"
+
+namespace lpce::model {
+
+/// One immutable published snapshot. `model` is always set; `refiner` may be
+/// null (sessions then run without LPCE-R refinement).
+struct ModelVersion {
+  uint64_t version = 0;
+  std::string tag;  // provenance: "initial", "finetune@...", "loaded", ...
+  std::shared_ptr<const TreeModel> model;
+  std::shared_ptr<const LpceR> refiner;
+};
+
+class ModelRegistry {
+ public:
+  ModelRegistry();
+
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Publishes a new version (numbers start at 1 and increase by 1 per
+  /// publish). The snapshot becomes visible to subsequent Current() calls
+  /// atomically; already-pinned readers are unaffected. Publish hooks run
+  /// synchronously after the swap, outside the registry mutex, in
+  /// registration order. Returns the published version number.
+  uint64_t Publish(std::shared_ptr<const TreeModel> model,
+                   std::shared_ptr<const LpceR> refiner, std::string tag);
+
+  /// Pins and returns the current snapshot (null until the first Publish).
+  /// The returned pointer stays valid — and its models unchanged — for as
+  /// long as the caller holds it, regardless of later publishes.
+  std::shared_ptr<const ModelVersion> Current() const;
+
+  /// Version number of the current snapshot (0 until the first Publish).
+  /// Cheap: workers poll this between queries to detect swaps.
+  uint64_t CurrentVersionNumber() const;
+
+  /// Registers a hook invoked after every publish (serving uses this for
+  /// plan-cache invalidation). Returns an id for RemovePublishHook.
+  using PublishHook = std::function<void(const ModelVersion&)>;
+  uint64_t AddPublishHook(PublishHook hook);
+  void RemovePublishHook(uint64_t id);
+
+  /// Persists the current snapshot under `dir`: one params file per module
+  /// (model.bin, refiner.{card,refine,content,connect}.bin), each written
+  /// via temp + atomic rename, then the MANIFEST (version, tag, files) —
+  /// also via atomic rename — as the commit point.
+  Status SaveCurrent(const std::string& dir) const;
+
+  /// Loads a SaveCurrent() snapshot into freshly built models over
+  /// `encoder`/`config` (shapes must match the saved parameters) and
+  /// publishes it. `mode` must match the saved refiner's mode when one was
+  /// saved. Returns the published version number.
+  Result<uint64_t> LoadAndPublish(const std::string& dir,
+                                  const FeatureEncoder* encoder,
+                                  const TreeModelConfig& config,
+                                  RefinerMode mode = RefinerMode::kFull);
+
+  struct Counters {
+    uint64_t published = 0;  // Publish() calls
+    uint64_t pins = 0;       // Current() calls that returned a snapshot
+    uint64_t hook_runs = 0;  // publish-hook invocations
+  };
+  Counters counters() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const ModelVersion> current_;
+  uint64_t next_version_ = 1;
+  uint64_t next_hook_id_ = 1;
+  std::map<uint64_t, PublishHook> hooks_;
+  mutable Counters counters_;
+};
+
+}  // namespace lpce::model
+
+#endif  // LPCE_LPCE_MODEL_REGISTRY_H_

@@ -1,0 +1,321 @@
+// Feedback knowledge store (feedback/feedback_store.h): harvested pairs are
+// exact (checked against the brute-force oracle), the on-disk log round-trips
+// byte-perfectly, a torn tail recovers to the good prefix, and the
+// per-template LRU cap evicts deterministically.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "card/histogram_estimator.h"
+#include "common/thread_pool.h"
+#include "engine/engine.h"
+#include "engine/server.h"
+#include "feedback/feedback_store.h"
+#include "optimizer/plan_cache.h"
+#include "storage/database.h"
+#include "testing/exact_card.h"
+#include "workload/workload.h"
+
+namespace lpce::fb {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "lpce_fb_" + name;
+  std::remove((dir + "/feedback.log").c_str());
+  return dir;
+}
+
+/// Labeled examples compare equal: same serialized query, same
+/// (subset, card) set. SerializeFeedbackPayload is the store's own canonical
+/// byte form, so equality here is exactly on-disk equality.
+void ExpectSameExamples(const std::vector<wk::LabeledQuery>& expected,
+                        const std::vector<wk::LabeledQuery>& actual,
+                        const std::string& context) {
+  ASSERT_EQ(actual.size(), expected.size()) << context;
+  auto payload = [](const wk::LabeledQuery& example) {
+    FeedbackQuery record;
+    record.query = example.query;
+    record.actuals.assign(example.true_cards.begin(),
+                          example.true_cards.end());
+    std::sort(record.actuals.begin(), record.actuals.end());
+    return SerializeFeedbackPayload(record);
+  };
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(payload(actual[i]), payload(expected[i]))
+        << context << ", example " << i;
+    EXPECT_EQ(actual[i].true_cards.size(), expected[i].true_cards.size())
+        << context << ", example " << i;
+    for (const auto& [rels, card] : expected[i].true_cards) {
+      auto it = actual[i].true_cards.find(rels);
+      ASSERT_NE(it, actual[i].true_cards.end())
+          << context << ", example " << i << ", missing subset " << rels;
+      EXPECT_EQ(it->second, card) << context << ", example " << i;
+    }
+  }
+}
+
+class FeedbackStoreTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    common::SetGlobalPoolSize(2);
+    db::SynthImdbOptions opts;
+    opts.scale = 0.01;
+    database_ = db::BuildSynthImdb(opts).release();
+    stats_ = new stats::DatabaseStats();
+    stats_->Build(*database_);
+    wk::GeneratorOptions gen;
+    gen.seed = 2026;
+    wk::QueryGenerator generator(database_, gen);
+    workload_ = new std::vector<wk::LabeledQuery>(
+        generator.GenerateLabeled(24, 2, 4));
+  }
+
+  static void TearDownTestSuite() {
+    delete workload_;
+    workload_ = nullptr;
+    delete stats_;
+    stats_ = nullptr;
+    delete database_;
+    database_ = nullptr;
+    common::SetGlobalPoolSize(0);
+  }
+
+  /// Runs `count` workload queries through an engine harvesting into `store`.
+  static void RunHarvesting(FeedbackStore* store, size_t count) {
+    card::HistogramEstimator estimator(stats_);
+    eng::Engine engine(database_, opt::CostModel{});
+    engine.set_feedback_store(store);
+    eng::RunConfig config;
+    config.enable_reopt = true;
+    config.qerror_threshold = 10.0;
+    for (size_t q = 0; q < count && q < workload_->size(); ++q) {
+      engine.RunQuery((*workload_)[q].query, &estimator, nullptr, config);
+    }
+  }
+
+  static db::Database* database_;
+  static stats::DatabaseStats* stats_;
+  static std::vector<wk::LabeledQuery>* workload_;
+};
+
+db::Database* FeedbackStoreTest::database_ = nullptr;
+stats::DatabaseStats* FeedbackStoreTest::stats_ = nullptr;
+std::vector<wk::LabeledQuery>* FeedbackStoreTest::workload_ = nullptr;
+
+TEST_F(FeedbackStoreTest, HarvestedCardinalitiesMatchExactOracle) {
+  // Every (subset, cardinality) pair the engine harvests must be the true
+  // cardinality — feedback that lies would fine-tune the model toward the
+  // very misestimates it is meant to correct.
+  FeedbackStoreOptions options;  // memory-only
+  FeedbackStore store(options);
+  RunHarvesting(&store, 12);
+
+  const std::vector<wk::LabeledQuery> harvested = store.HarvestAll();
+  EXPECT_EQ(harvested.size(), 12u);
+  size_t pairs = 0;
+  for (const auto& example : harvested) {
+    ASSERT_FALSE(example.true_cards.empty());
+    for (const auto& [rels, card] : example.true_cards) {
+      EXPECT_EQ(card, testing::ExactCardinality(*database_, example.query, rels))
+          << example.query.ToString(database_->catalog()) << ", subset "
+          << rels;
+      ++pairs;
+    }
+    // The full-query result is always among the harvested subsets.
+    EXPECT_TRUE(example.true_cards.count(example.query.AllRels()));
+  }
+  // Multi-way joins harvest more than just the final result.
+  EXPECT_GT(pairs, harvested.size());
+  EXPECT_EQ(store.counters().appended, 12u);
+  EXPECT_EQ(store.counters().live, 12u);
+}
+
+TEST_F(FeedbackStoreTest, DiskRoundTripAndReloadEquality) {
+  FeedbackStoreOptions options;
+  options.dir = FreshDir("roundtrip");
+  std::vector<wk::LabeledQuery> before;
+  {
+    FeedbackStore store(options);
+    RunHarvesting(&store, 10);
+    before = store.HarvestAll();
+    ASSERT_EQ(before.size(), 10u);
+    EXPECT_TRUE(store.disk_status().ok()) << store.disk_status().ToString();
+  }
+  FeedbackStore reloaded(options);
+  EXPECT_EQ(reloaded.counters().loaded, 10u);
+  EXPECT_EQ(reloaded.counters().truncated_tails, 0u);
+  ExpectSameExamples(before, reloaded.HarvestAll(), "reload");
+
+  // Per-template harvest agrees with the full harvest, template by template.
+  size_t total = 0;
+  for (uint64_t fss : reloaded.Templates()) {
+    total += reloaded.HarvestTemplate(fss).size();
+  }
+  EXPECT_EQ(total, before.size());
+}
+
+TEST_F(FeedbackStoreTest, TruncatedTailRecoversGoodPrefix) {
+  FeedbackStoreOptions options;
+  options.dir = FreshDir("torn");
+  std::vector<wk::LabeledQuery> good;
+  {
+    FeedbackStore store(options);
+    RunHarvesting(&store, 8);
+    good = store.HarvestAll();
+  }
+  // Simulate a crash mid-append: a frame header with a payload that never
+  // made it to disk.
+  const std::string log = options.dir + "/feedback.log";
+  {
+    std::FILE* f = std::fopen(log.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const uint64_t magic = 0x4C50434546524543ull;  // record magic, torn after
+    std::fwrite(&magic, sizeof(magic), 1, f);
+    const uint64_t bogus_size = 512;
+    std::fwrite(&bogus_size, sizeof(bogus_size), 1, f);
+    std::fclose(f);
+  }
+  {
+    FeedbackStore recovered(options);
+    EXPECT_EQ(recovered.counters().truncated_tails, 1u);
+    EXPECT_EQ(recovered.counters().loaded, 8u);
+    ExpectSameExamples(good, recovered.HarvestAll(), "after torn tail");
+    // The store stays writable after recovery...
+    RunHarvesting(&recovered, 2);
+    EXPECT_EQ(recovered.counters().live, 10u);
+    EXPECT_TRUE(recovered.disk_status().ok());
+  }
+  // ...and the repaired log reloads cleanly, torn frame gone.
+  FeedbackStore final_load(options);
+  EXPECT_EQ(final_load.counters().loaded, 10u);
+  EXPECT_EQ(final_load.counters().truncated_tails, 0u);
+}
+
+TEST_F(FeedbackStoreTest, CorruptedChecksumDropsTail) {
+  FeedbackStoreOptions options;
+  options.dir = FreshDir("checksum");
+  {
+    FeedbackStore store(options);
+    RunHarvesting(&store, 4);
+  }
+  // Flip one byte in the last frame's payload: checksum mismatch ends the
+  // replay at the last good record.
+  const std::string log = options.dir + "/feedback.log";
+  {
+    std::FILE* f = std::fopen(log.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, -1, SEEK_END);
+    const int last = std::fgetc(f);
+    std::fseek(f, -1, SEEK_END);
+    std::fputc(last ^ 0xFF, f);
+    std::fclose(f);
+  }
+  FeedbackStore recovered(options);
+  EXPECT_EQ(recovered.counters().truncated_tails, 1u);
+  EXPECT_EQ(recovered.counters().loaded, 3u);
+  EXPECT_EQ(recovered.counters().live, 3u);
+}
+
+TEST_F(FeedbackStoreTest, PerTemplateCapEvictsOldestDeterministically) {
+  FeedbackStoreOptions options;
+  options.dir = FreshDir("evict");
+  options.per_template_cap = 4;
+
+  // 10 distinct records of one template: same fss, different final cards.
+  auto make_record = [](uint64_t card) {
+    FeedbackQuery record;
+    record.fss_hash = 42;
+    record.query = (*workload_)[0].query;
+    record.actuals.emplace_back(record.query.AllRels(), card);
+    return record;
+  };
+  {
+    FeedbackStore store(options);
+    for (uint64_t i = 0; i < 10; ++i) store.Append(make_record(1000 + i));
+    EXPECT_EQ(store.counters().appended, 10u);
+    EXPECT_EQ(store.counters().evicted, 6u);
+    EXPECT_EQ(store.counters().live, 4u);
+    EXPECT_EQ(store.counters().templates, 1u);
+    // The newest four survive.
+    std::vector<uint64_t> cards;
+    for (const auto& example : store.HarvestTemplate(42)) {
+      cards.push_back(example.true_cards.begin()->second);
+    }
+    std::sort(cards.begin(), cards.end());
+    EXPECT_EQ(cards, (std::vector<uint64_t>{1006, 1007, 1008, 1009}));
+  }
+  // Reload replays the same append sequence to the same live set.
+  FeedbackStore reloaded(options);
+  EXPECT_EQ(reloaded.counters().live, 4u);
+  std::vector<uint64_t> cards;
+  for (const auto& example : reloaded.HarvestTemplate(42)) {
+    cards.push_back(example.true_cards.begin()->second);
+  }
+  std::sort(cards.begin(), cards.end());
+  EXPECT_EQ(cards, (std::vector<uint64_t>{1006, 1007, 1008, 1009}));
+}
+
+TEST_F(FeedbackStoreTest, CompactShrinksLogAndPreservesContent) {
+  FeedbackStoreOptions options;
+  options.dir = FreshDir("compact");
+  options.per_template_cap = 2;
+  auto make_record = [](uint64_t fss, uint64_t card) {
+    FeedbackQuery record;
+    record.fss_hash = fss;
+    record.query = (*workload_)[0].query;
+    record.actuals.emplace_back(record.query.AllRels(), card);
+    return record;
+  };
+  std::vector<wk::LabeledQuery> live;
+  {
+    FeedbackStore store(options);
+    for (uint64_t i = 0; i < 12; ++i) store.Append(make_record(i % 3, 100 + i));
+    EXPECT_EQ(store.counters().live, 6u);  // 3 templates x cap 2
+    ASSERT_TRUE(store.Compact().ok());
+    EXPECT_GE(store.counters().compactions, 1u);
+    live = store.HarvestAll();
+  }
+  FeedbackStore reloaded(options);
+  // The compacted log holds exactly the live set: no evicted ghosts replay.
+  EXPECT_EQ(reloaded.counters().loaded, 6u);
+  ExpectSameExamples(live, reloaded.HarvestAll(), "after compact");
+}
+
+TEST_F(FeedbackStoreTest, ServedQueriesHarvestThroughServerStore) {
+  // The serving integration: a server wired to a store harvests every
+  // completed query, and the harvested labels are exact.
+  FeedbackStoreOptions options;  // memory-only
+  FeedbackStore store(options);
+  eng::ServerOptions server_options;
+  server_options.num_workers = 2;
+  server_options.max_queue = 16;
+  server_options.run_config.enable_reopt = true;
+  server_options.run_config.qerror_threshold = 10.0;
+  server_options.feedback_store = &store;
+  eng::EngineServer server(
+      database_, opt::CostModel{},
+      [](int) {
+        eng::EngineServer::Session session;
+        session.initial = std::make_unique<card::HistogramEstimator>(stats_);
+        return session;
+      },
+      server_options);
+  for (size_t q = 0; q < 8; ++q) {
+    auto run = server.RunSync((*workload_)[q].query);
+    ASSERT_TRUE(run.ok());
+  }
+  server.Shutdown();
+  EXPECT_EQ(store.counters().appended, 8u);
+  for (const auto& example : store.HarvestAll()) {
+    for (const auto& [rels, card] : example.true_cards) {
+      EXPECT_EQ(card,
+                testing::ExactCardinality(*database_, example.query, rels));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lpce::fb

@@ -14,7 +14,10 @@
 #include "card/histogram_estimator.h"
 #include "common/check.h"
 #include "engine/engine.h"
+#include "engine/server.h"
 #include "engine/trace.h"
+#include "lpce/model_registry.h"
+#include "lpce/tree_model.h"
 #include "optimizer/plan_cache.h"
 #include "optimizer/planner.h"
 #include "stats/column_stats.h"
@@ -283,6 +286,57 @@ TEST_F(PlanCacheTest, CacheOffTracesHaveNoCacheFields) {
       stats.trace->ToJson(eng::TraceJsonMode::kDeterministic);
   EXPECT_EQ(json.find("\"cache\""), std::string::npos);
   EXPECT_EQ(json.find("\"fss\""), std::string::npos);
+}
+
+TEST_F(PlanCacheTest, ModelVersionPublishInvalidatesServerCache) {
+  // Regression (the feedback loop's cache-coherence wire): a cached skeleton
+  // embeds the estimate pool of the model version that planned it, so a
+  // registry publish must empty the server's cache and bump its epoch —
+  // before this hook existed, post-swap queries could serve pre-swap
+  // skeletons with stale estimates.
+  model::FeatureEncoder encoder(&database_->catalog(), &stats_);
+  model::TreeModelConfig config;
+  config.feature_dim = encoder.dim();
+  config.dim = 8;
+  config.embed_hidden = 8;
+  config.out_hidden = 8;
+  auto payload = std::make_shared<model::TreeModel>(&encoder, config);
+  model::ModelRegistry registry;
+  registry.Publish(payload, nullptr, "v1");
+
+  eng::ServerOptions options;
+  options.num_workers = 1;
+  options.plan_cache_capacity = 8;
+  options.model_registry = &registry;  // wires publish -> InvalidatePlanCache
+  eng::EngineServer server(
+      database_.get(), opt::CostModel{},
+      [this](int) {
+        eng::EngineServer::Session session;
+        session.initial = std::make_unique<card::HistogramEstimator>(&stats_);
+        return session;
+      },
+      options);
+
+  const auto [a, b] = NonMcvLiteralPair();
+  ASSERT_TRUE(server.RunSync(Template(a)).ok());
+  ASSERT_TRUE(server.RunSync(Template(b)).ok());  // cross-literal hit
+  const auto warm = server.plan_cache()->counters();
+  EXPECT_GE(warm.hits, 1u);
+  EXPECT_EQ(warm.invalidations, 0u);
+  EXPECT_GE(warm.size, 1u);
+
+  registry.Publish(payload, nullptr, "v2");
+  const auto swapped = server.plan_cache()->counters();
+  EXPECT_EQ(swapped.invalidations, 1u);
+  EXPECT_EQ(swapped.size, 0u);
+
+  // The next query re-plans (miss, not a stale hit) and repopulates the
+  // cache under the new epoch.
+  ASSERT_TRUE(server.RunSync(Template(a)).ok());
+  const auto after = server.plan_cache()->counters();
+  EXPECT_EQ(after.misses, warm.misses + 1);
+  EXPECT_EQ(after.hits, warm.hits);
+  EXPECT_GE(after.size, 1u);
 }
 
 }  // namespace

@@ -1,0 +1,445 @@
+// Swap-equivalence suite for the versioned model registry (ROADMAP item 1;
+// lpce/model_registry.h, engine/server.h versioned serving).
+//
+// The contract under test: with publishes forced mid-workload at workers
+// {1, 2, 4}, every query's results and deterministic trace are bit-identical
+// to a single-version run pinned at that query's RunStats::model_version —
+// i.e. a hot swap relocates the version *boundary* between queries but never
+// mixes versions within one query — and no query is ever rejected or dropped
+// on account of a publish. The three versions are deliberately different
+// models (distinct init seeds), so any cross-version leak shows up as a
+// different plan, estimate, or trace byte, not a tolerance blip.
+#include <cmath>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+#include "engine/engine.h"
+#include "engine/server.h"
+#include "engine/trace.h"
+#include "lpce/estimators.h"
+#include "lpce/model_registry.h"
+#include "storage/database.h"
+#include "workload/workload.h"
+
+namespace lpce::eng {
+namespace {
+
+struct Outcome {
+  uint64_t result_count = 0;
+  int num_reopts = 0;
+  size_t num_estimates = 0;
+  std::string initial_plan;
+  std::string final_plan;
+  std::string trace_json;  // TraceJsonMode::kDeterministic
+};
+
+std::string StripPlanTimes(const std::string& plan) {
+  std::string out;
+  out.reserve(plan.size());
+  size_t pos = 0;
+  while (pos < plan.size()) {
+    const size_t hit = plan.find(" time=", pos);
+    if (hit == std::string::npos) {
+      out.append(plan, pos, plan.size() - pos);
+      break;
+    }
+    out.append(plan, pos, hit - pos);
+    size_t end = hit + 6;
+    while (end < plan.size() && plan[end] != '\n' && plan[end] != ' ') ++end;
+    pos = end;
+  }
+  return out;
+}
+
+Outcome Summarize(const RunStats& stats) {
+  Outcome outcome;
+  outcome.result_count = stats.result_count;
+  outcome.num_reopts = stats.num_reopts;
+  outcome.num_estimates = stats.num_estimates;
+  outcome.initial_plan = StripPlanTimes(stats.initial_plan);
+  outcome.final_plan = StripPlanTimes(stats.final_plan);
+  outcome.trace_json = stats.trace->ToJson(TraceJsonMode::kDeterministic);
+  return outcome;
+}
+
+void ExpectSameOutcome(const Outcome& expected, const Outcome& actual,
+                       const std::string& context) {
+  EXPECT_EQ(actual.result_count, expected.result_count) << context;
+  EXPECT_EQ(actual.num_reopts, expected.num_reopts) << context;
+  EXPECT_EQ(actual.num_estimates, expected.num_estimates) << context;
+  EXPECT_EQ(actual.initial_plan, expected.initial_plan) << context;
+  EXPECT_EQ(actual.final_plan, expected.final_plan) << context;
+  EXPECT_EQ(actual.trace_json, expected.trace_json)
+      << context << ":\n"
+      << DiffTraceJson(expected.trace_json, actual.trace_json);
+}
+
+constexpr int kNumVersions = 3;
+constexpr double kThreshold = 10.0;
+
+class RegistrySwapTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    common::SetGlobalPoolSize(4);
+    db::SynthImdbOptions opts;
+    opts.scale = 0.02;
+    database_ = db::BuildSynthImdb(opts).release();
+    stats_ = new stats::DatabaseStats();
+    stats_->Build(*database_);
+    encoder_ = new model::FeatureEncoder(&database_->catalog(), stats_);
+    wk::GeneratorOptions gen;
+    gen.seed = 1207;
+    wk::QueryGenerator generator(database_, gen);
+    workload_ = new std::vector<wk::LabeledQuery>(
+        generator.GenerateLabeled(60, 2, 4));
+
+    // Three deliberately *different* versions: untrained models whose
+    // deterministic random init differs by seed, so their estimates — and
+    // hence plans, re-opt decisions, and traces — genuinely diverge. Each
+    // version also carries its own LPCE-R refiner so the refinement path is
+    // version-pinned too.
+    versions_ = new std::vector<std::shared_ptr<model::ModelVersion>>();
+    for (int v = 0; v < kNumVersions; ++v) {
+      model::TreeModelConfig config;
+      config.feature_dim = encoder_->dim();
+      config.dim = 16;
+      config.embed_hidden = 16;
+      config.out_hidden = 32;
+      config.log_max_card = 18.0;
+      config.seed = static_cast<uint64_t>(100 + v);
+      auto snapshot = std::make_shared<model::ModelVersion>();
+      snapshot->version = static_cast<uint64_t>(v + 1);
+      snapshot->model = std::make_shared<model::TreeModel>(encoder_, config);
+      snapshot->refiner = std::make_shared<model::LpceR>(encoder_, config);
+      versions_->push_back(std::move(snapshot));
+    }
+
+    // Single-version baselines: the whole workload executed serially with
+    // each version pinned for every query. The swap runs below must hit
+    // these byte-for-byte, query by query.
+    baselines_ = new std::vector<std::vector<Outcome>>();
+    for (int v = 0; v < kNumVersions; ++v) {
+      const model::ModelVersion& version = *(*versions_)[v];
+      model::TreeModelEstimator initial("LPCE-I", version.model.get(),
+                                        database_);
+      model::LpceREstimator refiner(version.refiner.get(), database_);
+      Engine engine(database_, opt::CostModel{});
+      std::vector<Outcome> outcomes;
+      for (const auto& labeled : *workload_) {
+        outcomes.push_back(Summarize(
+            engine.RunQuery(labeled.query, &initial, &refiner, Config())));
+        EXPECT_EQ(outcomes.back().result_count, labeled.FinalCard());
+      }
+      baselines_->push_back(std::move(outcomes));
+    }
+  }
+
+  static void TearDownTestSuite() {
+    delete baselines_;
+    baselines_ = nullptr;
+    delete versions_;
+    versions_ = nullptr;
+    delete workload_;
+    workload_ = nullptr;
+    delete encoder_;
+    encoder_ = nullptr;
+    delete stats_;
+    stats_ = nullptr;
+    delete database_;
+    database_ = nullptr;
+    common::SetGlobalPoolSize(0);
+  }
+
+  static RunConfig Config() {
+    RunConfig config;
+    config.enable_reopt = true;
+    config.qerror_threshold = kThreshold;
+    return config;
+  }
+
+  /// The versioned factory every test uses: sessions read exactly the models
+  /// of the version they were built over.
+  static EngineServer::VersionedSessionFactory Factory() {
+    return [](int worker_id, const model::ModelVersion& version) {
+      (void)worker_id;
+      EngineServer::Session session;
+      session.initial = std::make_unique<model::TreeModelEstimator>(
+          "LPCE-I", version.model.get(), database_);
+      session.refiner = std::make_unique<model::LpceREstimator>(
+          version.refiner.get(), database_);
+      return session;
+    };
+  }
+
+  /// Publishes pre-built version index `v` (0-based). Registry version
+  /// numbers restart at 1 per registry, matching versions_[v]->version.
+  static uint64_t PublishVersion(model::ModelRegistry* registry, int v) {
+    return registry->Publish((*versions_)[v]->model, (*versions_)[v]->refiner,
+                             "test-v" + std::to_string(v + 1));
+  }
+
+  static const Outcome& Baseline(uint64_t version, size_t query) {
+    EXPECT_GE(version, 1u);
+    EXPECT_LE(version, static_cast<uint64_t>(kNumVersions));
+    return (*baselines_)[version - 1][query];
+  }
+
+  static db::Database* database_;
+  static stats::DatabaseStats* stats_;
+  static model::FeatureEncoder* encoder_;
+  static std::vector<wk::LabeledQuery>* workload_;
+  static std::vector<std::shared_ptr<model::ModelVersion>>* versions_;
+  static std::vector<std::vector<Outcome>>* baselines_;
+};
+
+db::Database* RegistrySwapTest::database_ = nullptr;
+stats::DatabaseStats* RegistrySwapTest::stats_ = nullptr;
+model::FeatureEncoder* RegistrySwapTest::encoder_ = nullptr;
+std::vector<wk::LabeledQuery>* RegistrySwapTest::workload_ = nullptr;
+std::vector<std::shared_ptr<model::ModelVersion>>* RegistrySwapTest::versions_ =
+    nullptr;
+std::vector<std::vector<Outcome>>* RegistrySwapTest::baselines_ = nullptr;
+
+TEST_F(RegistrySwapTest, BaselinesDiverge) {
+  // Sanity for the suite's power: if all versions produced identical
+  // outcomes, the swap assertions below could not catch version mixing.
+  int differing = 0;
+  for (size_t q = 0; q < workload_->size(); ++q) {
+    if ((*baselines_)[0][q].trace_json != (*baselines_)[1][q].trace_json ||
+        (*baselines_)[1][q].trace_json != (*baselines_)[2][q].trace_json) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST_F(RegistrySwapTest, SerialSwapExactCountsAndBitIdentity) {
+  // One worker, synchronous queries, publishes at known boundaries: every
+  // count is exact, every outcome is pinned.
+  model::ModelRegistry registry;
+  PublishVersion(&registry, 0);
+  const common::MetricsSnapshot before =
+      common::MetricsRegistry::Global().Snapshot();
+
+  ServerOptions options;
+  options.num_workers = 1;
+  options.max_queue = workload_->size();
+  options.run_config = Config();
+  options.model_registry = &registry;
+  EngineServer server(database_, opt::CostModel{}, Factory(), options);
+
+  const size_t third = workload_->size() / 3;
+  for (size_t q = 0; q < workload_->size(); ++q) {
+    if (q == third) PublishVersion(&registry, 1);
+    if (q == 2 * third) PublishVersion(&registry, 2);
+    const uint64_t expected_version = q < third ? 1 : q < 2 * third ? 2 : 3;
+    Result<RunStats> run = server.RunSync((*workload_)[q].query);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_EQ(run.value().model_version, expected_version) << "query " << q;
+    ExpectSameOutcome(Baseline(expected_version, q), Summarize(run.value()),
+                      "serial swap, query " + std::to_string(q));
+  }
+  server.Shutdown();
+
+  const EngineServer::Counters counters = server.counters();
+  EXPECT_EQ(counters.submitted, workload_->size());
+  EXPECT_EQ(counters.completed, workload_->size());
+  EXPECT_EQ(counters.rejected, 0u);
+  // Exactly one rebuild per observed publish: the single worker crossed two
+  // version boundaries.
+  EXPECT_EQ(counters.session_rebuilds, 2u);
+  EXPECT_EQ(registry.counters().published, 3u);
+
+  // The lpce.registry.* exposition moved by exactly this test's publishes
+  // and rebuilds (snapshot delta: exact even when other suites ran first).
+  const common::MetricsSnapshot delta = common::Delta(
+      before, common::MetricsRegistry::Global().Snapshot());
+  EXPECT_EQ(delta.counters.at("lpce.registry.published_total"), 2u);
+  EXPECT_EQ(delta.counters.at("lpce.registry.session_rebuilds_total"), 2u);
+  EXPECT_EQ(delta.gauges.at("lpce.registry.version"), 3.0);
+}
+
+TEST_F(RegistrySwapTest, WavePublishesBitIdenticalAtAllWorkerCounts) {
+  // Publishes between fully-drained waves: each wave's version is exact, at
+  // every worker count, and every query is bit-identical to its pinned run.
+  const size_t third = workload_->size() / 3;
+  for (int workers : {1, 2, 4}) {
+    model::ModelRegistry registry;
+    PublishVersion(&registry, 0);
+    ServerOptions options;
+    options.num_workers = workers;
+    options.max_queue = workload_->size();
+    options.run_config = Config();
+    options.model_registry = &registry;
+    EngineServer server(database_, opt::CostModel{}, Factory(), options);
+
+    for (int wave = 0; wave < 3; ++wave) {
+      if (wave > 0) PublishVersion(&registry, wave);
+      const size_t begin = static_cast<size_t>(wave) * third;
+      const size_t end = wave == 2 ? workload_->size() : begin + third;
+      std::vector<std::shared_future<RunStats>> futures;
+      for (size_t q = begin; q < end; ++q) {
+        Result<std::shared_future<RunStats>> admitted =
+            server.Submit((*workload_)[q].query);
+        ASSERT_TRUE(admitted.ok()) << admitted.status().ToString();
+        futures.push_back(admitted.value());
+      }
+      for (size_t i = 0; i < futures.size(); ++i) {
+        const size_t q = begin + i;
+        const RunStats stats = futures[i].get();
+        EXPECT_EQ(stats.model_version, static_cast<uint64_t>(wave + 1))
+            << "query " << q << " at " << workers << " workers";
+        ExpectSameOutcome(Baseline(static_cast<uint64_t>(wave + 1), q),
+                          Summarize(stats),
+                          "wave swap, query " + std::to_string(q) + " at " +
+                              std::to_string(workers) + " workers");
+      }
+    }
+    server.Shutdown();
+
+    const EngineServer::Counters counters = server.counters();
+    EXPECT_EQ(counters.submitted, workload_->size());
+    EXPECT_EQ(counters.completed, workload_->size());
+    EXPECT_EQ(counters.rejected, 0u);
+    // Every worker that served a post-publish query rebuilt once per crossed
+    // boundary; at least one worker served each wave.
+    EXPECT_GE(counters.session_rebuilds, 2u);
+    EXPECT_LE(counters.session_rebuilds, 2u * static_cast<uint64_t>(workers));
+    EXPECT_EQ(registry.counters().published, 3u);
+  }
+}
+
+TEST_F(RegistrySwapTest, RacingPublishNeverMixesVersionsWithinAQuery) {
+  // Publishes land while the queue drains under 4 workers: each query's
+  // version is whichever its worker had pinned — unknowable in advance, but
+  // every query must still be bit-identical to that version's pinned run,
+  // versions must be valid, and nothing is dropped or rejected.
+  model::ModelRegistry registry;
+  PublishVersion(&registry, 0);
+  ServerOptions options;
+  options.num_workers = 4;
+  options.max_queue = workload_->size();
+  options.run_config = Config();
+  options.model_registry = &registry;
+  EngineServer server(database_, opt::CostModel{}, Factory(), options);
+
+  std::vector<std::shared_future<RunStats>> futures;
+  for (const auto& labeled : *workload_) {
+    Result<std::shared_future<RunStats>> admitted = server.Submit(labeled.query);
+    ASSERT_TRUE(admitted.ok()) << admitted.status().ToString();
+    futures.push_back(admitted.value());
+  }
+  // Fire the publishes while queries are in flight.
+  bool published_v2 = false, published_v3 = false;
+  while (!published_v3) {
+    const uint64_t done = server.counters().completed;
+    if (!published_v2 && done >= workload_->size() / 3) {
+      PublishVersion(&registry, 1);
+      published_v2 = true;
+    }
+    if (published_v2 && done >= 2 * workload_->size() / 3) {
+      PublishVersion(&registry, 2);
+      published_v3 = true;
+    }
+    std::this_thread::yield();
+  }
+
+  for (size_t q = 0; q < futures.size(); ++q) {
+    const RunStats stats = futures[q].get();
+    ASSERT_GE(stats.model_version, 1u) << "query " << q;
+    ASSERT_LE(stats.model_version, 3u) << "query " << q;
+    ExpectSameOutcome(Baseline(stats.model_version, q), Summarize(stats),
+                      "racing swap, query " + std::to_string(q) + " at v" +
+                          std::to_string(stats.model_version));
+  }
+  server.Shutdown();
+
+  const EngineServer::Counters counters = server.counters();
+  EXPECT_EQ(counters.submitted, workload_->size());
+  EXPECT_EQ(counters.completed, workload_->size());
+  EXPECT_EQ(counters.rejected, 0u);
+  EXPECT_EQ(registry.counters().published, 3u);
+}
+
+TEST_F(RegistrySwapTest, PublishInvalidatesPlanCache) {
+  // A cached skeleton embeds one version's estimate pool. After a publish,
+  // the same template must re-plan under the new model — hits across a
+  // version bump would serve stale estimates (the fss/canonical keys do not
+  // encode the model version; the epoch bump is what protects them).
+  model::ModelRegistry registry;
+  PublishVersion(&registry, 0);
+  ServerOptions options;
+  options.num_workers = 1;
+  options.max_queue = 16;
+  options.run_config = Config();
+  options.model_registry = &registry;
+  options.plan_cache_capacity = 64;
+  EngineServer server(database_, opt::CostModel{}, Factory(), options);
+
+  const qry::Query& query = (*workload_)[0].query;
+  Result<RunStats> miss = server.RunSync(query);
+  ASSERT_TRUE(miss.ok());
+  Result<RunStats> hit = server.RunSync(query);
+  ASSERT_TRUE(hit.ok());
+  const auto warm = server.plan_cache()->counters();
+  EXPECT_GE(warm.hits, 1u);
+  const uint64_t invalidations_before = warm.invalidations;
+
+  PublishVersion(&registry, 1);
+  EXPECT_GT(server.plan_cache()->counters().invalidations,
+            invalidations_before);
+  EXPECT_EQ(server.plan_cache()->counters().size, 0u);
+
+  Result<RunStats> after = server.RunSync(query);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().model_version, 2u);
+  // Re-planned under v2, not served from the v1-era cache: the initial plan
+  // (with its embedded estimates) matches the v2 pinned baseline exactly.
+  EXPECT_EQ(StripPlanTimes(after.value().initial_plan),
+            Baseline(2, 0).initial_plan);
+  EXPECT_EQ(after.value().result_count, (*workload_)[0].FinalCard());
+}
+
+TEST_F(RegistrySwapTest, SaveLoadRoundTripServesIdentically) {
+  // Registry persistence: SaveCurrent + LoadAndPublish restores a version
+  // that serves bit-identically to the original.
+  model::ModelRegistry registry;
+  PublishVersion(&registry, 1);  // version seeds differ from config defaults
+  const std::string dir = ::testing::TempDir() + "lpce_registry_roundtrip";
+  ASSERT_TRUE(registry.SaveCurrent(dir).ok());
+
+  model::ModelRegistry restored;
+  model::TreeModelConfig config;
+  config.feature_dim = encoder_->dim();
+  config.dim = 16;
+  config.embed_hidden = 16;
+  config.out_hidden = 32;
+  config.log_max_card = 18.0;
+  config.seed = 999;  // init is irrelevant: params are loaded over it
+  Result<uint64_t> loaded =
+      restored.LoadAndPublish(dir, encoder_, config);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value(), 1u);
+
+  auto snapshot = restored.Current();
+  ASSERT_NE(snapshot, nullptr);
+  model::TreeModelEstimator initial("LPCE-I", snapshot->model.get(), database_);
+  model::LpceREstimator refiner(snapshot->refiner.get(), database_);
+  Engine engine(database_, opt::CostModel{});
+  for (size_t q = 0; q < 10; ++q) {
+    const Outcome outcome = Summarize(
+        engine.RunQuery((*workload_)[q].query, &initial, &refiner, Config()));
+    ExpectSameOutcome(Baseline(2, q), outcome,
+                      "restored registry, query " + std::to_string(q));
+  }
+}
+
+}  // namespace
+}  // namespace lpce::eng
